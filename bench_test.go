@@ -1,0 +1,232 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation as testing.B targets. Each benchmark prints its table
+// once (on the first iteration) and reports the wall time of regenerating
+// the experiment; run them all with
+//
+//	go test -bench=. -benchmem
+//
+// or a specific experiment with e.g. -bench=BenchmarkTable5Selectivity.
+// The cmd/expgen binary runs the same experiments at a larger scale.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/colquery"
+	"repro/internal/hwprofile"
+	"repro/internal/strategies"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *bench.Suite
+	suiteErr  error
+)
+
+// benchSuite lazily builds one shared suite for all benchmarks.
+func benchSuite(b *testing.B) *bench.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		cfg := bench.DefaultConfig()
+		cfg.Scale = 1
+		cfg.QueriesPerType = 1
+		cfg.CalibrationSamples = 16
+		cfg.Depths = []int{5, 10, 15, 20}
+		suite, suiteErr = bench.NewSuite(cfg)
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+// printOnce renders the table on the first benchmark iteration only.
+func printOnce(b *testing.B, i int, t *bench.Table) {
+	if i == 0 {
+		fmt.Println(t.Render())
+	}
+}
+
+func BenchmarkTable4Storage(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		t, err := s.Table4StorageOverheads()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, t)
+	}
+}
+
+func BenchmarkFig8Overall(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		t, err := s.Fig8Overall()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, t)
+	}
+}
+
+func BenchmarkFig9Blocks(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		t, err := s.Fig9CNNBlocks()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, t)
+	}
+}
+
+func BenchmarkFig10RelOps(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		t, err := s.Fig10RelOps()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, t)
+	}
+}
+
+func BenchmarkFig11PreJoin(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		t, err := s.Fig11PreJoin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, t)
+	}
+}
+
+func BenchmarkTable5Selectivity(b *testing.B) {
+	s := benchSuite(b)
+	sels := []float64{0.0201, 0.1, 0.2, 0.4}
+	for i := 0; i < b.N; i++ {
+		t, err := s.Table5Selectivity(sels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, t)
+	}
+}
+
+func BenchmarkTable6Depth(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		t, err := s.Table6Depth([]int{5, 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, t)
+	}
+}
+
+func BenchmarkFig12CostModel(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		t, err := s.Fig12CostModel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, t)
+	}
+}
+
+func BenchmarkFig13PerOp(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		t, err := s.Fig13PerOp()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, t)
+	}
+}
+
+func BenchmarkFig14Hints(b *testing.B) {
+	s := benchSuite(b)
+	sels := []float64{0.02, 0.2}
+	for i := 0; i < b.N; i++ {
+		t, err := s.Fig14Hints(sels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, t)
+	}
+}
+
+func BenchmarkQueryTypes(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		t, err := s.TableITypes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, t)
+	}
+}
+
+// Per-strategy microbenchmarks: one Type 3 query under each configuration
+// on the edge profile.
+func benchStrategy(b *testing.B, strat strategies.Strategy) {
+	b.Helper()
+	s := benchSuite(b)
+	s.Ctx.Profile = hwprofile.EdgeCPU
+	q, err := colquery.GenerateAnalyzed(colquery.Type3, colquery.TemplateParams{Selectivity: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := strat.Execute(s.Ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStrategyDL2SQL(b *testing.B)   { benchStrategy(b, &strategies.DL2SQL{}) }
+func BenchmarkStrategyDL2SQLOP(b *testing.B) { benchStrategy(b, &strategies.DL2SQL{Optimized: true}) }
+func BenchmarkStrategyDBUDF(b *testing.B)    { benchStrategy(b, &strategies.DBUDF{}) }
+func BenchmarkStrategyDBPyTorch(b *testing.B) {
+	benchStrategy(b, &strategies.DBPyTorch{})
+}
+
+func BenchmarkAblationBatching(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		t, err := s.AblationBatching()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, t)
+	}
+}
+
+func BenchmarkAblationSymmetricJoin(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		t, err := s.AblationSymmetricJoin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, t)
+	}
+}
+
+func BenchmarkAblationPredicateOrdering(b *testing.B) {
+	s := benchSuite(b)
+	for i := 0; i < b.N; i++ {
+		t, err := s.AblationPredicateOrdering()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, t)
+	}
+}

@@ -1,0 +1,120 @@
+// Command expgen regenerates every table and figure of the paper's
+// evaluation section and prints them in the paper's layout.
+//
+// Usage:
+//
+//	expgen [-scale N] [-side N] [-queries N] [-sel F] [-depths 5,10,...]
+//	       [-only table4,fig8,...] [-out FILE]
+//
+// With no flags it runs the full suite at the default laptop scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		scale   = flag.Int("scale", 2, "dataset scale unit (video table gets 100x this)")
+		side    = flag.Int("side", 8, "keyframe resolution (the paper uses 224)")
+		queries = flag.Int("queries", 2, "queries per type in mixed benchmarks (the paper uses 100)")
+		sel     = flag.Float64("sel", 0.05, "default accumulated relational selectivity")
+		depths  = flag.String("depths", "5,10,15,20", "ResNet depths for Table IV/VI")
+		only    = flag.String("only", "", "comma-separated experiment ids (table1,table4,table5,table6,fig8,fig9,fig10,fig11,fig12,fig13,fig14); empty = all")
+		out     = flag.String("out", "", "also write results to this file")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.KeyframeSide = *side
+	cfg.QueriesPerType = *queries
+	cfg.Selectivity = *sel
+	cfg.Depths = nil
+	for _, d := range strings.Split(*depths, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(d))
+		if err != nil {
+			fatalf("bad depth %q: %v", d, err)
+		}
+		cfg.Depths = append(cfg.Depths, n)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(w, "expgen: scale=%d side=%d queries/type=%d selectivity=%.4f depths=%v\n\n",
+		cfg.Scale, cfg.KeyframeSide, cfg.QueriesPerType, cfg.Selectivity, cfg.Depths)
+
+	start := time.Now()
+	suite, err := bench.NewSuite(cfg)
+	if err != nil {
+		fatalf("building suite: %v", err)
+	}
+	fmt.Fprintf(w, "fixtures ready in %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	type experiment struct {
+		id  string
+		run func() (*bench.Table, error)
+	}
+	experiments := []experiment{
+		{"table1", suite.TableITypes},
+		{"table4", suite.Table4StorageOverheads},
+		{"fig8", suite.Fig8Overall},
+		{"fig9", suite.Fig9CNNBlocks},
+		{"fig10", suite.Fig10RelOps},
+		{"fig11", suite.Fig11PreJoin},
+		{"table5", func() (*bench.Table, error) {
+			return suite.Table5Selectivity([]float64{0.02, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0})
+		}},
+		{"table6", func() (*bench.Table, error) { return suite.Table6Depth(cfg.Depths) }},
+		{"fig12", suite.Fig12CostModel},
+		{"fig13", suite.Fig13PerOp},
+		{"fig14", func() (*bench.Table, error) {
+			return suite.Fig14Hints([]float64{0.02, 0.1, 0.2, 0.4})
+		}},
+		{"ablation1", suite.AblationBatching},
+		{"ablation2", suite.AblationSymmetricJoin},
+		{"ablation3", suite.AblationPredicateOrdering},
+	}
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToLower(id)); id != "" {
+			selected[id] = true
+		}
+	}
+
+	for _, e := range experiments {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		t0 := time.Now()
+		tab, err := e.run()
+		if err != nil {
+			fatalf("%s: %v", e.id, err)
+		}
+		fmt.Fprintln(w, tab.Render())
+		fmt.Fprintf(w, "(%s regenerated in %s)\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "all experiments done in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "expgen: "+format+"\n", args...)
+	os.Exit(1)
+}

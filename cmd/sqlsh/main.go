@@ -1,0 +1,192 @@
+// Command sqlsh is an interactive SQL shell for the embedded engine. It can
+// start from an empty database, the synthetic IoT dataset, or a snapshot
+// file, and supports the engine's full dialect plus EXPLAIN and a few
+// shell meta-commands:
+//
+//	\d            list tables and views
+//	\d NAME       describe a table
+//	\profile      show the per-operator execution profile
+//	\save PATH    snapshot the database to a file
+//	\q            quit
+//
+// Usage:
+//
+//	sqlsh                      # empty database
+//	sqlsh -iot -scale 5        # synthetic IoT dataset
+//	sqlsh -load snap.db        # restore a snapshot
+//	echo "SELECT 1 AS x;" | sqlsh
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/iotdata"
+	"repro/internal/sqldb"
+)
+
+func main() {
+	var (
+		iot   = flag.Bool("iot", false, "start with the synthetic IoT dataset")
+		scale = flag.Int("scale", 2, "IoT dataset scale unit")
+		side  = flag.Int("side", 8, "IoT keyframe resolution")
+		load  = flag.String("load", "", "restore a snapshot file")
+	)
+	flag.Parse()
+
+	var db *sqldb.DB
+	switch {
+	case *load != "":
+		var err error
+		db, err = sqldb.LoadFile(*load)
+		if err != nil {
+			fatalf("loading %s: %v", *load, err)
+		}
+		fmt.Printf("restored %d tables from %s\n", len(db.TableNames()), *load)
+	case *iot:
+		ds, err := iotdata.Generate(iotdata.Config{Scale: *scale, KeyframeSide: *side, Seed: 42, PatternCount: 6})
+		if err != nil {
+			fatalf("generating dataset: %v", err)
+		}
+		db = ds.DB
+		fmt.Printf("generated IoT dataset (scale %d)\n", *scale)
+	default:
+		db = sqldb.New()
+		db.Profile = sqldb.NewProfile()
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminal()
+	var pending strings.Builder
+	if interactive {
+		fmt.Print("sqlsh> ")
+	}
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !meta(db, trimmed) {
+				return
+			}
+			if interactive {
+				fmt.Print("sqlsh> ")
+			}
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if !strings.HasSuffix(trimmed, ";") {
+			if interactive {
+				fmt.Print("   ..> ")
+			}
+			continue
+		}
+		run(db, pending.String())
+		pending.Reset()
+		if interactive {
+			fmt.Print("sqlsh> ")
+		}
+	}
+	if pending.Len() > 0 {
+		run(db, pending.String())
+	}
+}
+
+// meta handles shell meta-commands; it returns false to quit.
+func meta(db *sqldb.DB, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case `\q`, `\quit`:
+		return false
+	case `\d`:
+		if len(fields) == 1 {
+			names := db.TableNames()
+			sort.Strings(names)
+			for _, n := range names {
+				t := db.GetTable(n)
+				fmt.Printf("%-20s %d rows\n", n, t.NumRows())
+			}
+			return true
+		}
+		t := db.GetTable(fields[1])
+		if t == nil {
+			fmt.Printf("no table %q\n", fields[1])
+			return true
+		}
+		for _, c := range t.Schema {
+			fmt.Printf("  %-20s %s\n", c.Name, c.Type)
+		}
+		return true
+	case `\profile`:
+		if db.Profile != nil {
+			fmt.Print(db.Profile.String())
+		}
+		return true
+	case `\save`:
+		if len(fields) != 2 {
+			fmt.Println("usage: \\save PATH")
+			return true
+		}
+		if err := db.SaveFile(fields[1]); err != nil {
+			fmt.Printf("save failed: %v\n", err)
+		} else {
+			fmt.Printf("saved to %s\n", fields[1])
+		}
+		return true
+	}
+	fmt.Printf("unknown meta-command %s\n", fields[0])
+	return true
+}
+
+func run(db *sqldb.DB, sql string) {
+	if strings.TrimSpace(sql) == "" {
+		return
+	}
+	res, err := db.Exec(sql)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	if res == nil {
+		fmt.Println("ok")
+		return
+	}
+	header := make([]string, len(res.Schema))
+	for i, c := range res.Schema {
+		header[i] = c.Name
+	}
+	fmt.Println(strings.Join(header, " | "))
+	n := res.NumRows()
+	const maxRows = 200
+	for i := 0; i < n && i < maxRows; i++ {
+		cells := make([]string, len(res.Cols))
+		for j, c := range res.Cols {
+			cells[j] = c.Get(i).String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	if n > maxRows {
+		fmt.Printf("... (%d more rows)\n", n-maxRows)
+	}
+	fmt.Printf("(%d rows)\n", n)
+}
+
+// isTerminal reports whether stdin looks interactive (best effort without
+// importing syscall-specific packages).
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sqlsh: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dl2sql"
+	"repro/internal/hwprofile"
+	"repro/internal/modelrepo"
+	"repro/internal/nn"
+	"repro/internal/sqldb"
+	"repro/internal/strategies"
+	"repro/internal/tensor"
+)
+
+// Table4StorageOverheads reproduces Table IV: the model storage footprint
+// of each approach across ResNet depths. DL2SQL stores the model as
+// relational tables (kernel + bias + metadata + mapping tables); DB-PyTorch
+// ships the serialized artifact; DB-UDF links a compressed binary into the
+// kernel.
+func (s *Suite) Table4StorageOverheads() (*Table, error) {
+	t := &Table{
+		ID:      "Table IV",
+		Title:   "Storage Overheads with Different Model Depths (KB)",
+		Columns: []string{"Depth", "Params", "DL2SQL(KB)", "DB-PyTorch(KB)", "DB-UDF(KB)"},
+		Notes: []string{
+			"shape check: DL2SQL > DB-PyTorch > DB-UDF at every depth, all growing with depth",
+		},
+	}
+	for _, depth := range s.Cfg.Depths {
+		m, err := modelrepo.NewResNet(depth, modelrepo.TaskDefectDetection, s.Cfg.KeyframeSide, s.Cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		artifact, err := nn.EncodeBytes(m)
+		if err != nil {
+			return nil, err
+		}
+		var comp bytes.Buffer
+		fw, err := flate.NewWriter(&comp, flate.BestSpeed)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fw.Write(artifact); err != nil {
+			return nil, err
+		}
+		if err := fw.Close(); err != nil {
+			return nil, err
+		}
+		db := sqldb.New()
+		db.Profile = sqldb.NewProfile()
+		tr := dl2sql.NewTranslator(db, "t4")
+		sm, err := tr.StoreModel(m)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", depth),
+			fmt.Sprintf("%d", m.ParamCount()),
+			fmt.Sprintf("%d", sm.StorageBytes(db)/1024),
+			fmt.Sprintf("%d", len(artifact)/1024),
+			fmt.Sprintf("%d", comp.Len()/1024),
+		)
+	}
+	return t, nil
+}
+
+// Fig8Overall reproduces Fig. 8: the loading/inference/relational breakdown
+// of all four approaches across the edge CPU, server CPU, and server GPU
+// settings, on the mixed student-model workload.
+func (s *Suite) Fig8Overall() (*Table, error) {
+	t := &Table{
+		ID:      "Fig. 8",
+		Title:   "Overall Cost of Collaborative Queries (avg seconds/query)",
+		Columns: []string{"Setting", "Approach", "Loading(s)", "Inference(s)", "Relational(s)", "All(s)"},
+		Notes: []string{
+			"shape check: DL2SQL-OP lowest total on edge-cpu; GPU cuts DB-PyTorch inference but grows loading; DB-UDF gains least from the GPU",
+		},
+	}
+	for _, prof := range hwprofile.All() {
+		for _, strat := range strategies.All() {
+			bd, err := s.runMix(strat, prof, s.Cfg.QueriesPerType, s.Cfg.Selectivity)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(prof.Name, strat.Name(), f4(bd.Loading), f4(bd.Inference), f4(bd.Relational), f4(bd.Total()))
+		}
+	}
+	return t, nil
+}
+
+// Fig9CNNBlocks reproduces Fig. 9: the per-step cost of the student model's
+// SQL pipeline (Conv1..3, Reshape1..2, BN/ReLU per block, Classification),
+// averaged over several inferences.
+func (s *Suite) Fig9CNNBlocks() (*Table, error) {
+	const runs = 3
+	db := sqldb.New()
+	db.Profile = sqldb.NewProfile()
+	tr := dl2sql.NewTranslator(db, "fig9")
+	model := s.Ctx.Bindings["nudf_detect"].Entry.Model
+	sm, err := tr.StoreModel(model)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < runs; i++ {
+		in := randomInput(model.InputShape, s.Cfg.Seed+int64(i))
+		if _, _, err := tr.Infer(sm, in); err != nil {
+			return nil, err
+		}
+	}
+	agg := map[string]time.Duration{}
+	var order []string
+	for _, step := range tr.Steps {
+		if _, ok := agg[step.Label]; !ok {
+			order = append(order, step.Label)
+		}
+		agg[step.Label] += step.Time
+	}
+	t := &Table{
+		ID:      "Fig. 9",
+		Title:   "Costs of CNN Blocks in DL2SQL (avg seconds/inference)",
+		Columns: []string{"Step", "Time(s)"},
+		Notes: []string{
+			"shape check: convolution steps dominate; deeper convs cost more than reshapes and elementwise steps",
+		},
+	}
+	for _, label := range order {
+		t.AddRow(label, f6(agg[label].Seconds()/runs))
+	}
+	return t, nil
+}
+
+// Fig10RelOps reproduces Fig. 10: the running-time distribution across
+// relational operators while DL2SQL executes inference SQL.
+func (s *Suite) Fig10RelOps() (*Table, error) {
+	db := sqldb.New()
+	db.Profile = sqldb.NewProfile()
+	tr := dl2sql.NewTranslator(db, "fig10")
+	model := s.Ctx.Bindings["nudf_detect"].Entry.Model
+	sm, err := tr.StoreModel(model)
+	if err != nil {
+		return nil, err
+	}
+	db.Profile = sqldb.NewProfile() // exclude the StoreModel inserts
+	for i := 0; i < 3; i++ {
+		in := randomInput(model.InputShape, s.Cfg.Seed+int64(i))
+		if _, _, err := tr.Infer(sm, in); err != nil {
+			return nil, err
+		}
+	}
+	type opRow struct {
+		op    string
+		nanos int64
+		rows  int
+	}
+	var rows []opRow
+	var total int64
+	for op, st := range db.Profile.Ops {
+		rows = append(rows, opRow{op, st.Nanos, st.Rows})
+		total += st.Nanos
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].nanos > rows[j].nanos })
+	t := &Table{
+		ID:      "Fig. 10",
+		Title:   "Costs of Relational Operations in Generated Queries",
+		Columns: []string{"Operator", "Time(s)", "Share(%)", "Rows"},
+		Notes: []string{
+			"shape check: Join and GroupBy are the most expensive operators",
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(r.op,
+			f6(float64(r.nanos)/1e9),
+			fmt.Sprintf("%.1f", 100*float64(r.nanos)/float64(total)),
+			fmt.Sprintf("%d", r.rows))
+	}
+	return t, nil
+}
+
+// Fig11PreJoin reproduces Fig. 11: the cost of the CNN blocks under the
+// three pre-join strategies.
+func (s *Suite) Fig11PreJoin() (*Table, error) {
+	t := &Table{
+		ID:      "Fig. 11",
+		Title:   "Performance of CNN Blocks with Pre-Join Strategies (seconds/inference)",
+		Columns: []string{"Strategy", "Conv+Reshape(s)", "Other(s)", "Total(s)"},
+		Notes: []string{
+			"shape check: each pre-join level reduces the conv+reshape cost: none > prejoin-mapping > prejoin-input",
+		},
+	}
+	model := s.Ctx.Bindings["nudf_detect"].Entry.Model
+	for _, strat := range []dl2sql.PreJoinStrategy{dl2sql.PreJoinNone, dl2sql.PreJoinMapping, dl2sql.PreJoinInput} {
+		db := sqldb.New()
+		db.Profile = sqldb.NewProfile()
+		tr := dl2sql.NewTranslator(db, "fig11")
+		tr.PreJoin = strat
+		sm, err := tr.StoreModel(model)
+		if err != nil {
+			return nil, err
+		}
+		const runs = 3
+		for i := 0; i < runs; i++ {
+			in := randomInput(model.InputShape, s.Cfg.Seed+int64(i))
+			if _, _, err := tr.Infer(sm, in); err != nil {
+				return nil, err
+			}
+		}
+		var convSecs, otherSecs float64
+		for _, step := range tr.Steps {
+			sec := step.Time.Seconds() / runs
+			if strings.HasPrefix(step.Label, "Conv") || strings.HasPrefix(step.Label, "Reshape") {
+				convSecs += sec
+			} else {
+				otherSecs += sec
+			}
+		}
+		t.AddRow(strat.String(), f6(convSecs), f6(otherSecs), f6(convSecs+otherSecs))
+	}
+	return t, nil
+}
+
+// randomInput builds a deterministic input tensor for a model.
+func randomInput(shape []int, seed int64) *tensor.Tensor {
+	out := tensor.New(shape...)
+	state := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	for i := range out.Data() {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		out.Data()[i] = float64(z>>11) / float64(1<<53)
+	}
+	return out
+}

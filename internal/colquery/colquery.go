@@ -1,0 +1,424 @@
+// Package colquery models the paper's collaborative queries: SQL statements
+// that embed neural-UDF calls (nUDF_*). It analyzes the dependency between
+// the relational part (Q_db) and the learning part (Q_learning) to classify
+// a query into the four types of Table I, extracts the nUDF usages the
+// execution strategies need, and generates the paper's benchmark query
+// templates over the IoT schema.
+package colquery
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqldb"
+)
+
+// QueryType is the Table I classification.
+type QueryType int
+
+// The four collaborative query types of Table I.
+const (
+	// Type1: Q_db and Q_learning are independent — the nUDF is a standalone
+	// filter with no relational predicates gating its inputs.
+	Type1 QueryType = iota + 1
+	// Type2: Q_db depends on Q_learning — nUDF outputs feed relational
+	// aggregation in the SELECT clause.
+	Type2
+	// Type3: Q_learning depends on Q_db — relational predicates restrict
+	// which tuples reach the nUDF.
+	Type3
+	// Type4: interdependence — the nUDF participates in a join condition
+	// against another relation's column.
+	Type4
+)
+
+func (t QueryType) String() string {
+	if t >= Type1 && t <= Type4 {
+		return fmt.Sprintf("Type %d", int(t))
+	}
+	return fmt.Sprintf("QueryType(%d)", int(t))
+}
+
+// Difficulty returns Table I's difficulty label.
+func (t QueryType) Difficulty() string {
+	switch t {
+	case Type1:
+		return "Easy"
+	case Type2, Type3:
+		return "Medium"
+	case Type4:
+		return "Hard"
+	}
+	return "Unknown"
+}
+
+// UDFUsage is one nUDF occurrence in the query.
+type UDFUsage struct {
+	// Name is the UDF's function name (lower-cased), e.g. "nudf_detect".
+	Name string
+	// Arg is the textual argument (e.g. "V.keyframe").
+	Arg string
+	// EqualsLiteral is the literal the UDF result is compared to when the
+	// usage has the form nUDF(x) = literal (the hint machinery derives the
+	// selectivity of this predicate from the class histogram); nil
+	// otherwise.
+	EqualsLiteral *sqldb.Datum
+	// InWhere / InSelect / InJoin locate the usage.
+	InWhere  bool
+	InSelect bool
+	InJoin   bool // compared against another relation's column
+}
+
+// Query is an analyzed collaborative query.
+type Query struct {
+	SQL  string
+	Stmt *sqldb.SelectStmt
+	Type QueryType
+	UDFs []UDFUsage
+	// UDFNames is the deduplicated set of nUDF names used.
+	UDFNames []string
+}
+
+// IsNUDF reports whether a function name is a neural UDF by the paper's
+// naming convention.
+func IsNUDF(name string) bool {
+	return strings.HasPrefix(strings.ToLower(name), "nudf_")
+}
+
+// Analyze parses and classifies a collaborative query.
+func Analyze(sql string) (*Query, error) {
+	stmt, err := sqldb.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqldb.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("colquery: collaborative queries must be SELECTs, got %T", stmt)
+	}
+	q := &Query{SQL: sql, Stmt: sel}
+
+	// Relations in FROM, for join detection.
+	aliases := map[string]bool{}
+	collectAliases(sel.From, aliases)
+
+	// WHERE conjuncts (plus join ON conditions).
+	var conds []sqldb.Expr
+	collectJoinConds(sel.From, &conds)
+	conds = append(conds, splitAnd(sel.Where)...)
+
+	// filteredRels: relations carrying single-relation non-UDF predicates;
+	// joinEdges: equi-join pairs between relations.
+	filteredRels := map[string]bool{}
+	type edge struct{ a, b string }
+	var joinEdges []edge
+	for _, c := range conds {
+		udfs := findUDFCalls(c)
+		if len(udfs) == 0 {
+			rels := relationRefs(c)
+			if len(rels) == 1 {
+				filteredRels[rels[0]] = true
+			}
+			if b, ok := c.(*sqldb.BinExpr); ok && b.Op == "=" && len(rels) == 2 {
+				joinEdges = append(joinEdges, edge{rels[0], rels[1]})
+			}
+			continue
+		}
+		for _, call := range udfs {
+			usage := UDFUsage{Name: strings.ToLower(call.Name), InWhere: true}
+			if len(call.Args) > 0 {
+				usage.Arg = call.Args[0].String()
+			}
+			// nUDF(x) = literal / nUDF(x) != literal?
+			if lit := comparedLiteral(c, call); lit != nil {
+				usage.EqualsLiteral = lit
+			}
+			// Join usage: the conjunct references other relations' columns
+			// outside the UDF argument.
+			if referencesOtherRelation(c, call) {
+				usage.InJoin = true
+			}
+			q.UDFs = append(q.UDFs, usage)
+		}
+	}
+	// SELECT-clause usages.
+	for _, it := range sel.Items {
+		if it.Star {
+			continue
+		}
+		for _, call := range findUDFCalls(it.Expr) {
+			usage := UDFUsage{Name: strings.ToLower(call.Name), InSelect: true}
+			if len(call.Args) > 0 {
+				usage.Arg = call.Args[0].String()
+			}
+			if lit := comparedLiteral(it.Expr, call); lit != nil {
+				usage.EqualsLiteral = lit
+			}
+			q.UDFs = append(q.UDFs, usage)
+		}
+	}
+
+	seen := map[string]bool{}
+	for _, u := range q.UDFs {
+		if !seen[u.Name] {
+			seen[u.Name] = true
+			q.UDFNames = append(q.UDFNames, u.Name)
+		}
+	}
+	if len(q.UDFs) == 0 {
+		return nil, fmt.Errorf("colquery: query contains no nUDF call")
+	}
+
+	// Classification per Table I.
+	hasJoinUDF := false
+	hasSelectUDF := false
+	udfRels := map[string]bool{}
+	for _, u := range q.UDFs {
+		if u.InJoin {
+			hasJoinUDF = true
+		}
+		if u.InSelect {
+			hasSelectUDF = true
+		}
+		// Relation feeding the UDF argument (e.g. "v" for V.keyframe).
+		if i := strings.IndexByte(u.Arg, '.'); i > 0 {
+			udfRels[strings.ToLower(u.Arg[:i])] = true
+		}
+	}
+	// Q_learning depends on Q_db when the UDF's relation is equi-joined to a
+	// relation that carries its own filter predicates (the joined Q_db
+	// output gates which tuples reach the model).
+	learningDependsOnDB := false
+	for _, e := range joinEdges {
+		var partner string
+		switch {
+		case udfRels[e.a]:
+			partner = e.b
+		case udfRels[e.b]:
+			partner = e.a
+		default:
+			continue
+		}
+		if filteredRels[partner] {
+			learningDependsOnDB = true
+		}
+	}
+	switch {
+	case hasJoinUDF:
+		q.Type = Type4
+	case hasSelectUDF:
+		q.Type = Type2
+	case learningDependsOnDB:
+		q.Type = Type3
+	default:
+		q.Type = Type1
+	}
+	return q, nil
+}
+
+func collectAliases(ref *sqldb.TableRef, out map[string]bool) {
+	if ref == nil {
+		return
+	}
+	if ref.Join != nil {
+		collectAliases(ref.Join.L, out)
+		collectAliases(ref.Join.R, out)
+		return
+	}
+	if ref.Alias != "" {
+		out[strings.ToLower(ref.Alias)] = true
+	} else if ref.Table != "" {
+		out[strings.ToLower(ref.Table)] = true
+	}
+}
+
+func collectJoinConds(ref *sqldb.TableRef, out *[]sqldb.Expr) {
+	if ref == nil || ref.Join == nil {
+		return
+	}
+	collectJoinConds(ref.Join.L, out)
+	collectJoinConds(ref.Join.R, out)
+	if ref.Join.Cond != nil {
+		*out = append(*out, splitAnd(ref.Join.Cond)...)
+	}
+}
+
+func splitAnd(e sqldb.Expr) []sqldb.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sqldb.BinExpr); ok && b.Op == "and" {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []sqldb.Expr{e}
+}
+
+// findUDFCalls returns all nUDF_* function calls in an expression.
+func findUDFCalls(e sqldb.Expr) []*sqldb.FuncCall {
+	var out []*sqldb.FuncCall
+	var walk func(sqldb.Expr)
+	walk = func(x sqldb.Expr) {
+		switch t := x.(type) {
+		case *sqldb.FuncCall:
+			if IsNUDF(t.Name) {
+				out = append(out, t)
+			}
+			for _, a := range t.Args {
+				walk(a)
+			}
+		case *sqldb.BinExpr:
+			walk(t.L)
+			walk(t.R)
+		case *sqldb.UnaryExpr:
+			walk(t.E)
+		case *sqldb.CaseExpr:
+			for _, w := range t.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			if t.Else != nil {
+				walk(t.Else)
+			}
+		case *sqldb.InExpr:
+			walk(t.E)
+			for _, i := range t.List {
+				walk(i)
+			}
+		case *sqldb.BetweenExpr:
+			walk(t.E)
+			walk(t.Lo)
+			walk(t.Hi)
+		case *sqldb.IsNullExpr:
+			walk(t.E)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// comparedLiteral returns the literal a UDF call is compared to when the
+// expression contains `call OP literal` (or the mirror).
+func comparedLiteral(e sqldb.Expr, call *sqldb.FuncCall) *sqldb.Datum {
+	var found *sqldb.Datum
+	var walk func(sqldb.Expr)
+	walk = func(x sqldb.Expr) {
+		if found != nil {
+			return
+		}
+		b, ok := x.(*sqldb.BinExpr)
+		if !ok {
+			return
+		}
+		switch b.Op {
+		case "=", "!=":
+			if fc, ok := b.L.(*sqldb.FuncCall); ok && fc == call {
+				if lit, ok := b.R.(*sqldb.Lit); ok {
+					v := lit.Val
+					found = &v
+					return
+				}
+			}
+			if fc, ok := b.R.(*sqldb.FuncCall); ok && fc == call {
+				if lit, ok := b.L.(*sqldb.Lit); ok {
+					v := lit.Val
+					found = &v
+					return
+				}
+			}
+		}
+		walk(b.L)
+		walk(b.R)
+	}
+	walk(e)
+	return found
+}
+
+// relationRefs lists the table qualifiers referenced by an expression
+// (qualified references only — good enough for the template queries, which
+// always qualify).
+func relationRefs(e sqldb.Expr) []string {
+	var out []string
+	var walk func(sqldb.Expr)
+	seen := map[string]bool{}
+	walk = func(x sqldb.Expr) {
+		switch t := x.(type) {
+		case *sqldb.ColRef:
+			if t.Table != "" && !seen[strings.ToLower(t.Table)] {
+				seen[strings.ToLower(t.Table)] = true
+				out = append(out, strings.ToLower(t.Table))
+			}
+		case *sqldb.BinExpr:
+			walk(t.L)
+			walk(t.R)
+		case *sqldb.UnaryExpr:
+			walk(t.E)
+		case *sqldb.FuncCall:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		case *sqldb.InExpr:
+			walk(t.E)
+			for _, i := range t.List {
+				walk(i)
+			}
+		case *sqldb.BetweenExpr:
+			walk(t.E)
+			walk(t.Lo)
+			walk(t.Hi)
+		case *sqldb.IsNullExpr:
+			walk(t.E)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// referencesOtherRelation reports whether the conjunct containing a UDF call
+// also references a column outside the UDF's own arguments (Type 4's
+// `F.patternID != nUDF_recog(V.keyframe)` pattern).
+func referencesOtherRelation(cond sqldb.Expr, call *sqldb.FuncCall) bool {
+	argRels := map[string]bool{}
+	for _, a := range call.Args {
+		for _, r := range relationRefs(a) {
+			argRels[r] = true
+		}
+	}
+	// Collect refs in the conjunct excluding those inside the call itself.
+	var outside []string
+	var walk func(x sqldb.Expr, inCall bool)
+	walk = func(x sqldb.Expr, inCall bool) {
+		switch t := x.(type) {
+		case *sqldb.ColRef:
+			if !inCall && t.Table != "" {
+				outside = append(outside, strings.ToLower(t.Table))
+			}
+		case *sqldb.FuncCall:
+			child := inCall || t == call
+			for _, a := range t.Args {
+				walk(a, child)
+			}
+		case *sqldb.BinExpr:
+			walk(t.L, inCall)
+			walk(t.R, inCall)
+		case *sqldb.UnaryExpr:
+			walk(t.E, inCall)
+		case *sqldb.InExpr:
+			walk(t.E, inCall)
+			for _, i := range t.List {
+				walk(i, inCall)
+			}
+		case *sqldb.BetweenExpr:
+			walk(t.E, inCall)
+			walk(t.Lo, inCall)
+			walk(t.Hi, inCall)
+		case *sqldb.IsNullExpr:
+			walk(t.E, inCall)
+		}
+	}
+	walk(cond, false)
+	for _, r := range outside {
+		if !argRels[r] {
+			return true
+		}
+	}
+	return false
+}

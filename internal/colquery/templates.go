@@ -1,0 +1,146 @@
+package colquery
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/iotdata"
+)
+
+// TemplateParams parameterizes a generated benchmark query.
+type TemplateParams struct {
+	// Selectivity is the accumulated selectivity of the relational (Q_db)
+	// predicates, e.g. 0.0001 for the paper's default 0.01%.
+	Selectivity float64
+	// DetectUDF / ClassifyUDF / RecogUDF name the nUDFs the template calls;
+	// the generator picks them per the chosen DL task.
+	DetectUDF   string
+	ClassifyUDF string
+	RecogUDF    string
+	// PatternLabel is the class literal used by classification predicates.
+	PatternLabel string
+	// DateLo/DateHi frame the time window (defaults: the paper's January
+	// 2021 window).
+	DateLo, DateHi string
+	// UseDeviceTable routes the sensor predicates of the Type 3 template
+	// through the device table (a three-way join: the printer's own sensor
+	// stream gates which keyframes reach the model) instead of the fabric
+	// table's aggregated readings.
+	UseDeviceTable bool
+}
+
+// withDefaults fills unset fields.
+func (p TemplateParams) withDefaults() TemplateParams {
+	if p.DetectUDF == "" {
+		p.DetectUDF = "nUDF_detect"
+	}
+	if p.ClassifyUDF == "" {
+		p.ClassifyUDF = "nUDF_classify"
+	}
+	if p.RecogUDF == "" {
+		p.RecogUDF = "nUDF_recog"
+	}
+	if p.PatternLabel == "" {
+		p.PatternLabel = "Floral Pattern"
+	}
+	if p.DateLo == "" {
+		p.DateLo = "2021-01-01"
+	}
+	if p.DateHi == "" {
+		p.DateHi = "2021-01-31"
+	}
+	if p.Selectivity <= 0 {
+		p.Selectivity = 0.0001
+	}
+	return p
+}
+
+// Generate builds the benchmark query of the given type, mirroring the
+// example queries of Table I over the iotdata schema. The relational
+// predicates are calibrated so their accumulated selectivity matches
+// params.Selectivity (dates are uniform over Q1 2021, so a one-month window
+// keeps ~1/3 of rows; the remaining factor is pushed into the sensor
+// predicates).
+func Generate(t QueryType, params TemplateParams) (string, error) {
+	p := params.withDefaults()
+	dateWindow := fmt.Sprintf("V.date > '%s' and V.date < '%s'", p.DateLo, p.DateHi)
+	fabricDates := fmt.Sprintf("F.printdate > '%s' and F.printdate < '%s'", p.DateLo, p.DateHi)
+	// The date window keeps about 1/3 of rows; sensor predicates supply the
+	// remaining selectivity on the fabric side.
+	sensorSel := p.Selectivity / (1.0 / 3.0)
+	if sensorSel > 1 {
+		sensorSel = 1
+	}
+	sensors := iotdata.FabricPredicateFor(sensorSel)
+
+	switch t {
+	case Type1:
+		// Q_db (fabric dates) and Q_learning (video classification) are
+		// independent: no join between F and V.
+		return fmt.Sprintf(
+			`SELECT sum(meter) AS total FROM fabric F, video V WHERE %s and %s and %s(V.keyframe) = '%s'`,
+			fabricDates, dateWindow, p.ClassifyUDF, p.PatternLabel), nil
+	case Type2:
+		// Defect rate per pattern: the aggregate consumes nUDF outputs.
+		return fmt.Sprintf(
+			`SELECT patternID, sum(if(%s(V.keyframe) = TRUE, 1, 0)) / sum(meter) AS rate FROM fabric F, video V WHERE %s and F.transID = V.transID and %s GROUP BY patternID`,
+			p.DetectUDF, fabricDates, dateWindow), nil
+	case Type3:
+		if p.UseDeviceTable {
+			// Sensor predicates come from the device table: a three-way
+			// join where the printer's own sensor stream gates which
+			// keyframes reach the model.
+			perPred := math.Sqrt(sensorSel)
+			devSensors := fmt.Sprintf("D.humidity > %.4f and D.temperature > %.4f",
+				100*(1-perPred), 60*(1-perPred))
+			return fmt.Sprintf(
+				`SELECT patternID, F.transID AS transID FROM fabric F, device D, video V WHERE %s and %s and D.transID = F.transID and F.transID = V.transID and %s and %s(V.keyframe) = FALSE`,
+				devSensors, fabricDates, dateWindow, p.DetectUDF), nil
+		}
+		// Sensor predicates on F gate which keyframes reach the model.
+		// The paper's template projects a bare transID; it is qualified here
+		// because this engine rejects ambiguous references.
+		return fmt.Sprintf(
+			`SELECT patternID, F.transID AS transID FROM fabric F, video V WHERE %s and %s and F.transID = V.transID and %s and %s(V.keyframe) = FALSE`,
+			sensors, fabricDates, dateWindow, p.DetectUDF), nil
+	case Type4:
+		// The nUDF output joins against another relation's column.
+		return fmt.Sprintf(
+			`SELECT patternID FROM fabric F, video V WHERE %s and F.transID = V.transID and %s and F.patternID != %s(V.keyframe)`,
+			fabricDates, dateWindow, p.RecogUDF), nil
+	}
+	return "", fmt.Errorf("colquery: unknown query type %v", t)
+}
+
+// GenerateAnalyzed generates and immediately analyzes a template,
+// asserting the classifier round-trips the intended type.
+func GenerateAnalyzed(t QueryType, params TemplateParams) (*Query, error) {
+	sql, err := Generate(t, params)
+	if err != nil {
+		return nil, err
+	}
+	q, err := Analyze(sql)
+	if err != nil {
+		return nil, fmt.Errorf("colquery: analyzing generated %v query: %w", t, err)
+	}
+	if q.Type != t {
+		return nil, fmt.Errorf("colquery: generated %v query classified as %v:\n%s", t, q.Type, sql)
+	}
+	return q, nil
+}
+
+// Mix produces n queries of each type with the given selectivity — the
+// paper's benchmark mixes 100 per type.
+func Mix(nPerType int, selectivity float64) ([]*Query, error) {
+	var out []*Query
+	for _, t := range []QueryType{Type1, Type2, Type3, Type4} {
+		for i := 0; i < nPerType; i++ {
+			q, err := GenerateAnalyzed(t, TemplateParams{Selectivity: selectivity})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, q)
+		}
+	}
+	return out, nil
+}

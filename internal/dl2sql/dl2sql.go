@@ -1,0 +1,224 @@
+// Package dl2sql is the paper's primary contribution: a translator that
+// rewrites neural-network inference into native SQL over relational tables.
+//
+// A model is stored as relational data — one Kernel table per convolution /
+// fully-connected layer ({KernelID, OrderID, Value}), a bias table per
+// layer, a hyper-parameter metadata table, and precomputed Kernel_Mapping
+// tables (Algorithm 2) that re-index a layer's flat output into the next
+// layer's patch layout. Inference then executes the paper's query shapes:
+//
+//	Q1: conv = FeatureMap ⋈ Kernel ON OrderID, GROUP BY KernelID, MatrixID, SUM(products)
+//	Q2: reshape = Layer_Output ⋈ Kernel_Mapping ON TupleID
+//	Q3: pooling = GROUP BY MatrixID with MAX/AVG
+//	Q4: batch norm = (Value - AVG)/(stddevSamp + ε) per channel
+//	Q5: residual = elementwise add of two block outputs + UPDATE-based ReLU
+//
+// Intermediate results flow through two relational forms:
+//
+//   - patch form ("FeatureMap"): {MatrixID, OrderID, Value} — one row per
+//     (output position, receptive-field element); element order matches
+//     tensor.Im2Col (channel-major, then row-major), so the SQL pipeline and
+//     the native nn engine are numerically identical.
+//   - flat form ("Layer_Output"): {TupleID, KernelID, Value} — one row per
+//     output element; TupleID = channel*H*W + y*W + x.
+//
+// IDs are zero-based (the paper's figures are one-based; the arithmetic is
+// otherwise identical).
+package dl2sql
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/sqldb"
+	"repro/internal/tensor"
+)
+
+// ErrUnsupported is returned for operators outside Table II's supported set
+// (self-attention, LSTM, GRU, graph convolution).
+var ErrUnsupported = errors.New("dl2sql: operator not supported by the SQL translator")
+
+// PreJoinStrategy selects the pre-join optimization of Fig. 11.
+type PreJoinStrategy int
+
+const (
+	// PreJoinNone is the default pipeline: mapping join (Q2) + kernel join
+	// (Q1) per convolution.
+	PreJoinNone PreJoinStrategy = iota
+	// PreJoinMapping merges the mapping process into the convolution
+	// statement: Q2 becomes a subquery of Q1, so the intermediate
+	// FeatureMap table is never materialized (the paper's second strategy,
+	// "avoid the join in the mapping process").
+	PreJoinMapping
+	// PreJoinInput additionally pre-multiplies the input encoding with the
+	// first layer's kernel during data generation, removing the first
+	// FeatureMap ⋈ Kernel join entirely (the paper's third strategy).
+	PreJoinInput
+)
+
+func (s PreJoinStrategy) String() string {
+	switch s {
+	case PreJoinNone:
+		return "none"
+	case PreJoinMapping:
+		return "prejoin-mapping"
+	case PreJoinInput:
+		return "prejoin-input"
+	}
+	return fmt.Sprintf("PreJoinStrategy(%d)", int(s))
+}
+
+// StepCost records the wall time of one executed pipeline step; the Fig. 9
+// breakdown aggregates these by label.
+type StepCost struct {
+	Label string // e.g. "Conv1", "Reshape1", "BN1", "Classification"
+	Rows  int
+	Time  time.Duration
+}
+
+// Translator compiles nn models into relational storage and executes their
+// inference as SQL against an embedded database.
+type Translator struct {
+	DB      *sqldb.DB
+	Prefix  string // namespace for all generated tables
+	PreJoin PreJoinStrategy
+	// Hints, when set, are passed to every generated query (the DL2SQL-OP
+	// configuration).
+	Hints *sqldb.QueryHints
+	// Steps accumulates per-step costs across Infer calls; reset with
+	// ResetSteps.
+	Steps []StepCost
+	// Trace, when true, records every generated SQL statement into TraceSQL
+	// (in execution order) so the translated pipeline can be inspected or
+	// exported — the textual form of the paper's Q1–Q5.
+	Trace    bool
+	TraceSQL []string
+
+	seq int // temp-table sequence number
+}
+
+// NewTranslator creates a translator writing tables under the given prefix.
+func NewTranslator(db *sqldb.DB, prefix string) *Translator {
+	return &Translator{DB: db, Prefix: prefix}
+}
+
+// ResetSteps clears the recorded step costs and SQL trace.
+func (t *Translator) ResetSteps() {
+	t.Steps = nil
+	t.TraceSQL = nil
+}
+
+// StepTotal sums recorded step durations.
+func (t *Translator) StepTotal() time.Duration {
+	var d time.Duration
+	for _, s := range t.Steps {
+		d += s.Time
+	}
+	return d
+}
+
+func (t *Translator) record(label string, rows int, d time.Duration) {
+	t.Steps = append(t.Steps, StepCost{Label: label, Rows: rows, Time: d})
+}
+
+// tname builds a namespaced table name.
+func (t *Translator) tname(parts ...string) string {
+	name := t.Prefix
+	for _, p := range parts {
+		name += "_" + p
+	}
+	return name
+}
+
+// nextTemp returns a fresh temp-table name.
+func (t *Translator) nextTemp(tag string) string {
+	t.seq++
+	return fmt.Sprintf("%s_tmp_%s_%d", t.Prefix, tag, t.seq)
+}
+
+// exec runs SQL with the translator's hints, timing it under the label.
+func (t *Translator) exec(label, sql string) (*sqldb.Result, error) {
+	if t.Trace {
+		t.TraceSQL = append(t.TraceSQL, sql)
+	}
+	start := time.Now()
+	res, err := t.DB.ExecHinted(sql, t.Hints)
+	if err != nil {
+		return nil, fmt.Errorf("dl2sql: step %s: %w\nSQL: %s", label, err, sql)
+	}
+	rows := 0
+	if res != nil {
+		rows = res.NumRows()
+	}
+	t.record(label, rows, time.Since(start))
+	return res, nil
+}
+
+// execCountTarget runs DDL/DML producing a table and records the created
+// table's row count.
+func (t *Translator) execToTable(label, table, sql string) error {
+	if t.Trace {
+		t.TraceSQL = append(t.TraceSQL, sql)
+	}
+	start := time.Now()
+	if _, err := t.DB.ExecHinted(sql, t.Hints); err != nil {
+		return fmt.Errorf("dl2sql: step %s: %w\nSQL: %s", label, err, sql)
+	}
+	rows := 0
+	if tb := t.DB.GetTable(table); tb != nil {
+		rows = tb.NumRows()
+	}
+	t.record(label, rows, time.Since(start))
+	return nil
+}
+
+// relForm describes the current intermediate relation during inference.
+type relForm struct {
+	table string
+	// flat=true → {TupleID, KernelID, Value}; false → patch form
+	// {MatrixID, OrderID, Value} ready for a kernel join.
+	flat    bool
+	c, h, w int // logical tensor shape of the data the relation represents
+}
+
+func (r relForm) size() int { return r.c * r.h * r.w }
+
+// dropIfExists removes a table silently.
+func (t *Translator) dropIfExists(name string) {
+	t.DB.DropTable(name)
+}
+
+// Supported reports whether the translator can compile the given layer
+// (Table II's support matrix).
+func Supported(l nn.Layer) bool {
+	switch l.Kind() {
+	case nn.KindConv2D, nn.KindDeconv2D, nn.KindBatchNorm, nn.KindInstanceNorm,
+		nn.KindReLU, nn.KindSigmoid, nn.KindMaxPool, nn.KindAvgPool,
+		nn.KindGlobalAvg, nn.KindLinear, nn.KindSoftmax, nn.KindFlatten,
+		nn.KindAttention, nn.KindResidual, nn.KindIdentity, nn.KindDense:
+		return true
+	}
+	return false
+}
+
+// tensorFromFlat reads a flat-form table back into a tensor (used by tests
+// to verify numerical equivalence and by Infer for final extraction).
+func (t *Translator) tensorFromFlat(table string, c, h, w int) (*tensor.Tensor, error) {
+	res, err := t.DB.Query(fmt.Sprintf(`SELECT TupleID, Value FROM %s ORDER BY TupleID`, table))
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(c, h, w)
+	n := res.NumRows()
+	for i := 0; i < n; i++ {
+		id, _ := res.Cols[0].Get(i).AsInt()
+		v, _ := res.Cols[1].Get(i).AsFloat()
+		if id < 0 || int(id) >= out.Len() {
+			return nil, fmt.Errorf("dl2sql: TupleID %d out of range for shape [%d %d %d]", id, c, h, w)
+		}
+		out.Data()[id] = v
+	}
+	return out, nil
+}

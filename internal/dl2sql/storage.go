@@ -1,0 +1,522 @@
+package dl2sql
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/sqldb"
+	"repro/internal/tensor"
+)
+
+// StoredModel is a model compiled into relational tables: the DL2SQL
+// equivalent of a deployed artifact. It records, per layer, the tables the
+// inference pipeline will touch.
+type StoredModel struct {
+	Model      *nn.Model
+	Prefix     string
+	layers     []storedLayer
+	tableNames []string
+}
+
+// storedLayer carries the compile-time info for one executable layer.
+type storedLayer struct {
+	layer nn.Layer
+	// inShape is the layer's input tensor shape during a forward pass.
+	inShape  []int
+	outShape []int
+	// kernelTable / biasTable for conv/linear/deconv/attention layers.
+	kernelTable string
+	biasTable   string
+	// mappingTable re-indexes the previous flat output into this layer's
+	// patch layout (conv beyond the first, pooling).
+	mappingTable string
+	// sub-blocks for residual / dense blocks.
+	main     []storedLayer
+	shortcut []storedLayer
+	// index of this conv/pool among convs for step labels (Conv1, Conv2...).
+	ordinal int
+}
+
+// StoreModel compiles a model into relational tables (kernel, bias,
+// metadata, and mapping tables). This is the offline step of DL2SQL; its
+// cost is part of the paper's "loading" bucket and its footprint is what
+// Table IV measures.
+func (t *Translator) StoreModel(m *nn.Model) (*StoredModel, error) {
+	shapes, err := m.LayerShapes()
+	if err != nil {
+		return nil, fmt.Errorf("dl2sql: model %s does not validate: %w", m.ModelName, err)
+	}
+	sm := &StoredModel{Model: m, Prefix: t.Prefix}
+	// Metadata table: one row of hyper-parameters per stored layer.
+	metaName := t.tname("meta")
+	t.dropIfExists(metaName)
+	meta, err := t.DB.CreateTable(metaName, sqldb.Schema{
+		{Name: "LayerName", Type: sqldb.TString},
+		{Name: "Kind", Type: sqldb.TString},
+		{Name: "InC", Type: sqldb.TInt},
+		{Name: "OutC", Type: sqldb.TInt},
+		{Name: "K", Type: sqldb.TInt},
+		{Name: "Stride", Type: sqldb.TInt},
+		{Name: "Pad", Type: sqldb.TInt},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sm.tableNames = append(sm.tableNames, metaName)
+
+	convOrdinal := 0
+	var compile func(layers []nn.Layer, inShape []int, tag string) ([]storedLayer, []int, error)
+	compile = func(layers []nn.Layer, inShape []int, tag string) ([]storedLayer, []int, error) {
+		var out []storedLayer
+		cur := inShape
+		for li, l := range layers {
+			if !Supported(l) {
+				return nil, nil, fmt.Errorf("%w: %s (%s)", ErrUnsupported, l.Name(), l.Kind())
+			}
+			next, err := l.OutShape(cur)
+			if err != nil {
+				return nil, nil, err
+			}
+			sl := storedLayer{layer: l, inShape: cur, outShape: next}
+			switch v := l.(type) {
+			case *nn.Conv2D:
+				convOrdinal++
+				sl.ordinal = convOrdinal
+				name := t.tname(tag, fmt.Sprintf("kernel%d", convOrdinal))
+				if err := t.storeKernel(name, v); err != nil {
+					return nil, nil, err
+				}
+				sl.kernelTable = name
+				sm.tableNames = append(sm.tableNames, name)
+				if v.Bias != nil {
+					bn := name + "_bias"
+					if err := t.storeBias(bn, v.Bias); err != nil {
+						return nil, nil, err
+					}
+					sl.biasTable = bn
+					sm.tableNames = append(sm.tableNames, bn)
+				}
+				if err := meta.AppendRow([]sqldb.Datum{
+					sqldb.Str(v.Name()), sqldb.Str(v.Kind()),
+					sqldb.Int(int64(v.InC)), sqldb.Int(int64(v.OutC)),
+					sqldb.Int(int64(v.K)), sqldb.Int(int64(v.Stride)), sqldb.Int(int64(v.Pad)),
+				}); err != nil {
+					return nil, nil, err
+				}
+				// Mapping table for every conv except the very first layer
+				// of the model (the input is encoded directly into patch
+				// form by Algorithm 1).
+				if !(tag == "m" && li == 0 && len(out) == 0 && isModelStart(cur, inShape)) {
+					mt := name + "_map"
+					if err := t.storeConvMapping(mt, cur, v.K, v.Stride, v.Pad); err != nil {
+						return nil, nil, err
+					}
+					sl.mappingTable = mt
+					sm.tableNames = append(sm.tableNames, mt)
+				}
+			case *nn.Deconv2D:
+				convOrdinal++
+				sl.ordinal = convOrdinal
+				name := t.tname(tag, fmt.Sprintf("deconv%d", convOrdinal))
+				if err := t.storeDeconvContrib(name, v, cur); err != nil {
+					return nil, nil, err
+				}
+				sl.kernelTable = name
+				sm.tableNames = append(sm.tableNames, name)
+				if v.Bias != nil {
+					bn := name + "_bias"
+					if err := t.storeBias(bn, v.Bias); err != nil {
+						return nil, nil, err
+					}
+					sl.biasTable = bn
+					sm.tableNames = append(sm.tableNames, bn)
+				}
+			case *nn.Linear:
+				convOrdinal++
+				sl.ordinal = convOrdinal
+				name := t.tname(tag, fmt.Sprintf("fc%d", convOrdinal))
+				if err := t.storeLinearKernel(name, v); err != nil {
+					return nil, nil, err
+				}
+				sl.kernelTable = name
+				sm.tableNames = append(sm.tableNames, name)
+				if v.Bias != nil {
+					bn := name + "_bias"
+					if err := t.storeBias(bn, v.Bias); err != nil {
+						return nil, nil, err
+					}
+					sl.biasTable = bn
+					sm.tableNames = append(sm.tableNames, bn)
+				}
+			case *nn.BasicAttention:
+				convOrdinal++
+				sl.ordinal = convOrdinal
+				score := t.tname(tag, fmt.Sprintf("attn%d_score", convOrdinal))
+				value := t.tname(tag, fmt.Sprintf("attn%d_value", convOrdinal))
+				ls := &nn.Linear{LayerName: v.Name() + "_score", In: v.Dim, Out: v.Dim, Weight: v.WScore}
+				lv := &nn.Linear{LayerName: v.Name() + "_value", In: v.Dim, Out: v.Dim, Weight: v.WValue}
+				if err := t.storeLinearKernel(score, ls); err != nil {
+					return nil, nil, err
+				}
+				if err := t.storeLinearKernel(value, lv); err != nil {
+					return nil, nil, err
+				}
+				sl.kernelTable = score
+				sl.biasTable = value // reused as the second weight table
+				sm.tableNames = append(sm.tableNames, score, value)
+			case *nn.BatchNorm:
+				// Identity batch-stat norms need no parameters; anything
+				// else (learned γ/β or frozen running statistics) is stored
+				// in a per-channel parameter table joined at inference.
+				if !bnIsIdentity(v) {
+					name := t.tname(tag, fmt.Sprintf("bnparams%d", len(sm.tableNames)))
+					if err := t.storeBNParams(name, v.Gamma, v.Beta, v.Mean, v.Var); err != nil {
+						return nil, nil, err
+					}
+					sl.kernelTable = name
+					sm.tableNames = append(sm.tableNames, name)
+				}
+			case *nn.InstanceNorm:
+				if !instanceNormIsIdentity(v) {
+					name := t.tname(tag, fmt.Sprintf("bnparams%d", len(sm.tableNames)))
+					if err := t.storeBNParams(name, v.Gamma, v.Beta, nil, nil); err != nil {
+						return nil, nil, err
+					}
+					sl.kernelTable = name
+					sm.tableNames = append(sm.tableNames, name)
+				}
+			case *nn.MaxPool:
+				mt := t.tname(tag, fmt.Sprintf("poolmap%d", len(sm.tableNames)))
+				if err := t.storePoolMapping(mt, cur, v.K, v.Stride); err != nil {
+					return nil, nil, err
+				}
+				sl.mappingTable = mt
+				sm.tableNames = append(sm.tableNames, mt)
+			case *nn.AvgPool:
+				mt := t.tname(tag, fmt.Sprintf("poolmap%d", len(sm.tableNames)))
+				if err := t.storePoolMapping(mt, cur, v.K, v.Stride); err != nil {
+					return nil, nil, err
+				}
+				sl.mappingTable = mt
+				sm.tableNames = append(sm.tableNames, mt)
+			case *nn.ResidualBlock:
+				mainLayers, mainOut, err := compile(v.Main, cur, tag+"rm")
+				if err != nil {
+					return nil, nil, err
+				}
+				scLayers, scOut, err := compile(v.Shortcut, cur, tag+"rs")
+				if err != nil {
+					return nil, nil, err
+				}
+				_ = mainOut
+				_ = scOut
+				sl.main = mainLayers
+				sl.shortcut = scLayers
+			case *nn.DenseBlock:
+				var stages []nn.Layer
+				for _, s := range v.Stages {
+					stages = append(stages, s)
+				}
+				// compile each stage against its growing input channel count
+				growIn := cur
+				var stageStored []storedLayer
+				for si, s := range stages {
+					one, _, err := compile([]nn.Layer{s}, growIn, fmt.Sprintf("%sd%d", tag, si))
+					if err != nil {
+						return nil, nil, err
+					}
+					stageStored = append(stageStored, one[0])
+					growIn = []int{growIn[0] + v.Growth, growIn[1], growIn[2]}
+				}
+				sl.main = stageStored
+			}
+			out = append(out, sl)
+			cur = next
+		}
+		return out, cur, nil
+	}
+
+	layers, _, err := compile(m.Layers, shapes[0], "m")
+	if err != nil {
+		return nil, err
+	}
+	sm.layers = layers
+	return sm, nil
+}
+
+// isModelStart reports whether this compile position is the true model
+// input (so Algorithm 1 can encode the input directly in patch form).
+func isModelStart(cur, inShape []int) bool {
+	if len(cur) != len(inShape) {
+		return false
+	}
+	for i := range cur {
+		if cur[i] != inShape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// storeKernel vectorizes a convolution's kernels into the Kernel table
+// {KernelID, OrderID, Value}, OrderID following the Im2Col element order.
+func (t *Translator) storeKernel(name string, c *nn.Conv2D) error {
+	t.dropIfExists(name)
+	tbl, err := t.DB.CreateTable(name, sqldb.Schema{
+		{Name: "KernelID", Type: sqldb.TInt},
+		{Name: "OrderID", Type: sqldb.TInt},
+		{Name: "Value", Type: sqldb.TFloat},
+	})
+	if err != nil {
+		return err
+	}
+	n := c.InC * c.K * c.K
+	for ch := 0; ch < c.OutC; ch++ {
+		row := c.KernelRow(ch)
+		for o := 0; o < n; o++ {
+			if err := tbl.AppendRow([]sqldb.Datum{
+				sqldb.Int(int64(ch)), sqldb.Int(int64(o)), sqldb.Float(row[o]),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// storeLinearKernel stores a fully-connected weight matrix in kernel form:
+// the paper treats FC as a conv with kernel size 1 over the flattened
+// input, so OrderID is simply the input feature index.
+func (t *Translator) storeLinearKernel(name string, l *nn.Linear) error {
+	t.dropIfExists(name)
+	tbl, err := t.DB.CreateTable(name, sqldb.Schema{
+		{Name: "KernelID", Type: sqldb.TInt},
+		{Name: "OrderID", Type: sqldb.TInt},
+		{Name: "Value", Type: sqldb.TFloat},
+	})
+	if err != nil {
+		return err
+	}
+	w := l.Weight.Data()
+	for o := 0; o < l.Out; o++ {
+		for i := 0; i < l.In; i++ {
+			if err := tbl.AppendRow([]sqldb.Datum{
+				sqldb.Int(int64(o)), sqldb.Int(int64(i)), sqldb.Float(w[o*l.In+i]),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// bnIsIdentity reports whether a batch norm has no learned parameters to
+// store (γ=1, β=0, batch statistics).
+func bnIsIdentity(bn *nn.BatchNorm) bool {
+	if !bn.UseBatchStats {
+		return false
+	}
+	for i := range bn.Gamma {
+		if bn.Gamma[i] != 1 || bn.Beta[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func instanceNormIsIdentity(in *nn.InstanceNorm) bool {
+	for i := range in.Gamma {
+		if in.Gamma[i] != 1 || in.Beta[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// storeBNParams stores per-channel normalization parameters
+// {KernelID, Gamma, Beta, Mean, Var}. Mean/Var are zero/one when the layer
+// normalizes with batch statistics.
+func (t *Translator) storeBNParams(name string, gamma, beta, mean, variance []float64) error {
+	t.dropIfExists(name)
+	tbl, err := t.DB.CreateTable(name, sqldb.Schema{
+		{Name: "KernelID", Type: sqldb.TInt},
+		{Name: "Gamma", Type: sqldb.TFloat},
+		{Name: "Beta", Type: sqldb.TFloat},
+		{Name: "Mean", Type: sqldb.TFloat},
+		{Name: "Var", Type: sqldb.TFloat},
+	})
+	if err != nil {
+		return err
+	}
+	for i := range gamma {
+		m, v := 0.0, 1.0
+		if mean != nil {
+			m = mean[i]
+		}
+		if variance != nil {
+			v = variance[i]
+		}
+		if err := tbl.AppendRow([]sqldb.Datum{
+			sqldb.Int(int64(i)), sqldb.Float(gamma[i]), sqldb.Float(beta[i]),
+			sqldb.Float(m), sqldb.Float(v),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// storeBias stores per-output-channel biases.
+func (t *Translator) storeBias(name string, bias []float64) error {
+	t.dropIfExists(name)
+	tbl, err := t.DB.CreateTable(name, sqldb.Schema{
+		{Name: "KernelID", Type: sqldb.TInt},
+		{Name: "Value", Type: sqldb.TFloat},
+	})
+	if err != nil {
+		return err
+	}
+	for i, b := range bias {
+		if err := tbl.AppendRow([]sqldb.Datum{sqldb.Int(int64(i)), sqldb.Float(b)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// storeDeconvContrib precomputes the transposed convolution's contribution
+// table {TupleID, KernelID, OutID, Weight}: input element TupleID
+// contributes Weight to output element (KernelID, OutID). Inference is then
+// one join + group-by, the natural SQL form of a scatter.
+func (t *Translator) storeDeconvContrib(name string, d *nn.Deconv2D, inShape []int) error {
+	t.dropIfExists(name)
+	tbl, err := t.DB.CreateTable(name, sqldb.Schema{
+		{Name: "TupleID", Type: sqldb.TInt},
+		{Name: "KernelID", Type: sqldb.TInt},
+		{Name: "OutID", Type: sqldb.TInt},
+		{Name: "Weight", Type: sqldb.TFloat},
+	})
+	if err != nil {
+		return err
+	}
+	h, w := inShape[1], inShape[2]
+	oh := (h-1)*d.Stride - 2*d.Pad + d.K
+	ow := (w-1)*d.Stride - 2*d.Pad + d.K
+	wd := d.Weight.Data()
+	for ic := 0; ic < d.InC; ic++ {
+		wrow := wd[ic*d.OutC*d.K*d.K : (ic+1)*d.OutC*d.K*d.K]
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				in := ic*h*w + y*w + x
+				for oc := 0; oc < d.OutC; oc++ {
+					for ky := 0; ky < d.K; ky++ {
+						oy := y*d.Stride + ky - d.Pad
+						if oy < 0 || oy >= oh {
+							continue
+						}
+						for kx := 0; kx < d.K; kx++ {
+							ox := x*d.Stride + kx - d.Pad
+							if ox < 0 || ox >= ow {
+								continue
+							}
+							wt := wrow[oc*d.K*d.K+ky*d.K+kx]
+							out := oy*ow + ox
+							if err := tbl.AppendRow([]sqldb.Datum{
+								sqldb.Int(int64(in)), sqldb.Int(int64(oc)),
+								sqldb.Int(int64(out)), sqldb.Float(wt),
+							}); err != nil {
+								return err
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// StorageBytes estimates the relational footprint of the stored model —
+// the DL2SQL column of Table IV. Each Int64/Float64 cell is 8 bytes.
+func (sm *StoredModel) StorageBytes(db *sqldb.DB) int64 {
+	var total int64
+	for _, name := range sm.tableNames {
+		t := db.GetTable(name)
+		if t == nil {
+			continue
+		}
+		rows := int64(t.NumRows())
+		var rowBytes int64
+		for _, c := range t.Schema {
+			switch c.Type {
+			case sqldb.TString:
+				rowBytes += 16 // string header estimate
+			default:
+				rowBytes += 8
+			}
+		}
+		total += rows * rowBytes
+	}
+	return total
+}
+
+// TableNames lists every relational table backing the stored model.
+func (sm *StoredModel) TableNames() []string {
+	return append([]string(nil), sm.tableNames...)
+}
+
+// EncodeInput implements Algorithm 1: it turns an input tensor into the
+// patch-form FeatureMap table for the model's first convolution (kernel k,
+// stride s, padding p). Rows are {MatrixID, OrderID, Value}; overlapping
+// receptive fields duplicate elements, exactly as the paper notes.
+func (t *Translator) EncodeInput(name string, in *tensor.Tensor, k, stride, pad int) (rows int, err error) {
+	t.dropIfExists(name)
+	tbl, err := t.DB.CreateTable(name, sqldb.Schema{
+		{Name: "MatrixID", Type: sqldb.TInt},
+		{Name: "OrderID", Type: sqldb.TInt},
+		{Name: "Value", Type: sqldb.TFloat},
+	})
+	if err != nil {
+		return 0, err
+	}
+	cols, err := tensor.Im2Col(in, k, stride, pad)
+	if err != nil {
+		return 0, err
+	}
+	nm, no := cols.Dim(0), cols.Dim(1)
+	for m := 0; m < nm; m++ {
+		for o := 0; o < no; o++ {
+			if err := tbl.AppendRow([]sqldb.Datum{
+				sqldb.Int(int64(m)), sqldb.Int(int64(o)), sqldb.Float(cols.At(m, o)),
+			}); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return nm * no, nil
+}
+
+// EncodeFlat stores a tensor in flat form {TupleID, KernelID, Value} with
+// TupleID the channel-major flat index.
+func (t *Translator) EncodeFlat(name string, in *tensor.Tensor) error {
+	t.dropIfExists(name)
+	tbl, err := t.DB.CreateTable(name, sqldb.Schema{
+		{Name: "TupleID", Type: sqldb.TInt},
+		{Name: "KernelID", Type: sqldb.TInt},
+		{Name: "Value", Type: sqldb.TFloat},
+	})
+	if err != nil {
+		return err
+	}
+	shape := in.Shape()
+	c := shape[0]
+	per := in.Len() / c
+	for i, v := range in.Data() {
+		if err := tbl.AppendRow([]sqldb.Datum{
+			sqldb.Int(int64(i)), sqldb.Int(int64(i / per)), sqldb.Float(v),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package dl2sql
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// VerifyReport summarizes a translation-correctness check.
+type VerifyReport struct {
+	Trials        int
+	MaxAbsError   float64
+	Misclassified int
+}
+
+// Verify checks that a stored model's SQL pipeline reproduces the native
+// engine on `trials` deterministic pseudo-random inputs: it compares the
+// full output tensors elementwise and the argmax predictions. Downstream
+// users should run this once after StoreModel before trusting a deployed
+// translation (it is how this repository's own equivalence tests work).
+func (t *Translator) Verify(sm *StoredModel, trials int, eps float64) (*VerifyReport, error) {
+	if trials <= 0 {
+		trials = 3
+	}
+	rep := &VerifyReport{Trials: trials}
+	shape := sm.Model.InputShape
+	for trial := 0; trial < trials; trial++ {
+		in := verifyInput(shape, int64(trial)*7919+1)
+		want, err := sm.Model.Forward(in)
+		if err != nil {
+			return nil, fmt.Errorf("dl2sql: verify trial %d native forward: %w", trial, err)
+		}
+		got, err := t.InferTensor(sm, in)
+		if err != nil {
+			return nil, fmt.Errorf("dl2sql: verify trial %d SQL forward: %w", trial, err)
+		}
+		if got.Len() != want.Len() {
+			return nil, fmt.Errorf("dl2sql: verify trial %d: output sizes differ (%v vs %v)", trial, got.Shape(), want.Shape())
+		}
+		for i := range want.Data() {
+			d := math.Abs(got.Data()[i] - want.Data()[i])
+			if d > rep.MaxAbsError {
+				rep.MaxAbsError = d
+			}
+		}
+		if got.ArgMax() != want.ArgMax() {
+			rep.Misclassified++
+		}
+	}
+	if rep.MaxAbsError > eps {
+		return rep, fmt.Errorf("dl2sql: verification failed: max abs error %g exceeds %g", rep.MaxAbsError, eps)
+	}
+	if rep.Misclassified > 0 {
+		return rep, fmt.Errorf("dl2sql: verification failed: %d/%d trials misclassified", rep.Misclassified, trials)
+	}
+	return rep, nil
+}
+
+// verifyInput builds a deterministic input tensor.
+func verifyInput(shape []int, seed int64) *tensor.Tensor {
+	out := tensor.New(shape...)
+	state := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	for i := range out.Data() {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		out.Data()[i] = float64(z>>11)/float64(1<<53)*2 - 1
+	}
+	return out
+}
+
+// MustSupport returns an error naming the first unsupported layer in a
+// model, or nil when the whole model translates (the programmatic form of
+// Table II's support matrix).
+func MustSupport(m *nn.Model) error {
+	var check func(layers []nn.Layer) error
+	check = func(layers []nn.Layer) error {
+		for _, l := range layers {
+			if !Supported(l) {
+				return fmt.Errorf("%w: %s (%s)", ErrUnsupported, l.Name(), l.Kind())
+			}
+			switch b := l.(type) {
+			case *nn.ResidualBlock:
+				if err := check(b.Main); err != nil {
+					return err
+				}
+				if err := check(b.Shortcut); err != nil {
+					return err
+				}
+			case *nn.DenseBlock:
+				for _, s := range b.Stages {
+					if err := check([]nn.Layer{s}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	return check(m.Layers)
+}

@@ -1,0 +1,130 @@
+// Package hwprofile models the two hardware settings of the paper's
+// evaluation: the ARM edge device (no accelerator) and the Alibaba Cloud
+// server (Xeon CPU + Quadro P6000 GPU). The repository always executes on
+// the host CPU; a profile rescales the measured native-inference time by
+// the target's relative throughput and adds the host↔device transfer cost
+// that makes the paper's GPU loading bars grow (Fig. 8).
+//
+// The scale factors are calibrated to the relative magnitudes visible in
+// Fig. 8, not to absolute hardware specs — the experiments compare
+// strategies under a profile, never profiles against each other in absolute
+// terms.
+package hwprofile
+
+// Profile describes one hardware setting.
+type Profile struct {
+	Name string
+	// InferenceSpeedup divides native-engine inference time (1.0 = this
+	// host ≈ the edge CPU).
+	InferenceSpeedup float64
+	// RelationalSpeedup divides relational-operator time.
+	RelationalSpeedup float64
+	// TransferSecPerMB is the host↔device copy cost per megabyte moved
+	// (model weights + input batches), charged to the loading bucket. Zero
+	// for CPU-only settings.
+	TransferSecPerMB float64
+	// TransferBaseSec is the fixed per-query device-launch overhead.
+	TransferBaseSec float64
+	// UsesGPU marks settings where inference runs on a device with its own
+	// memory.
+	UsesGPU bool
+	// DLPerCallOverheadSec is the fixed per-inference-call overhead of the
+	// DL-framework serving pathway (operator dispatch, tensor marshalling,
+	// thread-pool wakeup — substantial for LibTorch on the paper's ARM edge
+	// device, where the distilled student model is small enough that fixed
+	// overheads dominate). The in-process Go engine used here has no such
+	// overhead, so the profile re-adds it to the DB-UDF and DB-PyTorch
+	// pathways; this is the calibration that restores the paper's measured
+	// native-vs-SQL cost ratio (see DESIGN.md, substitutions).
+	DLPerCallOverheadSec float64
+	// DLModelLoadFactor multiplies the measured model-artifact decode time:
+	// LibTorch deserialization + kernel initialisation is far heavier than
+	// this repo's flat binary read.
+	DLModelLoadFactor float64
+}
+
+// The paper's hardware settings.
+var (
+	// EdgeCPU is the ARM v8 edge device: the baseline (scale 1).
+	EdgeCPU = Profile{
+		Name:                 "edge-cpu",
+		InferenceSpeedup:     1,
+		RelationalSpeedup:    1,
+		DLPerCallOverheadSec: 0.012,
+		DLModelLoadFactor:    8,
+	}
+	// ServerCPU is the Xeon server in CPU mode: faster across the board.
+	ServerCPU = Profile{
+		Name:                 "server-cpu",
+		InferenceSpeedup:     3,
+		RelationalSpeedup:    2,
+		DLPerCallOverheadSec: 0.012,
+		DLModelLoadFactor:    8,
+	}
+	// ServerGPU adds a Quadro P6000: inference accelerates dramatically but
+	// every query pays PCIe transfer for weights and batches.
+	ServerGPU = Profile{
+		Name:                 "server-gpu",
+		InferenceSpeedup:     25,
+		RelationalSpeedup:    2,
+		TransferSecPerMB:     0.012,
+		TransferBaseSec:      0.004,
+		UsesGPU:              true,
+		DLPerCallOverheadSec: 0.012,
+		DLModelLoadFactor:    8,
+	}
+)
+
+// All lists the selectable profiles.
+func All() []Profile { return []Profile{EdgeCPU, ServerCPU, ServerGPU} }
+
+// ByName resolves a profile; ok=false for unknown names.
+func ByName(name string) (Profile, bool) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// ScaleInference converts measured host inference seconds to the profile.
+func (p Profile) ScaleInference(sec float64) float64 {
+	if p.InferenceSpeedup <= 0 {
+		return sec
+	}
+	return sec / p.InferenceSpeedup
+}
+
+// ScaleRelational converts measured host relational seconds to the profile.
+func (p Profile) ScaleRelational(sec float64) float64 {
+	if p.RelationalSpeedup <= 0 {
+		return sec
+	}
+	return sec / p.RelationalSpeedup
+}
+
+// TransferCost returns the device-copy time for the given number of bytes,
+// zero on CPU-only profiles.
+func (p Profile) TransferCost(bytes int64) float64 {
+	if !p.UsesGPU {
+		return 0
+	}
+	return p.TransferBaseSec + float64(bytes)/1e6*p.TransferSecPerMB
+}
+
+// DLCallOverhead returns the framework dispatch overhead for n inference
+// calls, already adjusted by the profile's inference speedup.
+func (p Profile) DLCallOverhead(n int) float64 {
+	return p.ScaleInference(p.DLPerCallOverheadSec * float64(n))
+}
+
+// DLLoadCost converts a measured artifact-decode duration into the
+// profile's DL-framework model-load time.
+func (p Profile) DLLoadCost(decodeSec float64) float64 {
+	f := p.DLModelLoadFactor
+	if f < 1 {
+		f = 1
+	}
+	return decodeSec * f
+}

@@ -1,0 +1,88 @@
+package hwprofile
+
+import "testing"
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"edge-cpu", "server-cpu", "server-gpu"} {
+		p, ok := ByName(name)
+		if !ok || p.Name != name {
+			t.Fatalf("ByName(%s) failed", name)
+		}
+	}
+	if _, ok := ByName("tpu"); ok {
+		t.Fatal("unknown profile must not resolve")
+	}
+}
+
+func TestAllHasThreeProfiles(t *testing.T) {
+	if len(All()) != 3 {
+		t.Fatalf("profiles = %d", len(All()))
+	}
+}
+
+func TestScaleInference(t *testing.T) {
+	if EdgeCPU.ScaleInference(3) != 3 {
+		t.Fatal("edge is the 1x baseline")
+	}
+	if ServerCPU.ScaleInference(3) != 1 {
+		t.Fatalf("server-cpu 3x speedup: %v", ServerCPU.ScaleInference(3))
+	}
+	zero := Profile{}
+	if zero.ScaleInference(5) != 5 {
+		t.Fatal("zero speedup must be identity")
+	}
+}
+
+func TestScaleRelational(t *testing.T) {
+	if ServerGPU.ScaleRelational(4) != 2 {
+		t.Fatalf("server relational 2x: %v", ServerGPU.ScaleRelational(4))
+	}
+	zero := Profile{}
+	if zero.ScaleRelational(5) != 5 {
+		t.Fatal("zero speedup must be identity")
+	}
+}
+
+func TestTransferCostOnlyOnGPU(t *testing.T) {
+	if EdgeCPU.TransferCost(1<<20) != 0 {
+		t.Fatal("CPU profiles transfer nothing")
+	}
+	c := ServerGPU.TransferCost(2_000_000)
+	want := ServerGPU.TransferBaseSec + 2*ServerGPU.TransferSecPerMB
+	if c != want {
+		t.Fatalf("transfer = %v, want %v", c, want)
+	}
+}
+
+func TestDLCallOverheadScales(t *testing.T) {
+	edge := EdgeCPU.DLCallOverhead(10)
+	server := ServerCPU.DLCallOverhead(10)
+	if edge <= 0 || server <= 0 {
+		t.Fatal("overheads must be positive")
+	}
+	if server >= edge {
+		t.Fatalf("server overhead %v must be below edge %v", server, edge)
+	}
+}
+
+func TestDLLoadCost(t *testing.T) {
+	if got := EdgeCPU.DLLoadCost(0.01); got != 0.01*EdgeCPU.DLModelLoadFactor {
+		t.Fatalf("load cost = %v", got)
+	}
+	// A zero-factor profile degrades to identity, never shrinking.
+	zero := Profile{}
+	if zero.DLLoadCost(0.5) != 0.5 {
+		t.Fatal("zero factor must clamp to 1")
+	}
+}
+
+func TestGPUIsConfiguredForTheFig8Story(t *testing.T) {
+	// Fig. 8's mechanism: the GPU dramatically accelerates inference but
+	// charges transfer on loading.
+	if ServerGPU.InferenceSpeedup <= ServerCPU.InferenceSpeedup {
+		t.Fatal("GPU must accelerate inference beyond the CPU server")
+	}
+	if !ServerGPU.UsesGPU || ServerGPU.TransferSecPerMB <= 0 {
+		t.Fatal("GPU must charge transfer cost")
+	}
+}

@@ -1,0 +1,186 @@
+package iotdata
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestGenerateRatios(t *testing.T) {
+	cfg := Config{Scale: 5, KeyframeSide: 4, Seed: 1, PatternCount: 3}
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's 100:10:1:10:1 ratio.
+	checks := map[string]int{"video": 500, "fabric": 50, "client": 5, "order_tbl": 50, "device": 5}
+	for table, want := range checks {
+		got := ds.DB.GetTable(table).NumRows()
+		if got != want {
+			t.Fatalf("%s rows = %d, want %d", table, got, want)
+		}
+	}
+}
+
+func TestKeyframeRoundTrip(t *testing.T) {
+	in := tensor.New(3, 4, 4)
+	for i := range in.Data() {
+		in.Data()[i] = float64(i) * 0.5
+	}
+	b := KeyframeBytes(in)
+	out, err := KeyframeTensor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(in, out, 0) {
+		t.Fatal("keyframe round trip must be exact")
+	}
+}
+
+func TestKeyframeBadBlob(t *testing.T) {
+	if _, err := KeyframeTensor([]byte{1, 2}); err == nil {
+		t.Fatal("short blob must error")
+	}
+	if _, err := KeyframeTensor(make([]byte, 20)); err == nil {
+		t.Fatal("inconsistent dims must error")
+	}
+}
+
+func TestVideoJoinsFabric(t *testing.T) {
+	ds, err := Generate(Config{Scale: 3, KeyframeSide: 4, Seed: 2, PatternCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ds.DB.Query(`SELECT count(*) c FROM fabric F, video V WHERE F.transID = V.transID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every video row joins exactly one fabric row.
+	if res.Cols[0].Get(0).I != 300 {
+		t.Fatalf("join count = %v, want 300", res.Cols[0].Get(0))
+	}
+}
+
+func TestSelectivityControl(t *testing.T) {
+	ds, err := Generate(Config{Scale: 50, KeyframeSide: 4, Seed: 3, PatternCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range []float64{0.1, 0.5} {
+		th := HumidityThresholdFor(sel)
+		res, err := ds.DB.Query(`SELECT count(*) c FROM fabric WHERE humidity > ` +
+			strconv.FormatFloat(th, 'f', 4, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(res.Cols[0].Get(0).I) / 500.0
+		if math.Abs(got-sel) > 0.1 {
+			t.Fatalf("selectivity %v got %v", sel, got)
+		}
+	}
+}
+
+func TestHumidityThresholdBounds(t *testing.T) {
+	if HumidityThresholdFor(0) != 100 || HumidityThresholdFor(1) != 0 {
+		t.Fatal("threshold bounds wrong")
+	}
+	if HumidityThresholdFor(0.25) != 75 {
+		t.Fatalf("threshold(0.25) = %v", HumidityThresholdFor(0.25))
+	}
+}
+
+func TestFabricPredicateSelectivity(t *testing.T) {
+	ds, err := Generate(Config{Scale: 100, KeyframeSide: 4, Seed: 4, PatternCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := FabricPredicateFor(0.25)
+	res, err := ds.DB.Query(`SELECT count(*) c FROM fabric F WHERE ` + pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(res.Cols[0].Get(0).I) / 1000.0
+	if math.Abs(got-0.25) > 0.08 {
+		t.Fatalf("combined selectivity = %v, want ~0.25", got)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, err := Generate(Config{Scale: 2, KeyframeSide: 4, Seed: 9, PatternCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Scale: 2, KeyframeSide: 4, Seed: 9, PatternCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := a.DB.Query(`SELECT sum(humidity) s FROM fabric`)
+	rb, _ := b.DB.Query(`SELECT sum(humidity) s FROM fabric`)
+	if ra.Cols[0].Get(0).F != rb.Cols[0].Get(0).F {
+		t.Fatal("same seed must generate identical data")
+	}
+}
+
+// Property: every keyframe blob in a generated dataset decodes to the
+// configured shape.
+func TestKeyframeDecodableProperty(t *testing.T) {
+	ds, err := Generate(Config{Scale: 1, KeyframeSide: 4, Seed: 5, PatternCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ds.DB.Query(`SELECT keyframe FROM video`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.NumRows()
+	for i := 0; i < n; i++ {
+		kt, err := KeyframeTensor(res.Cols[0].Get(i).B)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if kt.Dim(0) != 3 || kt.Dim(1) != 4 || kt.Dim(2) != 4 {
+			t.Fatalf("row %d shape %v", i, kt.Shape())
+		}
+	}
+}
+
+// Property: KeyframeBytes/KeyframeTensor round-trips arbitrary data.
+func TestKeyframeRoundTripProperty(t *testing.T) {
+	f := func(vals []float64, c8 uint8) bool {
+		c := int(c8%3) + 1
+		side := 2
+		n := c * side * side
+		data := make([]float64, n)
+		for i := range data {
+			if i < len(vals) && !math.IsNaN(vals[i]) {
+				data[i] = vals[i]
+			}
+		}
+		in := tensor.FromSlice(data, c, side, side)
+		out, err := KeyframeTensor(KeyframeBytes(in))
+		if err != nil {
+			return false
+		}
+		return tensor.Equal(in, out, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatesWithinQ1(t *testing.T) {
+	ds, err := Generate(Config{Scale: 5, KeyframeSide: 4, Seed: 6, PatternCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ds.DB.Query(`SELECT count(*) c FROM fabric WHERE printdate < '2021-01-01' OR printdate > '2021-03-31'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cols[0].Get(0).I != 0 {
+		t.Fatalf("%v fabric rows outside Q1 2021", res.Cols[0].Get(0))
+	}
+}

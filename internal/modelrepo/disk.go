@@ -1,0 +1,105 @@
+package modelrepo
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/nn"
+)
+
+// On-disk repository layout: the paper's models are "trained offline" on
+// cloud servers and shipped to edge devices; this file gives the repository
+// a deployable form — one binary artifact per model plus a JSON manifest
+// carrying task assignments and calibration histograms.
+
+// manifestEntry is the per-model metadata persisted alongside artifacts.
+type manifestEntry struct {
+	Name      string `json:"name"`
+	Task      Task   `json:"task"`
+	File      string `json:"file"`
+	Classes   []string
+	HistCount []int `json:"histogram,omitempty"`
+}
+
+// SaveDir writes every model (and its histogram, when calibrated) into dir.
+func (r *Repository) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var manifest []manifestEntry
+	for _, name := range r.order {
+		e := r.entries[name]
+		file := sanitizeFilename(name) + ".model"
+		f, err := os.Create(filepath.Join(dir, file))
+		if err != nil {
+			return err
+		}
+		if err := nn.Encode(e.Model, f); err != nil {
+			f.Close()
+			return fmt.Errorf("modelrepo: encoding %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		me := manifestEntry{Name: name, Task: e.Task, File: file, Classes: e.Model.Classes}
+		if e.Histogram != nil {
+			me.HistCount = append([]int(nil), e.Histogram.Counts...)
+		}
+		manifest = append(manifest, me)
+	}
+	blob, err := json.MarshalIndent(manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), blob, 0o644)
+}
+
+// LoadDir reads a repository previously written by SaveDir.
+func LoadDir(dir string) (*Repository, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var manifest []manifestEntry
+	if err := json.Unmarshal(blob, &manifest); err != nil {
+		return nil, fmt.Errorf("modelrepo: parsing manifest: %w", err)
+	}
+	repo := &Repository{entries: map[string]*Entry{}}
+	for _, me := range manifest {
+		f, err := os.Open(filepath.Join(dir, me.File))
+		if err != nil {
+			return nil, err
+		}
+		model, err := nn.Decode(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("modelrepo: decoding %s: %w", me.Name, err)
+		}
+		entry := &Entry{Name: me.Name, Task: me.Task, Model: model}
+		if len(me.HistCount) > 0 {
+			h := NewClassHistogram(model.Classes)
+			for i, c := range me.HistCount {
+				if i < len(h.Counts) {
+					h.Counts[i] = c
+					h.Total += c
+				}
+			}
+			entry.Histogram = h
+		}
+		repo.add(entry)
+	}
+	return repo, nil
+}
+
+func sanitizeFilename(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, name)
+}

@@ -1,0 +1,234 @@
+package modelrepo
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestStudentModelStructure(t *testing.T) {
+	m := NewStudentModel(TaskDefectDetection, 32, 1)
+	out, err := m.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 2 {
+		t.Fatalf("student output shape %v, want [2]", out)
+	}
+	if len(m.Layers) != 12 {
+		t.Fatalf("student layers = %d, want 12 (3 blocks + gap + fc + softmax)", len(m.Layers))
+	}
+}
+
+func TestStudentModelPredicts(t *testing.T) {
+	m := NewStudentModel(TaskPatternRecog, 16, 2)
+	in := tensor.New(3, 16, 16)
+	for i := range in.Data() {
+		in.Data()[i] = float64(i%7) / 7
+	}
+	cls, err := m.PredictClass(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range ClassesFor(TaskPatternRecog) {
+		if c == cls {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("predicted class %q not in label set", cls)
+	}
+}
+
+func TestResNetDepthFamily(t *testing.T) {
+	var prev int64
+	for depth := 5; depth <= 40; depth += 5 {
+		m, err := NewResNet(depth, TaskDefectDetection, 32, 1)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		p := m.ParamCount()
+		if p <= prev {
+			t.Fatalf("params must grow with depth: depth %d has %d (prev %d)", depth, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestResNetDepthIncrement(t *testing.T) {
+	// Each +5 of depth adds a 256-ch 3x3 conv + BN:
+	// 256*256*9 + 256 (bias) + 512 (bn) = 590,592 params — a fixed increment
+	// matching the per-stage scaling in Table VI.
+	m10, _ := NewResNet(10, TaskDefectDetection, 32, 1)
+	m15, _ := NewResNet(15, TaskDefectDetection, 32, 1)
+	m20, _ := NewResNet(20, TaskDefectDetection, 32, 1)
+	d1 := m15.ParamCount() - m10.ParamCount()
+	d2 := m20.ParamCount() - m15.ParamCount()
+	if d1 != d2 {
+		t.Fatalf("depth increments differ: %d vs %d", d1, d2)
+	}
+	if d1 != 256*256*9+256+512 {
+		t.Fatalf("increment = %d, want 590592", d1)
+	}
+}
+
+func TestResNetBadDepth(t *testing.T) {
+	for _, d := range []int{0, 3, 7, 45} {
+		if _, err := NewResNet(d, TaskDefectDetection, 32, 1); err == nil {
+			t.Fatalf("depth %d should be rejected", d)
+		}
+	}
+}
+
+func TestResNetForward(t *testing.T) {
+	m, err := NewResNet(5, TaskTextileType, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(3, 16, 16).Fill(0.25)
+	idx, p, err := m.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx < 0 || idx >= 4 || p <= 0 || p > 1 {
+		t.Fatalf("predict = %d %v", idx, p)
+	}
+}
+
+func TestRepositoryHas20Models(t *testing.T) {
+	repo := NewRepository(16, 42)
+	if repo.Len() != 20 {
+		t.Fatalf("repository size = %d, want 20", repo.Len())
+	}
+	perTask := map[Task]int{}
+	for _, n := range repo.Names() {
+		perTask[repo.Get(n).Task]++
+	}
+	for task, n := range perTask {
+		if n != 5 {
+			t.Fatalf("task %s has %d models, want 5", task, n)
+		}
+	}
+}
+
+func TestRepositoryForTask(t *testing.T) {
+	repo := NewRepository(16, 42)
+	e := repo.ForTask(TaskDefectDetection)
+	if e == nil || e.Task != TaskDefectDetection {
+		t.Fatal("ForTask failed")
+	}
+	if repo.Get("nosuch") != nil {
+		t.Fatal("Get of missing model must be nil")
+	}
+}
+
+func TestCalibrateBuildsHistogram(t *testing.T) {
+	repo := NewRepository(16, 42)
+	e := repo.ForTask(TaskClothesClass)
+	if err := e.Calibrate(50, 16, 7); err != nil {
+		t.Fatal(err)
+	}
+	if e.Histogram.Total != 50 {
+		t.Fatalf("histogram total = %d", e.Histogram.Total)
+	}
+	sum := 0.0
+	for i := range e.Histogram.Classes {
+		p := e.Histogram.Pr(i)
+		if p < 0 || p > 1 {
+			t.Fatalf("Pr(%d) = %v out of range", i, p)
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("probabilities sum to %v, want 1 (Eq. 9)", sum)
+	}
+}
+
+func TestHistogramUniformFallback(t *testing.T) {
+	h := NewClassHistogram([]string{"a", "b", "c", "d"})
+	if h.Pr(0) != 0.25 {
+		t.Fatalf("uniform fallback = %v", h.Pr(0))
+	}
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(2)
+	if h.PrClass("b") != 2.0/3.0 {
+		t.Fatalf("PrClass(b) = %v", h.PrClass("b"))
+	}
+	if h.PrClass("zzz") != 0 {
+		t.Fatalf("unknown class Pr = %v", h.PrClass("zzz"))
+	}
+}
+
+func TestClassesForAllTasks(t *testing.T) {
+	if len(ClassesFor(TaskDefectDetection)) != 2 {
+		t.Fatal("defect detection is binary")
+	}
+	if len(ClassesFor(TaskPatternRecog)) != 6 {
+		t.Fatal("pattern recognition has 6 classes")
+	}
+	if len(ClassesFor(Task("unknown"))) != 2 {
+		t.Fatal("unknown task must fall back to binary")
+	}
+}
+
+func TestDeterministicRepository(t *testing.T) {
+	a := NewRepository(16, 42)
+	b := NewRepository(16, 42)
+	ea, eb := a.ForTask(TaskDefectDetection), b.ForTask(TaskDefectDetection)
+	if ea.Model.ParamCount() != eb.Model.ParamCount() {
+		t.Fatal("repositories with same seed must match")
+	}
+	in := tensor.New(3, 16, 16).Fill(0.5)
+	ia, _, _ := ea.Model.Predict(in)
+	ib, _, _ := eb.Model.Predict(in)
+	if ia != ib {
+		t.Fatal("same-seed models must predict identically")
+	}
+}
+
+func TestSaveLoadDir(t *testing.T) {
+	repo := NewRepository(8, 77)
+	e := repo.ForTask(TaskDefectDetection)
+	if err := e.Calibrate(20, 8, 5); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := repo.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != repo.Len() {
+		t.Fatalf("loaded %d models, want %d", loaded.Len(), repo.Len())
+	}
+	// Models are functionally identical.
+	in := tensor.New(3, 8, 8).Fill(0.4)
+	for _, name := range repo.Names() {
+		a, _, err := repo.Get(name).Model.Predict(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := loaded.Get(name).Model.Predict(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("model %s predicts differently after reload", name)
+		}
+	}
+	// Histogram survived.
+	le := loaded.ForTask(TaskDefectDetection)
+	if le.Histogram == nil || le.Histogram.Total != 20 {
+		t.Fatalf("histogram lost: %+v", le.Histogram)
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Fatal("missing manifest must fail")
+	}
+}

@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ResidualBlock is the ResNet "convolution block": a main path of
+// Conv+BN(+ReLU) stages plus a projection shortcut (1×1 conv + BN), summed
+// and passed through a final ReLU — exactly the structure the paper's Q4/Q5
+// SQL reproduces (feature_cbshortcut_conv_bn + feature_cb3_conv_bn, then the
+// UPDATE-based ReLU).
+type ResidualBlock struct {
+	LayerName string
+	Main      []Layer // Conv/BN/ReLU chain
+	Shortcut  []Layer // projection path; empty means identity
+}
+
+// NewResidualBlock builds a standard two-conv residual block with a
+// projection shortcut mapping inC channels to outC at the given stride.
+func NewResidualBlock(name string, inC, outC, stride int, seed int64) *ResidualBlock {
+	return &ResidualBlock{
+		LayerName: name,
+		Main: []Layer{
+			NewConv2D(name+"_conv1", inC, outC, 3, stride, 1, seed),
+			NewBatchNorm(name+"_bn1", outC),
+			&ReLU{LayerName: name + "_relu1"},
+			NewConv2D(name+"_conv2", outC, outC, 3, 1, 1, seed+1),
+			NewBatchNorm(name+"_bn2", outC),
+		},
+		Shortcut: []Layer{
+			NewConv2D(name+"_convsc", inC, outC, 1, stride, 0, seed+2),
+			NewBatchNorm(name+"_bnsc", outC),
+		},
+	}
+}
+
+// NewIdentityResidualBlock builds a residual block whose shortcut is the
+// identity (the ResNet "identity block"); channel count and spatial size are
+// preserved.
+func NewIdentityResidualBlock(name string, c int, seed int64) *ResidualBlock {
+	b := NewResidualBlock(name, c, c, 1, seed)
+	b.Shortcut = nil
+	return b
+}
+
+func (b *ResidualBlock) Name() string { return b.LayerName }
+
+func (b *ResidualBlock) Kind() string {
+	if len(b.Shortcut) == 0 {
+		return KindIdentity
+	}
+	return KindResidual
+}
+
+func (b *ResidualBlock) OutShape(in []int) ([]int, error) {
+	cur := in
+	var err error
+	for _, l := range b.Main {
+		if cur, err = l.OutShape(cur); err != nil {
+			return nil, err
+		}
+	}
+	sc := in
+	for _, l := range b.Shortcut {
+		if sc, err = l.OutShape(sc); err != nil {
+			return nil, err
+		}
+	}
+	if prod(cur) != prod(sc) || len(cur) != len(sc) {
+		return nil, fmt.Errorf("nn: residual block %s paths disagree: main %v vs shortcut %v", b.LayerName, cur, sc)
+	}
+	return cur, nil
+}
+
+func (b *ResidualBlock) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	main := in
+	var err error
+	for _, l := range b.Main {
+		if main, err = l.Forward(main); err != nil {
+			return nil, fmt.Errorf("nn: block %s main path: %w", b.LayerName, err)
+		}
+	}
+	short := in
+	for _, l := range b.Shortcut {
+		if short, err = l.Forward(short); err != nil {
+			return nil, fmt.Errorf("nn: block %s shortcut: %w", b.LayerName, err)
+		}
+	}
+	sum, err := tensor.Add(main, short)
+	if err != nil {
+		return nil, fmt.Errorf("nn: block %s residual add: %w", b.LayerName, err)
+	}
+	return (&ReLU{LayerName: b.LayerName + "_relu"}).Forward(sum)
+}
+
+func (b *ResidualBlock) ParamCount() int64 {
+	n := int64(0)
+	for _, l := range b.Main {
+		n += l.ParamCount()
+	}
+	for _, l := range b.Shortcut {
+		n += l.ParamCount()
+	}
+	return n
+}
+
+func (b *ResidualBlock) FLOPs(in []int) int64 {
+	n := int64(0)
+	cur := in
+	for _, l := range b.Main {
+		n += l.FLOPs(cur)
+		if next, err := l.OutShape(cur); err == nil {
+			cur = next
+		}
+	}
+	sc := in
+	for _, l := range b.Shortcut {
+		n += l.FLOPs(sc)
+		if next, err := l.OutShape(sc); err == nil {
+			sc = next
+		}
+	}
+	return n + int64(prod(cur))*2 // add + relu
+}
+
+// DenseBlock is a DenseNet-style block: each stage consumes the
+// concatenation of the block input and all previous stage outputs along the
+// channel axis.
+type DenseBlock struct {
+	LayerName string
+	Stages    []*Conv2D // stage i maps (inC + i*growth) → growth channels
+	Growth    int
+	InC       int
+}
+
+// NewDenseBlock builds a dense block with the given number of 3×3 stages and
+// growth rate.
+func NewDenseBlock(name string, inC, growth, stages int, seed int64) *DenseBlock {
+	b := &DenseBlock{LayerName: name, Growth: growth, InC: inC}
+	for i := 0; i < stages; i++ {
+		b.Stages = append(b.Stages,
+			NewConv2D(fmt.Sprintf("%s_conv%d", name, i+1), inC+i*growth, growth, 3, 1, 1, seed+int64(i)))
+	}
+	return b
+}
+
+func (b *DenseBlock) Name() string { return b.LayerName }
+func (b *DenseBlock) Kind() string { return KindDense }
+
+func (b *DenseBlock) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 || in[0] != b.InC {
+		return nil, shapeErr(b.LayerName, fmt.Sprintf("CHW with C=%d", b.InC), in)
+	}
+	return []int{b.InC + len(b.Stages)*b.Growth, in[1], in[2]}, nil
+}
+
+func (b *DenseBlock) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if _, err := b.OutShape(in.Shape()); err != nil {
+		return nil, err
+	}
+	h, w := in.Dim(1), in.Dim(2)
+	acc := in
+	for _, conv := range b.Stages {
+		out, err := conv.Forward(acc)
+		if err != nil {
+			return nil, fmt.Errorf("nn: dense block %s stage %s: %w", b.LayerName, conv.Name(), err)
+		}
+		acc = concatChannels(acc, out, h, w)
+	}
+	return acc, nil
+}
+
+func concatChannels(a, b *tensor.Tensor, h, w int) *tensor.Tensor {
+	ca, cb := a.Dim(0), b.Dim(0)
+	out := tensor.New(ca+cb, h, w)
+	copy(out.Data(), a.Data())
+	copy(out.Data()[ca*h*w:], b.Data())
+	return out
+}
+
+func (b *DenseBlock) ParamCount() int64 {
+	n := int64(0)
+	for _, s := range b.Stages {
+		n += s.ParamCount()
+	}
+	return n
+}
+
+func (b *DenseBlock) FLOPs(in []int) int64 {
+	n := int64(0)
+	c := b.InC
+	for _, s := range b.Stages {
+		n += s.FLOPs([]int{c, in[1], in[2]})
+		c += b.Growth
+	}
+	return n
+}

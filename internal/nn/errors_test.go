@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Error-path coverage: every layer must reject malformed inputs with a
+// descriptive error instead of panicking or silently mis-computing.
+
+func TestPoolRejectsTooSmallInput(t *testing.T) {
+	p := &MaxPool{LayerName: "p", K: 4, Stride: 4}
+	if _, err := p.Forward(tensor.New(1, 2, 2)); err == nil {
+		t.Fatal("pool larger than input must fail")
+	}
+	a := &AvgPool{LayerName: "a", K: 4, Stride: 4}
+	if _, err := a.Forward(tensor.New(1, 2, 2)); err == nil {
+		t.Fatal("avg pool larger than input must fail")
+	}
+}
+
+func TestPoolRejectsWrongRank(t *testing.T) {
+	p := &MaxPool{LayerName: "p", K: 2, Stride: 2}
+	if _, err := p.Forward(tensor.New(4, 4)); err == nil {
+		t.Fatal("rank-2 input must fail")
+	}
+	g := &GlobalAvgPool{LayerName: "g"}
+	if _, err := g.Forward(tensor.New(16)); err == nil {
+		t.Fatal("rank-1 input must fail for GAP")
+	}
+}
+
+func TestBatchNormChannelMismatch(t *testing.T) {
+	bn := NewBatchNorm("bn", 4)
+	if _, err := bn.Forward(tensor.New(2, 3, 3)); err == nil {
+		t.Fatal("channel mismatch must fail")
+	}
+	in := NewInstanceNorm("in", 4)
+	if _, err := in.Forward(tensor.New(2, 3, 3)); err == nil {
+		t.Fatal("instance norm channel mismatch must fail")
+	}
+}
+
+func TestLinearSizeMismatch(t *testing.T) {
+	l := NewLinear("fc", 8, 2, 1)
+	if _, err := l.Forward(tensor.New(7)); err == nil {
+		t.Fatal("feature-count mismatch must fail")
+	}
+}
+
+func TestAttentionSizeMismatch(t *testing.T) {
+	a := NewBasicAttention("att", 4, 1)
+	if _, err := a.Forward(tensor.New(5)); err == nil {
+		t.Fatal("attention dim mismatch must fail")
+	}
+}
+
+func TestDeconvChannelMismatch(t *testing.T) {
+	d := NewDeconv2D("d", 3, 2, 2, 2, 0, 1)
+	if _, err := d.Forward(tensor.New(1, 3, 3)); err == nil {
+		t.Fatal("deconv channel mismatch must fail")
+	}
+}
+
+func TestDenseBlockChannelMismatch(t *testing.T) {
+	b := NewDenseBlock("db", 3, 2, 2, 1)
+	if _, err := b.Forward(tensor.New(2, 4, 4)); err == nil {
+		t.Fatal("dense block channel mismatch must fail")
+	}
+}
+
+func TestResidualBlockPathMismatch(t *testing.T) {
+	// Shortcut producing a different shape than main must be rejected at
+	// OutShape time.
+	b := NewResidualBlock("rb", 2, 4, 2, 1)
+	b.Shortcut = nil // identity shortcut keeps 2ch while main makes 4ch
+	if _, err := b.OutShape([]int{2, 6, 6}); err == nil {
+		t.Fatal("mismatched residual paths must fail")
+	}
+}
+
+func TestModelErrorMentionsLayer(t *testing.T) {
+	m := NewModel("m", []int{1, 4, 4}, nil)
+	m.Add(NewConv2D("myconv", 2, 1, 3, 1, 0, 1)) // wrong channels
+	_, err := m.Forward(tensor.New(1, 4, 4))
+	if err == nil || !strings.Contains(err.Error(), "myconv") {
+		t.Fatalf("error should name the failing layer: %v", err)
+	}
+}
+
+func TestConvOutputCollapse(t *testing.T) {
+	c := NewConv2D("c", 1, 1, 5, 1, 0, 1)
+	if _, err := c.OutShape([]int{1, 3, 3}); err == nil {
+		t.Fatal("kernel larger than input must fail")
+	}
+}
+
+func TestFLOPsZeroOnBadShape(t *testing.T) {
+	c := NewConv2D("c", 1, 1, 5, 1, 0, 1)
+	if got := c.FLOPs([]int{1, 3, 3}); got != 0 {
+		t.Fatalf("FLOPs on invalid shape = %d, want 0", got)
+	}
+}
+
+func TestEmptySoftmax(t *testing.T) {
+	s := &Softmax{LayerName: "s"}
+	out, err := s.Forward(tensor.New(0))
+	if err != nil || out.Len() != 0 {
+		t.Fatalf("empty softmax: %v %v", out, err)
+	}
+}

@@ -1,0 +1,71 @@
+// Package nn is a from-scratch neural-network inference engine. It stands in
+// for the PyTorch/LibTorch runtime of the paper: the independent-processing
+// strategy calls it through a (simulated) cross-system serving boundary, the
+// loose-integration strategy calls it in-process from a database UDF, and the
+// tight-integration strategy (DL2SQL) is validated against it for numerical
+// equivalence.
+//
+// Only the inference pathway is implemented — the paper trains offline on
+// cloud servers and ships frozen models to edge devices, so edge-side code
+// never needs gradients.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Layer is a frozen neural operator.
+//
+// Forward must not retain or mutate its input. OutShape reports the output
+// shape for a given input shape without computing anything, which the cost
+// model and the DL2SQL translator both rely on.
+type Layer interface {
+	// Name returns the layer's unique name within its model.
+	Name() string
+	// Kind returns the operator kind, e.g. "conv2d", "batchnorm", "relu".
+	Kind() string
+	// Forward runs inference on a single input tensor.
+	Forward(in *tensor.Tensor) (*tensor.Tensor, error)
+	// OutShape returns the output shape for the given input shape.
+	OutShape(in []int) ([]int, error)
+	// ParamCount returns the number of learned parameters.
+	ParamCount() int64
+	// FLOPs estimates the floating-point operations needed for one forward
+	// pass on the given input shape (multiply-adds count as 2).
+	FLOPs(in []int) int64
+}
+
+// Kinds of layers understood by the serializer and the DL2SQL translator.
+const (
+	KindConv2D       = "conv2d"
+	KindDeconv2D     = "deconv2d"
+	KindBatchNorm    = "batchnorm"
+	KindInstanceNorm = "instancenorm"
+	KindReLU         = "relu"
+	KindSigmoid      = "sigmoid"
+	KindMaxPool      = "maxpool"
+	KindAvgPool      = "avgpool"
+	KindLinear       = "linear"
+	KindSoftmax      = "softmax"
+	KindFlatten      = "flatten"
+	KindAttention    = "attention"
+	KindResidual     = "residual"
+	KindIdentity     = "identityblock"
+	KindDense        = "denseblock"
+	KindGlobalAvg    = "globalavgpool"
+)
+
+func shapeErr(layer, want string, got []int) error {
+	return fmt.Errorf("nn: layer %s expects %s input, got shape %v", layer, want, got)
+}
+
+// prod returns the product of dims.
+func prod(dims []int) int {
+	p := 1
+	for _, d := range dims {
+		p *= d
+	}
+	return p
+}

@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Linear is a fully-connected layer y = Wx + b over a rank-1 input. The
+// paper treats full connection as "a specific CNN operator with kernel size
+// 1 and no striding"; the DL2SQL translator exploits exactly that
+// equivalence.
+type Linear struct {
+	LayerName string
+	In, Out   int
+	Weight    *tensor.Tensor // [Out, In]
+	Bias      []float64
+}
+
+// NewLinear builds a fully-connected layer with seeded deterministic init.
+func NewLinear(name string, in, out int, seed int64) *Linear {
+	l := &Linear{
+		LayerName: name, In: in, Out: out,
+		Weight: tensor.New(out, in),
+		Bias:   make([]float64, out),
+	}
+	scale := math.Sqrt(2.0 / float64(in))
+	rng := newSplitMix(seed)
+	for i := range l.Weight.Data() {
+		l.Weight.Data()[i] = (rng.float() - 0.5) * 2 * scale
+	}
+	for i := range l.Bias {
+		l.Bias[i] = (rng.float() - 0.5) * 0.1
+	}
+	return l
+}
+
+func (l *Linear) Name() string { return l.LayerName }
+func (l *Linear) Kind() string { return KindLinear }
+
+func (l *Linear) OutShape(in []int) ([]int, error) {
+	if prod(in) != l.In {
+		return nil, shapeErr(l.LayerName, fmt.Sprintf("%d features", l.In), in)
+	}
+	return []int{l.Out}, nil
+}
+
+func (l *Linear) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if _, err := l.OutShape(in.Shape()); err != nil {
+		return nil, err
+	}
+	y, err := tensor.MatVec(l.Weight, in.Data())
+	if err != nil {
+		return nil, err
+	}
+	for i := range y {
+		y[i] += l.Bias[i]
+	}
+	return tensor.FromSlice(y, l.Out), nil
+}
+
+func (l *Linear) ParamCount() int64 { return int64(l.Weight.Len() + len(l.Bias)) }
+
+func (l *Linear) FLOPs(in []int) int64 { return int64(l.In) * int64(l.Out) * 2 }
+
+// BasicAttention is the paper's "basic attention" variant (Table II): a
+// learned attention over the channels of a flattened feature vector,
+// derived — as the paper notes — from the full-connection implementation.
+// score = softmax(W_s · x); out_i = score_i * (W_v · x)_i.
+type BasicAttention struct {
+	LayerName string
+	Dim       int
+	WScore    *tensor.Tensor // [Dim, Dim]
+	WValue    *tensor.Tensor // [Dim, Dim]
+}
+
+// NewBasicAttention builds a basic attention layer over Dim features.
+func NewBasicAttention(name string, dim int, seed int64) *BasicAttention {
+	a := &BasicAttention{
+		LayerName: name, Dim: dim,
+		WScore: tensor.New(dim, dim),
+		WValue: tensor.New(dim, dim),
+	}
+	scale := math.Sqrt(1.0 / float64(dim))
+	rng := newSplitMix(seed)
+	for i := range a.WScore.Data() {
+		a.WScore.Data()[i] = (rng.float() - 0.5) * 2 * scale
+	}
+	for i := range a.WValue.Data() {
+		a.WValue.Data()[i] = (rng.float() - 0.5) * 2 * scale
+	}
+	return a
+}
+
+func (a *BasicAttention) Name() string { return a.LayerName }
+func (a *BasicAttention) Kind() string { return KindAttention }
+
+func (a *BasicAttention) OutShape(in []int) ([]int, error) {
+	if prod(in) != a.Dim {
+		return nil, shapeErr(a.LayerName, fmt.Sprintf("%d features", a.Dim), in)
+	}
+	return []int{a.Dim}, nil
+}
+
+func (a *BasicAttention) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if _, err := a.OutShape(in.Shape()); err != nil {
+		return nil, err
+	}
+	scores, err := tensor.MatVec(a.WScore, in.Data())
+	if err != nil {
+		return nil, err
+	}
+	sm, err := (&Softmax{LayerName: a.LayerName + "_softmax"}).Forward(tensor.FromSlice(scores, a.Dim))
+	if err != nil {
+		return nil, err
+	}
+	values, err := tensor.MatVec(a.WValue, in.Data())
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(a.Dim)
+	for i := range values {
+		out.Data()[i] = sm.Data()[i] * values[i]
+	}
+	return out, nil
+}
+
+func (a *BasicAttention) ParamCount() int64 { return int64(a.WScore.Len() + a.WValue.Len()) }
+
+func (a *BasicAttention) FLOPs(in []int) int64 {
+	return 2 * int64(a.Dim) * int64(a.Dim) * 2
+}

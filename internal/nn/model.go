@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Model is a frozen inference network: an ordered chain of layers plus the
+// class labels its softmax head predicts. Residual topology lives inside
+// block layers, so the top-level chain is sequential.
+type Model struct {
+	ModelName  string
+	InputShape []int
+	Layers     []Layer
+	Classes    []string
+}
+
+// NewModel creates an empty model for the given input shape.
+func NewModel(name string, inputShape []int, classes []string) *Model {
+	return &Model{
+		ModelName:  name,
+		InputShape: append([]int(nil), inputShape...),
+		Classes:    append([]string(nil), classes...),
+	}
+}
+
+// Add appends layers to the chain and returns the model for chaining.
+func (m *Model) Add(layers ...Layer) *Model {
+	m.Layers = append(m.Layers, layers...)
+	return m
+}
+
+// Validate checks that every layer's input shape matches its predecessor's
+// output shape, and returns the model's final output shape.
+func (m *Model) Validate() ([]int, error) {
+	cur := m.InputShape
+	for _, l := range m.Layers {
+		next, err := l.OutShape(cur)
+		if err != nil {
+			return nil, fmt.Errorf("nn: model %s: %w", m.ModelName, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Forward runs the full chain on one input tensor.
+func (m *Model) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	cur := in
+	var err error
+	for _, l := range m.Layers {
+		if cur, err = l.Forward(cur); err != nil {
+			return nil, fmt.Errorf("nn: model %s layer %s: %w", m.ModelName, l.Name(), err)
+		}
+	}
+	return cur, nil
+}
+
+// Predict runs inference and returns the argmax class index and its
+// probability. The model must end in a softmax (or any layer producing a
+// score vector).
+func (m *Model) Predict(in *tensor.Tensor) (int, float64, error) {
+	out, err := m.Forward(in)
+	if err != nil {
+		return 0, 0, err
+	}
+	idx := out.ArgMax()
+	return idx, out.Data()[idx], nil
+}
+
+// PredictClass returns the class label of the argmax prediction.
+func (m *Model) PredictClass(in *tensor.Tensor) (string, error) {
+	idx, _, err := m.Predict(in)
+	if err != nil {
+		return "", err
+	}
+	if idx < len(m.Classes) {
+		return m.Classes[idx], nil
+	}
+	return fmt.Sprintf("class_%d", idx), nil
+}
+
+// ParamCount totals learned parameters across all layers.
+func (m *Model) ParamCount() int64 {
+	n := int64(0)
+	for _, l := range m.Layers {
+		n += l.ParamCount()
+	}
+	return n
+}
+
+// FLOPs totals per-layer FLOP estimates for one forward pass.
+func (m *Model) FLOPs() int64 {
+	n := int64(0)
+	cur := m.InputShape
+	for _, l := range m.Layers {
+		n += l.FLOPs(cur)
+		if next, err := l.OutShape(cur); err == nil {
+			cur = next
+		}
+	}
+	return n
+}
+
+// LayerShapes returns, for each layer, its input shape during a forward pass
+// starting from the model's input shape.
+func (m *Model) LayerShapes() ([][]int, error) {
+	shapes := make([][]int, 0, len(m.Layers)+1)
+	cur := m.InputShape
+	shapes = append(shapes, cur)
+	for _, l := range m.Layers {
+		next, err := l.OutShape(cur)
+		if err != nil {
+			return nil, err
+		}
+		shapes = append(shapes, next)
+		cur = next
+	}
+	return shapes, nil
+}

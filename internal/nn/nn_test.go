@@ -1,0 +1,585 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestConv2DPaperExample(t *testing.T) {
+	// 5x5 input, one 3x3 kernel of all ones, stride 2, no padding:
+	// outputs are the sums of the four sub-matrices.
+	in := tensor.New(1, 5, 5)
+	for i := range in.Data() {
+		in.Data()[i] = 1
+	}
+	conv := NewConv2D("c", 1, 1, 3, 2, 0, 1)
+	conv.Weight.Fill(1)
+	conv.Bias = nil
+	out, err := conv.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(0) != 1 || out.Dim(1) != 2 || out.Dim(2) != 2 {
+		t.Fatalf("shape %v, want [1 2 2]", out.Shape())
+	}
+	for _, v := range out.Data() {
+		if v != 9 {
+			t.Fatalf("each 3x3 sum should be 9, got %v", out.Data())
+		}
+	}
+}
+
+func TestConv2DKnownValues(t *testing.T) {
+	in := tensor.FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	conv := NewConv2D("c", 1, 1, 2, 1, 0, 1)
+	copy(conv.Weight.Data(), []float64{1, 0, 0, 1}) // identity-ish: top-left + bottom-right
+	conv.Bias = []float64{10}
+	out, err := conv.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1 + 5 + 10, 2 + 6 + 10, 4 + 8 + 10, 5 + 9 + 10}
+	for i, w := range want {
+		if out.Data()[i] != w {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Data()[i], w)
+		}
+	}
+}
+
+func TestConv2DMultiChannel(t *testing.T) {
+	in := tensor.New(2, 4, 4)
+	for i := range in.Data() {
+		in.Data()[i] = float64(i)
+	}
+	conv := NewConv2D("c", 2, 3, 3, 1, 1, 7)
+	out, err := conv.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(0) != 3 || out.Dim(1) != 4 || out.Dim(2) != 4 {
+		t.Fatalf("shape %v", out.Shape())
+	}
+}
+
+func TestConv2DWrongChannels(t *testing.T) {
+	conv := NewConv2D("c", 3, 1, 3, 1, 0, 1)
+	if _, err := conv.Forward(tensor.New(1, 5, 5)); err == nil {
+		t.Fatal("expected channel mismatch error")
+	}
+}
+
+func TestConvParamAndFLOPs(t *testing.T) {
+	conv := NewConv2D("c", 3, 16, 3, 1, 1, 1)
+	if got := conv.ParamCount(); got != 3*16*9+16 {
+		t.Fatalf("ParamCount = %d", got)
+	}
+	fl := conv.FLOPs([]int{3, 8, 8})
+	if fl != int64(8*8*16)*int64(3*9)*2 {
+		t.Fatalf("FLOPs = %d", fl)
+	}
+}
+
+func TestDeconvInvertsDownsampleShape(t *testing.T) {
+	d := NewDeconv2D("d", 4, 2, 2, 2, 0, 3)
+	out, err := d.Forward(tensor.New(4, 5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(0) != 2 || out.Dim(1) != 10 || out.Dim(2) != 10 {
+		t.Fatalf("shape %v, want [2 10 10]", out.Shape())
+	}
+}
+
+func TestDeconvKnownValue(t *testing.T) {
+	// Single input pixel scattered through a 2x2 kernel.
+	d := &Deconv2D{LayerName: "d", InC: 1, OutC: 1, K: 2, Stride: 1, Pad: 0,
+		Weight: tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 4)}
+	in := tensor.FromSlice([]float64{5}, 1, 1, 1)
+	out, err := d.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 10, 15, 20}
+	for i, w := range want {
+		if out.Data()[i] != w {
+			t.Fatalf("out = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestBatchNormBatchStats(t *testing.T) {
+	bn := NewBatchNorm("bn", 1)
+	in := tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 2, 2)
+	out, err := bn.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mean 2.5, stddevSamp = sqrt(5/3); paper formula: (x-mean)/(std+eps)
+	std := math.Sqrt(5.0 / 3.0)
+	for i, x := range []float64{1, 2, 3, 4} {
+		want := (x - 2.5) / (std + BNEpsilon)
+		if math.Abs(out.Data()[i]-want) > 1e-12 {
+			t.Fatalf("bn[%d] = %v, want %v", i, out.Data()[i], want)
+		}
+	}
+}
+
+func TestBatchNormRunningStats(t *testing.T) {
+	bn := NewBatchNorm("bn", 1)
+	bn.UseBatchStats = false
+	bn.Mean[0] = 1
+	bn.Var[0] = 4
+	in := tensor.FromSlice([]float64{5}, 1, 1, 1)
+	out, err := bn.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (5.0 - 1.0) / math.Sqrt(4+BNEpsilon)
+	if math.Abs(out.Data()[0]-want) > 1e-12 {
+		t.Fatalf("bn = %v, want %v", out.Data()[0], want)
+	}
+}
+
+func TestBatchNormPerChannel(t *testing.T) {
+	bn := NewBatchNorm("bn", 2)
+	in := tensor.FromSlice([]float64{1, 1, 1, 1, 10, 20, 30, 40}, 2, 2, 2)
+	out, err := bn.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channel 0 is constant → normalized to 0 (std=0, denominator=eps).
+	for i := 0; i < 4; i++ {
+		if out.Data()[i] != 0 {
+			t.Fatalf("constant channel should normalize to 0, got %v", out.Data()[:4])
+		}
+	}
+	// Channel 1 mean must be ~0 after normalization.
+	s := out.Data()[4] + out.Data()[5] + out.Data()[6] + out.Data()[7]
+	if math.Abs(s) > 1e-9 {
+		t.Fatalf("normalized channel mean should be 0, sum = %v", s)
+	}
+}
+
+func TestInstanceNormMatchesBatchStatBN(t *testing.T) {
+	in := tensor.FromSlice([]float64{3, 1, 4, 1, 5, 9, 2, 6}, 2, 2, 2)
+	a, err := NewInstanceNorm("in", 2).Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBatchNorm("bn", 2).Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(a, b, 1e-12) {
+		t.Fatal("instance norm must equal batch-stat batch norm on one sample")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	out, err := (&ReLU{LayerName: "r"}).Forward(tensor.FromSlice([]float64{-1, 0, 2}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data()[0] != 0 || out.Data()[1] != 0 || out.Data()[2] != 2 {
+		t.Fatalf("relu = %v", out.Data())
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	out, err := (&Sigmoid{LayerName: "s"}).Forward(tensor.FromSlice([]float64{0}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Data()[0]-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0) = %v", out.Data()[0])
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	out, err := (&Softmax{LayerName: "s"}).Forward(tensor.FromSlice([]float64{1, 2, 3}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 0.0
+	for _, v := range out.Data() {
+		s += v
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("softmax sum = %v", s)
+	}
+	if !(out.Data()[2] > out.Data()[1] && out.Data()[1] > out.Data()[0]) {
+		t.Fatal("softmax must be monotone in logits")
+	}
+}
+
+func TestSoftmaxLargeLogitsStable(t *testing.T) {
+	out, err := (&Softmax{LayerName: "s"}).Forward(tensor.FromSlice([]float64{1000, 1001}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax unstable: %v", out.Data())
+		}
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	in := tensor.FromSlice([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	out, err := (&MaxPool{LayerName: "p", K: 2, Stride: 2}).Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{6, 8, 14, 16}
+	for i, w := range want {
+		if out.Data()[i] != w {
+			t.Fatalf("maxpool = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestAvgPool(t *testing.T) {
+	in := tensor.FromSlice([]float64{1, 3, 5, 7}, 1, 2, 2)
+	out, err := (&AvgPool{LayerName: "p", K: 2, Stride: 2}).Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data()[0] != 4 {
+		t.Fatalf("avgpool = %v, want 4", out.Data()[0])
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	in := tensor.FromSlice([]float64{1, 2, 3, 4, 10, 20, 30, 40}, 2, 2, 2)
+	out, err := (&GlobalAvgPool{LayerName: "g"}).Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(0) != 2 || out.Data()[0] != 2.5 || out.Data()[1] != 25 {
+		t.Fatalf("gap = %v", out.Data())
+	}
+}
+
+func TestLinear(t *testing.T) {
+	l := &Linear{LayerName: "fc", In: 2, Out: 2,
+		Weight: tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2),
+		Bias:   []float64{0.5, -0.5}}
+	out, err := l.Forward(tensor.FromSlice([]float64{1, 1}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data()[0] != 3.5 || out.Data()[1] != 6.5 {
+		t.Fatalf("linear = %v", out.Data())
+	}
+}
+
+func TestLinearAcceptsAnyShapeWithRightSize(t *testing.T) {
+	l := NewLinear("fc", 8, 3, 1)
+	if _, err := l.Forward(tensor.New(2, 2, 2)); err != nil {
+		t.Fatalf("linear should flatten-compatible input: %v", err)
+	}
+	if _, err := l.Forward(tensor.New(9)); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+func TestBasicAttention(t *testing.T) {
+	a := NewBasicAttention("att", 4, 11)
+	out, err := a.Forward(tensor.FromSlice([]float64{1, 2, 3, 4}, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(0) != 4 {
+		t.Fatalf("attention out shape %v", out.Shape())
+	}
+	if a.ParamCount() != 32 {
+		t.Fatalf("attention params = %d", a.ParamCount())
+	}
+}
+
+func TestResidualBlockShapes(t *testing.T) {
+	b := NewResidualBlock("rb", 4, 8, 2, 5)
+	out, err := b.Forward(tensor.New(4, 8, 8).Fill(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(0) != 8 || out.Dim(1) != 4 || out.Dim(2) != 4 {
+		t.Fatalf("residual shape %v", out.Shape())
+	}
+	// Final ReLU: no negative values.
+	for _, v := range out.Data() {
+		if v < 0 {
+			t.Fatal("residual block output must be non-negative after ReLU")
+		}
+	}
+}
+
+func TestIdentityResidualBlock(t *testing.T) {
+	b := NewIdentityResidualBlock("ib", 4, 5)
+	if b.Kind() != KindIdentity {
+		t.Fatalf("kind = %s", b.Kind())
+	}
+	out, err := b.Forward(tensor.New(4, 6, 6).Fill(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(0) != 4 || out.Dim(1) != 6 {
+		t.Fatalf("identity block shape %v", out.Shape())
+	}
+}
+
+func TestDenseBlockConcat(t *testing.T) {
+	b := NewDenseBlock("db", 3, 4, 2, 9)
+	out, err := b.Forward(tensor.New(3, 5, 5).Fill(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(0) != 3+2*4 {
+		t.Fatalf("dense block channels = %d, want 11", out.Dim(0))
+	}
+	// The first 3 channels must be the untouched input.
+	for i := 0; i < 3*25; i++ {
+		if out.Data()[i] != 1 {
+			t.Fatal("dense block must preserve input channels")
+		}
+	}
+}
+
+func TestModelValidateAndForward(t *testing.T) {
+	m := NewModel("tiny", []int{1, 6, 6}, []string{"a", "b"})
+	m.Add(
+		NewConv2D("c1", 1, 2, 3, 1, 0, 1),
+		NewBatchNorm("bn1", 2),
+		&ReLU{LayerName: "r1"},
+		&MaxPool{LayerName: "p1", K: 2, Stride: 2},
+		&Flatten{LayerName: "f"},
+		NewLinear("fc", 2*2*2, 2, 2),
+		&Softmax{LayerName: "sm"},
+	)
+	shape, err := m.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shape) != 1 || shape[0] != 2 {
+		t.Fatalf("output shape %v", shape)
+	}
+	idx, p, err := m.Predict(tensor.New(1, 6, 6).Fill(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx < 0 || idx > 1 || p <= 0 || p > 1 {
+		t.Fatalf("predict = %d %v", idx, p)
+	}
+	cls, err := m.PredictClass(tensor.New(1, 6, 6).Fill(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls != "a" && cls != "b" {
+		t.Fatalf("class = %q", cls)
+	}
+}
+
+func TestModelValidateCatchesMismatch(t *testing.T) {
+	m := NewModel("bad", []int{1, 6, 6}, nil)
+	m.Add(NewConv2D("c1", 3, 2, 3, 1, 0, 1)) // expects 3 channels, gets 1
+	if _, err := m.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestModelLayerShapes(t *testing.T) {
+	m := NewModel("m", []int{1, 5, 5}, nil)
+	m.Add(NewConv2D("c1", 1, 2, 3, 2, 0, 1))
+	shapes, err := m.LayerShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shapes) != 2 || shapes[1][0] != 2 || shapes[1][1] != 2 {
+		t.Fatalf("shapes = %v", shapes)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	m := NewModel("roundtrip", []int{3, 8, 8}, []string{"x", "y", "z"})
+	m.Add(
+		NewConv2D("c1", 3, 4, 3, 1, 1, 1),
+		NewBatchNorm("bn1", 4),
+		&ReLU{LayerName: "r1"},
+		&MaxPool{LayerName: "p1", K: 2, Stride: 2},
+		NewResidualBlock("rb1", 4, 8, 2, 2),
+		NewDenseBlock("db1", 8, 2, 2, 3),
+		&GlobalAvgPool{LayerName: "gap"},
+		NewLinear("fc", 12, 3, 4),
+		NewBasicAttention("att", 3, 5),
+		&Softmax{LayerName: "sm"},
+	)
+	if _, err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := EncodeBytes(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := DecodeBytes(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.ModelName != "roundtrip" || len(m2.Classes) != 3 || len(m2.Layers) != len(m.Layers) {
+		t.Fatalf("decoded model mismatch: %s %v %d", m2.ModelName, m2.Classes, len(m2.Layers))
+	}
+	if m2.ParamCount() != m.ParamCount() {
+		t.Fatalf("param count changed: %d vs %d", m2.ParamCount(), m.ParamCount())
+	}
+	in := tensor.New(3, 8, 8)
+	for i := range in.Data() {
+		in.Data()[i] = float64(i%13) / 13
+	}
+	a, err := m.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m2.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(a, b, 0) {
+		t.Fatal("decoded model must be bit-identical in inference")
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	if _, err := DecodeBytes([]byte("NOTAMODEL___")); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	m := NewModel("t", []int{1, 4, 4}, nil)
+	m.Add(NewConv2D("c", 1, 1, 3, 1, 0, 1))
+	blob, err := EncodeBytes(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBytes(blob[:len(blob)/2]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a := NewConv2D("c", 2, 2, 3, 1, 0, 42)
+	b := NewConv2D("c", 2, 2, 3, 1, 0, 42)
+	if !tensor.Equal(a.Weight, b.Weight, 0) {
+		t.Fatal("same seed must give same weights")
+	}
+	c := NewConv2D("c", 2, 2, 3, 1, 0, 43)
+	if tensor.Equal(a.Weight, c.Weight, 0) {
+		t.Fatal("different seed must give different weights")
+	}
+}
+
+// Property: conv with a delta kernel (1 at a fixed position, 0 elsewhere)
+// is a shifted copy — here we use position 0 of a k=1 kernel so output
+// equals input exactly.
+func TestConv1x1IdentityProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		side := int(seed%4) + 2
+		in := tensor.New(1, side, side)
+		rng := newSplitMix(int64(seed) + 1)
+		for i := range in.Data() {
+			in.Data()[i] = rng.float()
+		}
+		conv := &Conv2D{LayerName: "id", InC: 1, OutC: 1, K: 1, Stride: 1, Pad: 0,
+			Weight: tensor.FromSlice([]float64{1}, 1, 1)}
+		out, err := conv.Forward(in)
+		if err != nil {
+			return false
+		}
+		return tensor.Equal(out, in, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ReLU is idempotent.
+func TestReLUIdempotentProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for i, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				xs[i] = 0
+			}
+		}
+		in := tensor.FromSlice(xs, len(xs))
+		r := &ReLU{LayerName: "r"}
+		once, err := r.Forward(in)
+		if err != nil {
+			return false
+		}
+		twice, err := r.Forward(once)
+		if err != nil {
+			return false
+		}
+		return tensor.Equal(once, twice, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FC as 1x1-conv equivalence, the identity the paper exploits —
+// a Linear over C features equals a 1x1 Conv2D over a Cx1x1 tensor with the
+// same weights.
+func TestLinearConvEquivalenceProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		inC := int(seed%4) + 1
+		outC := int(seed/4%4) + 1
+		lin := NewLinear("fc", inC, outC, int64(seed)+1)
+		conv := &Conv2D{LayerName: "c", InC: inC, OutC: outC, K: 1, Stride: 1, Pad: 0,
+			Weight: lin.Weight.Clone().Reshape(outC, inC), Bias: lin.Bias}
+		x := make([]float64, inC)
+		rng := newSplitMix(int64(seed) + 99)
+		for i := range x {
+			x[i] = rng.float()*2 - 1
+		}
+		a, err := lin.Forward(tensor.FromSlice(x, inC))
+		if err != nil {
+			return false
+		}
+		xs := make([]float64, inC)
+		copy(xs, x)
+		b, err := conv.Forward(tensor.FromSlice(xs, inC, 1, 1))
+		if err != nil {
+			return false
+		}
+		return tensor.Equal(a, b.Reshape(outC), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelFLOPsPositive(t *testing.T) {
+	m := NewModel("m", []int{1, 8, 8}, nil)
+	m.Add(NewConv2D("c1", 1, 4, 3, 1, 1, 1), &ReLU{LayerName: "r"})
+	if m.FLOPs() <= 0 {
+		t.Fatal("FLOPs must be positive")
+	}
+	if m.ParamCount() != int64(4*9+4) {
+		t.Fatalf("ParamCount = %d", m.ParamCount())
+	}
+}

@@ -1,0 +1,148 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool is a k×k max pooling with stride s over CHW tensors. DL2SQL
+// rewrites it as Q3: GROUP BY MatrixID with a MAX aggregate over the pooling
+// windows enumerated by the same mapping machinery as convolution.
+type MaxPool struct {
+	LayerName string
+	K, Stride int
+}
+
+func (p *MaxPool) Name() string { return p.LayerName }
+func (p *MaxPool) Kind() string { return KindMaxPool }
+
+func (p *MaxPool) OutShape(in []int) ([]int, error) {
+	return poolOutShape(p.LayerName, in, p.K, p.Stride)
+}
+
+func (p *MaxPool) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	return poolForward(in, p.K, p.Stride, p.LayerName, func(window []float64) float64 {
+		m := math.Inf(-1)
+		for _, v := range window {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	})
+}
+
+func (p *MaxPool) ParamCount() int64 { return 0 }
+
+func (p *MaxPool) FLOPs(in []int) int64 {
+	out, err := p.OutShape(in)
+	if err != nil {
+		return 0
+	}
+	return int64(prod(out)) * int64(p.K*p.K)
+}
+
+// AvgPool is k×k average pooling with stride s; the SQL rewrite swaps Q3's
+// MAX aggregate for AVG.
+type AvgPool struct {
+	LayerName string
+	K, Stride int
+}
+
+func (p *AvgPool) Name() string { return p.LayerName }
+func (p *AvgPool) Kind() string { return KindAvgPool }
+
+func (p *AvgPool) OutShape(in []int) ([]int, error) {
+	return poolOutShape(p.LayerName, in, p.K, p.Stride)
+}
+
+func (p *AvgPool) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	return poolForward(in, p.K, p.Stride, p.LayerName, func(window []float64) float64 {
+		s := 0.0
+		for _, v := range window {
+			s += v
+		}
+		return s / float64(len(window))
+	})
+}
+
+func (p *AvgPool) ParamCount() int64 { return 0 }
+
+func (p *AvgPool) FLOPs(in []int) int64 {
+	out, err := p.OutShape(in)
+	if err != nil {
+		return 0
+	}
+	return int64(prod(out)) * int64(p.K*p.K)
+}
+
+// GlobalAvgPool collapses each channel of a CHW tensor to its mean,
+// producing a length-C vector; ResNet variants use it before the classifier.
+type GlobalAvgPool struct{ LayerName string }
+
+func (p *GlobalAvgPool) Name() string { return p.LayerName }
+func (p *GlobalAvgPool) Kind() string { return KindGlobalAvg }
+
+func (p *GlobalAvgPool) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, shapeErr(p.LayerName, "CHW", in)
+	}
+	return []int{in[0]}, nil
+}
+
+func (p *GlobalAvgPool) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if _, err := p.OutShape(in.Shape()); err != nil {
+		return nil, err
+	}
+	c, n := in.Dim(0), in.Dim(1)*in.Dim(2)
+	out := tensor.New(c)
+	for ch := 0; ch < c; ch++ {
+		s := 0.0
+		for _, v := range in.Data()[ch*n : (ch+1)*n] {
+			s += v
+		}
+		out.Data()[ch] = s / float64(n)
+	}
+	return out, nil
+}
+
+func (p *GlobalAvgPool) ParamCount() int64    { return 0 }
+func (p *GlobalAvgPool) FLOPs(in []int) int64 { return int64(prod(in)) }
+
+func poolOutShape(name string, in []int, k, stride int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, shapeErr(name, "CHW", in)
+	}
+	oh := tensor.ConvOutDim(in[1], k, stride, 0)
+	ow := tensor.ConvOutDim(in[2], k, stride, 0)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: pool %s output collapses on input %v", name, in)
+	}
+	return []int{in[0], oh, ow}, nil
+}
+
+func poolForward(in *tensor.Tensor, k, stride int, name string, agg func([]float64) float64) (*tensor.Tensor, error) {
+	shape, err := poolOutShape(name, in.Shape(), k, stride)
+	if err != nil {
+		return nil, err
+	}
+	c, oh, ow := shape[0], shape[1], shape[2]
+	out := tensor.New(c, oh, ow)
+	window := make([]float64, 0, k*k)
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				window = window[:0]
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						window = append(window, in.At(ch, oy*stride+ky, ox*stride+kx))
+					}
+				}
+				out.Set(agg(window), ch, oy, ox)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,390 @@
+package nn
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Binary model format — the repo's stand-in for a TorchScript artifact. The
+// loose-integration strategy "compiles" a model by serializing it with
+// Encode and links the resulting bytes into the database as a UDF; the
+// independent strategy ships the same artifact to the serving component.
+//
+// Layout: magic, format version, model name, input shape, class labels,
+// then a tagged record per layer. All integers are varint-free fixed-width
+// little-endian for a predictable artifact size (Table IV measures it).
+
+const modelMagic = "DL2SQLM1"
+
+type modelWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (mw *modelWriter) u32(v uint32) {
+	if mw.err != nil {
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, mw.err = mw.w.Write(b[:])
+}
+
+func (mw *modelWriter) u64(v uint64) {
+	if mw.err != nil {
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, mw.err = mw.w.Write(b[:])
+}
+
+func (mw *modelWriter) f64(v float64) { mw.u64(math.Float64bits(v)) }
+func (mw *modelWriter) f64s(v []float64) {
+	mw.u32(uint32(len(v)))
+	for _, x := range v {
+		mw.f64(x)
+	}
+}
+
+func (mw *modelWriter) str(s string) {
+	mw.u32(uint32(len(s)))
+	if mw.err != nil {
+		return
+	}
+	_, mw.err = mw.w.WriteString(s)
+}
+
+func (mw *modelWriter) ints(v []int) {
+	mw.u32(uint32(len(v)))
+	for _, x := range v {
+		mw.u64(uint64(x))
+	}
+}
+
+type modelReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (mr *modelReader) u32() uint32 {
+	if mr.err != nil {
+		return 0
+	}
+	var b [4]byte
+	_, mr.err = io.ReadFull(mr.r, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (mr *modelReader) u64() uint64 {
+	if mr.err != nil {
+		return 0
+	}
+	var b [8]byte
+	_, mr.err = io.ReadFull(mr.r, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (mr *modelReader) f64() float64 { return math.Float64frombits(mr.u64()) }
+
+func (mr *modelReader) f64s() []float64 {
+	n := mr.u32()
+	if mr.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mr.f64()
+	}
+	return out
+}
+
+func (mr *modelReader) str() string {
+	n := mr.u32()
+	if mr.err != nil {
+		return ""
+	}
+	b := make([]byte, n)
+	_, mr.err = io.ReadFull(mr.r, b)
+	return string(b)
+}
+
+func (mr *modelReader) ints() []int {
+	n := mr.u32()
+	if mr.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(mr.u64())
+	}
+	return out
+}
+
+// Encode serializes the model to w.
+func Encode(m *Model, w io.Writer) error {
+	mw := &modelWriter{w: bufio.NewWriter(w)}
+	if _, err := mw.w.WriteString(modelMagic); err != nil {
+		return err
+	}
+	mw.str(m.ModelName)
+	mw.ints(m.InputShape)
+	mw.u32(uint32(len(m.Classes)))
+	for _, c := range m.Classes {
+		mw.str(c)
+	}
+	mw.u32(uint32(len(m.Layers)))
+	for _, l := range m.Layers {
+		encodeLayer(mw, l)
+	}
+	if mw.err != nil {
+		return mw.err
+	}
+	return mw.w.Flush()
+}
+
+// EncodeBytes serializes the model to a byte slice — the "compiled binary
+// artifact" the DB-UDF strategy links into the database kernel.
+func EncodeBytes(m *Model) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(m, &buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeLayer(mw *modelWriter, l Layer) {
+	mw.str(l.Kind())
+	mw.str(l.Name())
+	switch t := l.(type) {
+	case *Conv2D:
+		mw.ints([]int{t.InC, t.OutC, t.K, t.Stride, t.Pad})
+		mw.f64s(t.Weight.Data())
+		mw.f64s(t.Bias)
+	case *Deconv2D:
+		mw.ints([]int{t.InC, t.OutC, t.K, t.Stride, t.Pad})
+		mw.f64s(t.Weight.Data())
+		mw.f64s(t.Bias)
+	case *BatchNorm:
+		mw.u32(uint32(t.C))
+		if t.UseBatchStats {
+			mw.u32(1)
+		} else {
+			mw.u32(0)
+		}
+		mw.f64s(t.Gamma)
+		mw.f64s(t.Beta)
+		mw.f64s(t.Mean)
+		mw.f64s(t.Var)
+	case *InstanceNorm:
+		mw.u32(uint32(t.C))
+		mw.f64s(t.Gamma)
+		mw.f64s(t.Beta)
+	case *ReLU, *Sigmoid, *Softmax, *Flatten, *GlobalAvgPool:
+		// kind + name suffice
+	case *MaxPool:
+		mw.ints([]int{t.K, t.Stride})
+	case *AvgPool:
+		mw.ints([]int{t.K, t.Stride})
+	case *Linear:
+		mw.ints([]int{t.In, t.Out})
+		mw.f64s(t.Weight.Data())
+		mw.f64s(t.Bias)
+	case *BasicAttention:
+		mw.u32(uint32(t.Dim))
+		mw.f64s(t.WScore.Data())
+		mw.f64s(t.WValue.Data())
+	case *ResidualBlock:
+		mw.u32(uint32(len(t.Main)))
+		for _, sub := range t.Main {
+			encodeLayer(mw, sub)
+		}
+		mw.u32(uint32(len(t.Shortcut)))
+		for _, sub := range t.Shortcut {
+			encodeLayer(mw, sub)
+		}
+	case *DenseBlock:
+		mw.ints([]int{t.InC, t.Growth})
+		mw.u32(uint32(len(t.Stages)))
+		for _, sub := range t.Stages {
+			encodeLayer(mw, sub)
+		}
+	default:
+		if mw.err == nil {
+			mw.err = fmt.Errorf("nn: cannot encode layer kind %q", l.Kind())
+		}
+	}
+}
+
+// Decode deserializes a model previously written by Encode.
+func Decode(r io.Reader) (*Model, error) {
+	mr := &modelReader{r: bufio.NewReader(r)}
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(mr.r, magic); err != nil {
+		return nil, fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if string(magic) != modelMagic {
+		return nil, fmt.Errorf("nn: bad magic %q", magic)
+	}
+	m := &Model{ModelName: mr.str(), InputShape: mr.ints()}
+	nc := mr.u32()
+	for i := uint32(0); i < nc && mr.err == nil; i++ {
+		m.Classes = append(m.Classes, mr.str())
+	}
+	nl := mr.u32()
+	for i := uint32(0); i < nl && mr.err == nil; i++ {
+		l, err := decodeLayer(mr)
+		if err != nil {
+			return nil, err
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	if mr.err != nil {
+		return nil, mr.err
+	}
+	return m, nil
+}
+
+// DecodeBytes deserializes a model from a compiled artifact.
+func DecodeBytes(b []byte) (*Model, error) {
+	return Decode(bytes.NewReader(b))
+}
+
+func decodeLayer(mr *modelReader) (Layer, error) {
+	kind := mr.str()
+	name := mr.str()
+	if mr.err != nil {
+		return nil, mr.err
+	}
+	switch kind {
+	case KindConv2D:
+		dims := mr.ints()
+		w := mr.f64s()
+		b := mr.f64s()
+		if mr.err != nil {
+			return nil, mr.err
+		}
+		if len(dims) != 5 {
+			return nil, fmt.Errorf("nn: conv %s header corrupt", name)
+		}
+		c := &Conv2D{LayerName: name, InC: dims[0], OutC: dims[1], K: dims[2], Stride: dims[3], Pad: dims[4], Bias: b}
+		c.Weight = tensor.FromSlice(w, c.OutC, c.InC*c.K*c.K)
+		return c, nil
+	case KindDeconv2D:
+		dims := mr.ints()
+		w := mr.f64s()
+		b := mr.f64s()
+		if mr.err != nil {
+			return nil, mr.err
+		}
+		if len(dims) != 5 {
+			return nil, fmt.Errorf("nn: deconv %s header corrupt", name)
+		}
+		d := &Deconv2D{LayerName: name, InC: dims[0], OutC: dims[1], K: dims[2], Stride: dims[3], Pad: dims[4], Bias: b}
+		d.Weight = tensor.FromSlice(w, d.InC, d.OutC*d.K*d.K)
+		return d, nil
+	case KindBatchNorm:
+		c := int(mr.u32())
+		batchStats := mr.u32() == 1
+		return &BatchNorm{
+			LayerName: name, C: c, UseBatchStats: batchStats,
+			Gamma: mr.f64s(), Beta: mr.f64s(), Mean: mr.f64s(), Var: mr.f64s(),
+		}, mr.err
+	case KindInstanceNorm:
+		c := int(mr.u32())
+		return &InstanceNorm{LayerName: name, C: c, Gamma: mr.f64s(), Beta: mr.f64s()}, mr.err
+	case KindReLU:
+		return &ReLU{LayerName: name}, nil
+	case KindSigmoid:
+		return &Sigmoid{LayerName: name}, nil
+	case KindSoftmax:
+		return &Softmax{LayerName: name}, nil
+	case KindFlatten:
+		return &Flatten{LayerName: name}, nil
+	case KindGlobalAvg:
+		return &GlobalAvgPool{LayerName: name}, nil
+	case KindMaxPool:
+		dims := mr.ints()
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("nn: maxpool %s header corrupt", name)
+		}
+		return &MaxPool{LayerName: name, K: dims[0], Stride: dims[1]}, nil
+	case KindAvgPool:
+		dims := mr.ints()
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("nn: avgpool %s header corrupt", name)
+		}
+		return &AvgPool{LayerName: name, K: dims[0], Stride: dims[1]}, nil
+	case KindLinear:
+		dims := mr.ints()
+		w := mr.f64s()
+		b := mr.f64s()
+		if mr.err != nil {
+			return nil, mr.err
+		}
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("nn: linear %s header corrupt", name)
+		}
+		l := &Linear{LayerName: name, In: dims[0], Out: dims[1], Bias: b}
+		l.Weight = tensor.FromSlice(w, l.Out, l.In)
+		return l, nil
+	case KindAttention:
+		dim := int(mr.u32())
+		ws := mr.f64s()
+		wv := mr.f64s()
+		if mr.err != nil {
+			return nil, mr.err
+		}
+		return &BasicAttention{
+			LayerName: name, Dim: dim,
+			WScore: tensor.FromSlice(ws, dim, dim),
+			WValue: tensor.FromSlice(wv, dim, dim),
+		}, nil
+	case KindResidual, KindIdentity:
+		b := &ResidualBlock{LayerName: name}
+		nm := mr.u32()
+		for i := uint32(0); i < nm && mr.err == nil; i++ {
+			sub, err := decodeLayer(mr)
+			if err != nil {
+				return nil, err
+			}
+			b.Main = append(b.Main, sub)
+		}
+		ns := mr.u32()
+		for i := uint32(0); i < ns && mr.err == nil; i++ {
+			sub, err := decodeLayer(mr)
+			if err != nil {
+				return nil, err
+			}
+			b.Shortcut = append(b.Shortcut, sub)
+		}
+		return b, mr.err
+	case KindDense:
+		dims := mr.ints()
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("nn: dense block %s header corrupt", name)
+		}
+		b := &DenseBlock{LayerName: name, InC: dims[0], Growth: dims[1]}
+		ns := mr.u32()
+		for i := uint32(0); i < ns && mr.err == nil; i++ {
+			sub, err := decodeLayer(mr)
+			if err != nil {
+				return nil, err
+			}
+			conv, ok := sub.(*Conv2D)
+			if !ok {
+				return nil, fmt.Errorf("nn: dense block %s stage is %T, want conv", name, sub)
+			}
+			b.Stages = append(b.Stages, conv)
+		}
+		return b, mr.err
+	default:
+		return nil, fmt.Errorf("nn: unknown layer kind %q", kind)
+	}
+}

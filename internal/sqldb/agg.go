@@ -1,0 +1,516 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// aggState accumulates one aggregate function over one group.
+type aggState struct {
+	kind     string
+	count    int64
+	sum      float64
+	sumSq    float64
+	min, max Datum
+	// argVal/argBest back argMax/argMin: argVal is the tracked argument,
+	// argBest the current extreme of the ordering value.
+	argVal   Datum
+	argBest  Datum
+	distinct map[string]struct{}
+	sawFloat bool
+	intSum   int64
+}
+
+func newAggState(kind string, distinct bool) *aggState {
+	s := &aggState{kind: kind}
+	if distinct {
+		s.distinct = map[string]struct{}{}
+	}
+	return s
+}
+
+func (s *aggState) add(vals []Datum) error {
+	if len(vals) == 0 {
+		return fmt.Errorf("sqldb: aggregate %s got no arguments", s.kind)
+	}
+	v := vals[0]
+	if v.IsNull() {
+		return nil // SQL aggregates skip NULLs
+	}
+	if s.distinct != nil {
+		k := v.GroupKey()
+		if _, dup := s.distinct[k]; dup {
+			return nil
+		}
+		s.distinct[k] = struct{}{}
+	}
+	switch s.kind {
+	case "argmax", "argmin":
+		if len(vals) != 2 {
+			return fmt.Errorf("sqldb: %s expects 2 arguments", s.kind)
+		}
+		ord := vals[1]
+		if ord.IsNull() {
+			return nil
+		}
+		if s.count == 0 {
+			s.argVal, s.argBest = v, ord
+		} else {
+			c, err := Compare(ord, s.argBest)
+			if err != nil {
+				return err
+			}
+			if (s.kind == "argmax" && c > 0) || (s.kind == "argmin" && c < 0) {
+				s.argVal, s.argBest = v, ord
+			}
+		}
+		s.count++
+	case "count":
+		s.count++
+	case "sum", "avg", "stddevsamp", "stddevpop", "varsamp", "varpop":
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("sqldb: %s of non-numeric %s", s.kind, v.T)
+		}
+		if v.T == TFloat {
+			s.sawFloat = true
+		} else {
+			s.intSum += v.I
+		}
+		s.count++
+		s.sum += f
+		s.sumSq += f * f
+	case "min":
+		if s.count == 0 {
+			s.min = v
+		} else if c, err := Compare(v, s.min); err != nil {
+			return err
+		} else if c < 0 {
+			s.min = v
+		}
+		s.count++
+	case "max":
+		if s.count == 0 {
+			s.max = v
+		} else if c, err := Compare(v, s.max); err != nil {
+			return err
+		} else if c > 0 {
+			s.max = v
+		}
+		s.count++
+	default:
+		return fmt.Errorf("sqldb: unknown aggregate %q", s.kind)
+	}
+	return nil
+}
+
+func (s *aggState) result() Datum {
+	switch s.kind {
+	case "argmax", "argmin":
+		if s.count == 0 {
+			return Null()
+		}
+		return s.argVal
+	case "count":
+		return Int(s.count)
+	case "sum":
+		if s.count == 0 {
+			return Null()
+		}
+		if !s.sawFloat {
+			return Int(s.intSum)
+		}
+		return Float(s.sum)
+	case "avg":
+		if s.count == 0 {
+			return Null()
+		}
+		return Float(s.sum / float64(s.count))
+	case "min":
+		if s.count == 0 {
+			return Null()
+		}
+		return s.min
+	case "max":
+		if s.count == 0 {
+			return Null()
+		}
+		return s.max
+	case "varsamp", "stddevsamp":
+		if s.count < 2 {
+			return Float(0)
+		}
+		n := float64(s.count)
+		v := (s.sumSq - s.sum*s.sum/n) / (n - 1)
+		if v < 0 {
+			v = 0 // guard numeric noise
+		}
+		if s.kind == "stddevsamp" {
+			return Float(math.Sqrt(v))
+		}
+		return Float(v)
+	case "varpop", "stddevpop":
+		if s.count == 0 {
+			return Null()
+		}
+		n := float64(s.count)
+		v := (s.sumSq - s.sum*s.sum/n) / n
+		if v < 0 {
+			v = 0
+		}
+		if s.kind == "stddevpop" {
+			return Float(math.Sqrt(v))
+		}
+		return Float(v)
+	}
+	return Null()
+}
+
+// aggCall is one distinct aggregate invocation found in the SELECT items /
+// HAVING clause.
+type aggCall struct {
+	repr     string
+	kind     string
+	distinct bool
+	star     bool
+	args     []Expr
+}
+
+// collectAggCalls walks an expression collecting aggregate invocations,
+// deduplicated by textual representation.
+func collectAggCalls(e Expr, seen map[string]*aggCall, out *[]*aggCall) {
+	switch t := e.(type) {
+	case *FuncCall:
+		name := strings.ToLower(t.Name)
+		if isAggregateName(name) {
+			repr := t.String()
+			if _, dup := seen[repr]; !dup {
+				call := &aggCall{repr: repr, kind: name, distinct: t.Distinct, star: t.Star, args: t.Args}
+				seen[repr] = call
+				*out = append(*out, call)
+			}
+			return // don't descend into aggregate args
+		}
+		for _, a := range t.Args {
+			collectAggCalls(a, seen, out)
+		}
+	case *BinExpr:
+		collectAggCalls(t.L, seen, out)
+		collectAggCalls(t.R, seen, out)
+	case *UnaryExpr:
+		collectAggCalls(t.E, seen, out)
+	case *CaseExpr:
+		for _, w := range t.Whens {
+			collectAggCalls(w.Cond, seen, out)
+			collectAggCalls(w.Then, seen, out)
+		}
+		if t.Else != nil {
+			collectAggCalls(t.Else, seen, out)
+		}
+	case *InExpr:
+		collectAggCalls(t.E, seen, out)
+		for _, x := range t.List {
+			collectAggCalls(x, seen, out)
+		}
+	case *BetweenExpr:
+		collectAggCalls(t.E, seen, out)
+		collectAggCalls(t.Lo, seen, out)
+		collectAggCalls(t.Hi, seen, out)
+	case *IsNullExpr:
+		collectAggCalls(t.E, seen, out)
+	}
+}
+
+// rewriteAggRefs replaces aggregate calls with references to the synthetic
+// columns "$aggN" and group-by expressions with "$grpN" references, so item
+// expressions can be evaluated over the aggregated intermediate result.
+func rewriteAggRefs(e Expr, aggCols map[string]string, grpCols map[string]string) Expr {
+	if name, ok := grpCols[e.String()]; ok {
+		return &ColRef{Name: name}
+	}
+	switch t := e.(type) {
+	case *FuncCall:
+		if isAggregateName(strings.ToLower(t.Name)) {
+			if name, ok := aggCols[t.String()]; ok {
+				return &ColRef{Name: name}
+			}
+			return e
+		}
+		out := &FuncCall{Name: t.Name, Distinct: t.Distinct, Star: t.Star}
+		for _, a := range t.Args {
+			out.Args = append(out.Args, rewriteAggRefs(a, aggCols, grpCols))
+		}
+		return out
+	case *BinExpr:
+		return &BinExpr{Op: t.Op, L: rewriteAggRefs(t.L, aggCols, grpCols), R: rewriteAggRefs(t.R, aggCols, grpCols)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: t.Op, E: rewriteAggRefs(t.E, aggCols, grpCols)}
+	case *CaseExpr:
+		out := &CaseExpr{}
+		for _, w := range t.Whens {
+			out.Whens = append(out.Whens, WhenClause{
+				Cond: rewriteAggRefs(w.Cond, aggCols, grpCols),
+				Then: rewriteAggRefs(w.Then, aggCols, grpCols),
+			})
+		}
+		if t.Else != nil {
+			out.Else = rewriteAggRefs(t.Else, aggCols, grpCols)
+		}
+		return out
+	case *InExpr:
+		out := &InExpr{E: rewriteAggRefs(t.E, aggCols, grpCols), Not: t.Not}
+		for _, x := range t.List {
+			out.List = append(out.List, rewriteAggRefs(x, aggCols, grpCols))
+		}
+		return out
+	case *BetweenExpr:
+		return &BetweenExpr{
+			E:   rewriteAggRefs(t.E, aggCols, grpCols),
+			Lo:  rewriteAggRefs(t.Lo, aggCols, grpCols),
+			Hi:  rewriteAggRefs(t.Hi, aggCols, grpCols),
+			Not: t.Not,
+		}
+	case *IsNullExpr:
+		return &IsNullExpr{E: rewriteAggRefs(t.E, aggCols, grpCols), Not: t.Not}
+	}
+	return e
+}
+
+// execAgg performs hash aggregation and evaluates the SELECT items over the
+// per-group aggregate values.
+func (db *DB) execAgg(a *LAgg, prof *Profile) (*Result, error) {
+	child, err := db.execPlan(a.Child, prof)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// Compile group-by keys against the child schema.
+	grpFns := make([]evalFn, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		f, err := db.compileExpr(g, child.Schema)
+		if err != nil {
+			return nil, err
+		}
+		grpFns[i] = f
+	}
+
+	// Collect distinct aggregate calls.
+	seen := map[string]*aggCall{}
+	var calls []*aggCall
+	for _, it := range a.Items {
+		if !it.Star {
+			collectAggCalls(it.Expr, seen, &calls)
+		}
+	}
+	if a.Having != nil {
+		collectAggCalls(a.Having, seen, &calls)
+	}
+	argFns := make([][]evalFn, len(calls))
+	for i, c := range calls {
+		if c.star {
+			continue
+		}
+		if len(c.args) == 0 {
+			return nil, fmt.Errorf("sqldb: aggregate %s needs an argument", c.kind)
+		}
+		want := 1
+		if c.kind == "argmax" || c.kind == "argmin" {
+			want = 2
+		}
+		if len(c.args) != want {
+			return nil, fmt.Errorf("sqldb: aggregate %s expects %d arguments, got %d", c.kind, want, len(c.args))
+		}
+		for _, a := range c.args {
+			f, err := db.compileExpr(a, child.Schema)
+			if err != nil {
+				return nil, err
+			}
+			argFns[i] = append(argFns[i], f)
+		}
+	}
+
+	// Group rows.
+	type group struct {
+		keys   []Datum
+		states []*aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+	n := child.NumRows()
+	buf := make([]byte, 0, 64)
+	keyBuf := make([]Datum, len(grpFns))
+	valBuf := make([]Datum, 0, 4)
+	for row := 0; row < n; row++ {
+		buf = buf[:0]
+		for i, f := range grpFns {
+			v, err := f(child, row)
+			if err != nil {
+				return nil, err
+			}
+			keyBuf[i] = v
+			buf = v.AppendKey(buf)
+		}
+		g := groups[string(buf)]
+		if g == nil {
+			gk := string(buf)
+			g = &group{keys: append([]Datum(nil), keyBuf...), states: make([]*aggState, len(calls))}
+			for i, c := range calls {
+				g.states[i] = newAggState(c.kind, c.distinct)
+			}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		for i, c := range calls {
+			if c.star {
+				g.states[i].count++
+				continue
+			}
+			valBuf = valBuf[:0]
+			for _, f := range argFns[i] {
+				v, err := f(child, row)
+				if err != nil {
+					return nil, err
+				}
+				valBuf = append(valBuf, v)
+			}
+			if err := g.states[i].add(valBuf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Global aggregation over empty input still yields one group.
+	if len(grpFns) == 0 && len(groups) == 0 {
+		g := &group{states: make([]*aggState, len(calls))}
+		for i, c := range calls {
+			g.states[i] = newAggState(c.kind, c.distinct)
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	// Build intermediate result: $grpN columns then $aggN columns.
+	grpCols := map[string]string{}
+	aggCols := map[string]string{}
+	inter := &Result{}
+	for i, g := range a.GroupBy {
+		name := fmt.Sprintf("$grp%d", i)
+		grpCols[g.String()] = name
+		inter.Schema = append(inter.Schema, OutCol{Name: name})
+	}
+	for i, c := range calls {
+		name := fmt.Sprintf("$agg%d", i)
+		aggCols[c.repr] = name
+		inter.Schema = append(inter.Schema, OutCol{Name: name})
+	}
+	nCols := len(a.GroupBy) + len(calls)
+	cells := make([][]Datum, nCols)
+	for gi, gk := range order {
+		g := groups[gk]
+		for i := range a.GroupBy {
+			cells[i] = append(cells[i], g.keys[i])
+		}
+		for i := range calls {
+			cells[len(a.GroupBy)+i] = append(cells[len(a.GroupBy)+i], g.states[i].result())
+		}
+		_ = gi
+	}
+	for i := 0; i < nCols; i++ {
+		col := columnFromData(cells[i])
+		inter.Cols = append(inter.Cols, col)
+		inter.Schema[i].Type = col.Type
+	}
+
+	// Evaluate HAVING over the intermediate result.
+	if a.Having != nil {
+		hav := rewriteAggRefs(a.Having, aggCols, grpCols)
+		filtered, err := db.execFilter(inter, []Expr{hav}, prof, OpFilter)
+		if err != nil {
+			return nil, err
+		}
+		inter = filtered
+	}
+
+	// Evaluate SELECT items.
+	out := &Result{}
+	rows := inter.NumRows()
+	for _, it := range a.Items {
+		if it.Star {
+			return nil, fmt.Errorf("sqldb: SELECT * is not valid with GROUP BY")
+		}
+		name := it.Alias
+		if name == "" {
+			if cr, ok := it.Expr.(*ColRef); ok {
+				name = cr.Name
+			} else {
+				name = it.Expr.String()
+			}
+		}
+		rewritten := rewriteAggRefs(it.Expr, aggCols, grpCols)
+		// A bare column that isn't a group key or aggregate is invalid SQL;
+		// we resolve it against the group keys by name as a convenience
+		// (matches ClickHouse's leniency for functionally-dependent keys).
+		fn, err := db.compileExpr(rewritten, inter.Schema)
+		if err != nil {
+			if cr, ok := it.Expr.(*ColRef); ok {
+				// try matching a group-by expression that is a ColRef with
+				// the same name
+				matched := false
+				for gi, g := range a.GroupBy {
+					if gcr, ok := g.(*ColRef); ok && strings.EqualFold(gcr.Name, cr.Name) {
+						rewritten = &ColRef{Name: fmt.Sprintf("$grp%d", gi)}
+						matched = true
+						break
+					}
+				}
+				if matched {
+					fn, err = db.compileExpr(rewritten, inter.Schema)
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		data := make([]Datum, rows)
+		for i := 0; i < rows; i++ {
+			v, err := fn(inter, i)
+			if err != nil {
+				return nil, err
+			}
+			data[i] = v
+		}
+		col := columnFromData(data)
+		out.Cols = append(out.Cols, col)
+		out.Schema = append(out.Schema, OutCol{Name: name, Type: col.Type})
+	}
+	prof.add(OpGroupBy, n, time.Since(start))
+	return out, nil
+}
+
+// columnFromData builds a column from a datum slice, inferring the type
+// from the first non-null value.
+func columnFromData(data []Datum) *Column {
+	t := TNull
+	for _, d := range data {
+		if !d.IsNull() {
+			t = d.T
+			break
+		}
+	}
+	// Promote mixed int/float to float.
+	if t == TInt {
+		for _, d := range data {
+			if d.T == TFloat {
+				t = TFloat
+				break
+			}
+		}
+	}
+	col := NewColumn(t)
+	for _, d := range data {
+		_ = col.Append(d)
+	}
+	return col
+}

@@ -1,0 +1,131 @@
+package sqldb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV interchange: embedded deployments load reference data from flat files
+// and export query results for downstream tooling. Blob columns are
+// excluded (keyframes travel through the binary snapshot format instead).
+
+// ExportCSV writes a query result as CSV with a header row. Blob cells are
+// rendered as their length placeholder.
+func ExportCSV(res *Result, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(res.Schema))
+	for i, c := range res.Schema {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	n := res.NumRows()
+	row := make([]string, len(res.Cols))
+	for i := 0; i < n; i++ {
+		for j, c := range res.Cols {
+			d := c.Get(i)
+			if d.IsNull() {
+				row[j] = ""
+			} else {
+				row[j] = d.String()
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ImportCSV loads CSV rows (with a header line naming columns) into an
+// existing table. Header names are matched case-insensitively against the
+// table schema; empty cells become NULL. It returns the number of rows
+// loaded.
+func (db *DB) ImportCSV(table string, r io.Reader) (int, error) {
+	t := db.lookupTable(table)
+	if t == nil {
+		return 0, fmt.Errorf("sqldb: no table named %q", table)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("sqldb: reading CSV header: %w", err)
+	}
+	mapping := make([]int, len(header))
+	for i, h := range header {
+		idx := t.Schema.ColIndex(strings.TrimSpace(h))
+		if idx < 0 {
+			return 0, fmt.Errorf("sqldb: table %s has no column %q", table, h)
+		}
+		if t.Schema[idx].Type == TBlob {
+			return 0, fmt.Errorf("sqldb: blob column %q cannot be CSV-imported", h)
+		}
+		mapping[i] = idx
+	}
+	count := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return count, fmt.Errorf("sqldb: reading CSV row %d: %w", count+1, err)
+		}
+		if len(rec) != len(mapping) {
+			return count, fmt.Errorf("sqldb: CSV row %d has %d fields, want %d", count+1, len(rec), len(mapping))
+		}
+		row := make([]Datum, len(t.Schema))
+		for i := range row {
+			row[i] = Null()
+		}
+		for i, cell := range rec {
+			d, err := parseCSVCell(cell, t.Schema[mapping[i]].Type)
+			if err != nil {
+				return count, fmt.Errorf("sqldb: CSV row %d column %s: %w", count+1, t.Schema[mapping[i]].Name, err)
+			}
+			row[mapping[i]] = d
+		}
+		if err := t.AppendRow(row); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}
+
+func parseCSVCell(cell string, typ Type) (Datum, error) {
+	if cell == "" {
+		return Null(), nil
+	}
+	switch typ {
+	case TInt:
+		v, err := strconv.ParseInt(strings.TrimSpace(cell), 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("bad integer %q", cell)
+		}
+		return Int(v), nil
+	case TFloat:
+		v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+		if err != nil {
+			return Null(), fmt.Errorf("bad float %q", cell)
+		}
+		return Float(v), nil
+	case TBool:
+		switch strings.ToLower(strings.TrimSpace(cell)) {
+		case "true", "1", "t", "yes":
+			return Bool(true), nil
+		case "false", "0", "f", "no":
+			return Bool(false), nil
+		}
+		return Null(), fmt.Errorf("bad boolean %q", cell)
+	case TString:
+		return Str(cell), nil
+	}
+	return Null(), fmt.Errorf("unsupported CSV type %s", typ)
+}

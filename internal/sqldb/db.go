@@ -1,0 +1,562 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DB is an embedded in-memory database instance.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	views  map[string]*View
+	udfs   map[string]*ScalarUDF
+
+	// Profile, when non-nil, accumulates operator statistics across every
+	// statement executed on this DB (Fig. 10 uses this).
+	Profile *Profile
+
+	leftJoinSeq int // composite-relation alias counter
+}
+
+// View is a named stored SELECT.
+type View struct {
+	Name  string
+	Query *SelectStmt
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{
+		tables: map[string]*Table{},
+		views:  map[string]*View{},
+		udfs:   map[string]*ScalarUDF{},
+	}
+}
+
+func (db *DB) lookupTable(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[strings.ToLower(name)]
+}
+
+func (db *DB) lookupView(name string) *View {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.views[strings.ToLower(name)]
+}
+
+func (db *DB) lookupUDF(name string) *ScalarUDF {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.udfs[strings.ToLower(name)]
+}
+
+func (db *DB) noteUDFCall(name string) {
+	db.Profile.noteUDF(name)
+}
+
+// RegisterUDF installs (or replaces) a scalar UDF. This is the engine's
+// loose-integration extension point: the DB-UDF strategy registers its
+// compiled neural models here.
+func (db *DB) RegisterUDF(udf *ScalarUDF) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.udfs[strings.ToLower(udf.Name)] = udf
+}
+
+// UnregisterUDF removes a UDF.
+func (db *DB) UnregisterUDF(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.udfs, strings.ToLower(name))
+}
+
+// CreateTable registers a new table; it fails if the name is taken.
+func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, exists := db.tables[key]; exists {
+		return nil, fmt.Errorf("sqldb: table %q already exists", name)
+	}
+	if _, exists := db.views[key]; exists {
+		return nil, fmt.Errorf("sqldb: a view named %q already exists", name)
+	}
+	t := NewTable(name, schema)
+	db.tables[key] = t
+	return t, nil
+}
+
+// GetTable returns a table by name, or nil.
+func (db *DB) GetTable(name string) *Table { return db.lookupTable(name) }
+
+// DropTable removes a table or view by name.
+func (db *DB) DropTable(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; ok {
+		delete(db.tables, key)
+		return true
+	}
+	if _, ok := db.views[key]; ok {
+		delete(db.views, key)
+		return true
+	}
+	return false
+}
+
+// TableNames lists all base tables.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// Exec parses and executes one or more semicolon-separated SQL statements,
+// returning the result of the last one (nil for DDL/DML statements).
+func (db *DB) Exec(sql string) (*Result, error) {
+	return db.ExecHinted(sql, nil)
+}
+
+// Query is Exec restricted to a single SELECT.
+func (db *DB) Query(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query expects a SELECT, got %T", stmt)
+	}
+	return db.runSelect(sel, nil)
+}
+
+// ExecHinted executes statements with optimizer hints applied (the
+// DL2SQL-OP pathway).
+func (db *DB) ExecHinted(sql string, hints *QueryHints) (*Result, error) {
+	stmts, err := ParseMulti(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, st := range stmts {
+		last, err = db.execStmt(st, hints)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// ExecStmt runs one pre-parsed statement.
+func (db *DB) ExecStmt(st Stmt, hints *QueryHints) (*Result, error) {
+	return db.execStmt(st, hints)
+}
+
+// PlanSelect exposes planning without execution (for EXPLAIN-style tests
+// and the hint experiments).
+func (db *DB) PlanSelect(sql string, hints *QueryHints) (Plan, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: PlanSelect expects a SELECT, got %T", stmt)
+	}
+	return db.planSelect(sel, hints)
+}
+
+func (db *DB) execStmt(st Stmt, hints *QueryHints) (*Result, error) {
+	switch t := st.(type) {
+	case *SelectStmt:
+		return db.runSelect(t, hints)
+	case *CreateTableStmt:
+		return nil, db.runCreateTable(t, hints)
+	case *CreateViewStmt:
+		return nil, db.runCreateView(t)
+	case *InsertStmt:
+		return nil, db.runInsert(t, hints)
+	case *UpdateStmt:
+		return nil, db.runUpdate(t, hints)
+	case *DeleteStmt:
+		return nil, db.runDelete(t, hints)
+	case *DropStmt:
+		if !db.DropTable(t.Name) && !t.IfExists {
+			return nil, fmt.Errorf("sqldb: cannot drop %q: does not exist", t.Name)
+		}
+		return nil, nil
+	case *ExplainStmt:
+		plan, err := db.planSelect(t.Query, hints)
+		if err != nil {
+			return nil, err
+		}
+		out := &Result{Schema: []OutCol{{Name: "plan", Type: TString}}, Cols: []*Column{NewColumn(TString)}}
+		for _, line := range strings.Split(strings.TrimRight(Explain(plan), "\n"), "\n") {
+			if err := out.Cols[0].Append(Str(line)); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("sqldb: cannot execute statement %T", st)
+}
+
+func (db *DB) runSelect(sel *SelectStmt, hints *QueryHints) (*Result, error) {
+	plan, err := db.planSelect(sel, hints)
+	if err != nil {
+		return nil, err
+	}
+	res, err := db.execPlan(plan, db.Profile)
+	if err != nil || len(sel.UnionAll) == 0 {
+		return res, err
+	}
+	// UNION ALL: append each branch's rows, matching columns by position.
+	for _, branch := range sel.UnionAll {
+		branch := *branch
+		branch.UnionAll = nil
+		br, err := db.runSelect(&branch, hints)
+		if err != nil {
+			return nil, err
+		}
+		if len(br.Cols) != len(res.Cols) {
+			return nil, fmt.Errorf("sqldb: UNION ALL branch yields %d columns, want %d", len(br.Cols), len(res.Cols))
+		}
+		for ci := range res.Cols {
+			appended, err := appendColumn(res.Cols[ci], br.Cols[ci])
+			if err != nil {
+				return nil, fmt.Errorf("sqldb: UNION ALL column %d: %w", ci+1, err)
+			}
+			res.Cols[ci] = appended
+		}
+	}
+	return res, nil
+}
+
+// appendColumn concatenates b's rows onto a copy of a (type-coerced).
+func appendColumn(a, b *Column) (*Column, error) {
+	t := a.Type
+	if t == TNull {
+		t = b.Type
+	}
+	out := NewColumn(t)
+	for i, n := 0, a.Len(); i < n; i++ {
+		if err := out.Append(a.Get(i)); err != nil {
+			return nil, err
+		}
+	}
+	for i, n := 0, b.Len(); i < n; i++ {
+		if err := out.Append(b.Get(i)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (db *DB) runCreateTable(st *CreateTableStmt, hints *QueryHints) error {
+	if st.IfNotExists && db.lookupTable(st.Name) != nil {
+		return nil
+	}
+	if st.As == nil {
+		_, err := db.CreateTable(st.Name, Schema(st.Cols))
+		return err
+	}
+	res, err := db.runSelect(st.As, hints)
+	if err != nil {
+		return err
+	}
+	schema := make(Schema, len(res.Schema))
+	for i, c := range res.Schema {
+		typ := c.Type
+		if typ == TNull {
+			typ = res.Cols[i].Type
+		}
+		if typ == TNull {
+			typ = TFloat // empty untyped columns default to Float64
+		}
+		name := c.Name
+		if name == "" {
+			name = fmt.Sprintf("col%d", i+1)
+		}
+		schema[i] = ColumnDef{Name: name, Type: typ}
+	}
+	if len(st.Cols) > 0 {
+		if len(st.Cols) != len(schema) {
+			return fmt.Errorf("sqldb: CREATE TABLE %s declares %d columns but SELECT yields %d", st.Name, len(st.Cols), len(schema))
+		}
+		schema = Schema(st.Cols)
+	}
+	t, err := db.CreateTable(st.Name, schema)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	n := res.NumRows()
+	row := make([]Datum, len(res.Cols))
+	for i := 0; i < n; i++ {
+		for j, c := range res.Cols {
+			row[j] = c.Get(i)
+		}
+		if err := t.AppendRow(row); err != nil {
+			return err
+		}
+	}
+	db.Profile.add(OpInsert, n, time.Since(start))
+	return nil
+}
+
+func (db *DB) runCreateView(st *CreateViewStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(st.Name)
+	if _, exists := db.tables[key]; exists {
+		return fmt.Errorf("sqldb: a table named %q already exists", st.Name)
+	}
+	if _, exists := db.views[key]; exists && !st.OrReplace {
+		return fmt.Errorf("sqldb: view %q already exists", st.Name)
+	}
+	db.views[key] = &View{Name: st.Name, Query: st.As}
+	return nil
+}
+
+func (db *DB) runInsert(st *InsertStmt, hints *QueryHints) error {
+	t := db.lookupTable(st.Table)
+	if t == nil {
+		return fmt.Errorf("sqldb: no table named %q", st.Table)
+	}
+	// Column mapping: position i of the provided row maps to table column
+	// mapping[i].
+	mapping := make([]int, 0, len(t.Schema))
+	if len(st.Cols) == 0 {
+		for i := range t.Schema {
+			mapping = append(mapping, i)
+		}
+	} else {
+		for _, c := range st.Cols {
+			idx := t.Schema.ColIndex(c)
+			if idx < 0 {
+				return fmt.Errorf("sqldb: table %s has no column %q", st.Table, c)
+			}
+			mapping = append(mapping, idx)
+		}
+	}
+	start := time.Now()
+	count := 0
+	appendMapped := func(vals []Datum) error {
+		if len(vals) != len(mapping) {
+			return fmt.Errorf("sqldb: INSERT into %s expects %d values, got %d", st.Table, len(mapping), len(vals))
+		}
+		row := make([]Datum, len(t.Schema))
+		for i := range row {
+			row[i] = Null()
+		}
+		for i, v := range vals {
+			row[mapping[i]] = v
+		}
+		count++
+		return t.AppendRow(row)
+	}
+	if st.Query != nil {
+		res, err := db.runSelect(st.Query, hints)
+		if err != nil {
+			return err
+		}
+		n := res.NumRows()
+		for i := 0; i < n; i++ {
+			if err := appendMapped(res.GetRow(i)); err != nil {
+				return err
+			}
+		}
+		db.Profile.add(OpInsert, count, time.Since(start))
+		return nil
+	}
+	empty := &Result{}
+	for _, rowExprs := range st.Values {
+		vals := make([]Datum, len(rowExprs))
+		for i, e := range rowExprs {
+			fn, err := db.compileExpr(e, nil)
+			if err != nil {
+				return err
+			}
+			v, err := fn(empty, 0)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		if err := appendMapped(vals); err != nil {
+			return err
+		}
+	}
+	db.Profile.add(OpInsert, count, time.Since(start))
+	return nil
+}
+
+func (db *DB) runUpdate(st *UpdateStmt, hints *QueryHints) error {
+	t := db.lookupTable(st.Table)
+	if t == nil {
+		return fmt.Errorf("sqldb: no table named %q", st.Table)
+	}
+	schema := make([]OutCol, len(t.Schema))
+	for i, c := range t.Schema {
+		schema[i] = OutCol{Table: st.Table, Name: c.Name, Type: c.Type}
+	}
+	var where evalFn
+	var err error
+	if st.Where != nil {
+		rewritten, rerr := db.rewriteSubqueries(st.Where, hints)
+		if rerr != nil {
+			return rerr
+		}
+		where, err = db.compileExpr(rewritten, schema)
+		if err != nil {
+			return err
+		}
+	}
+	type setter struct {
+		col int
+		fn  evalFn
+	}
+	setters := make([]setter, 0, len(st.Set))
+	for col, e := range st.Set {
+		idx := t.Schema.ColIndex(col)
+		if idx < 0 {
+			return fmt.Errorf("sqldb: table %s has no column %q", st.Table, col)
+		}
+		rewritten, rerr := db.rewriteSubqueries(e, hints)
+		if rerr != nil {
+			return rerr
+		}
+		fn, err := db.compileExpr(rewritten, schema)
+		if err != nil {
+			return err
+		}
+		setters = append(setters, setter{col: idx, fn: fn})
+	}
+	start := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	view := &Result{Schema: schema, Cols: t.Cols}
+	n := view.NumRows()
+	updated := 0
+	for i := 0; i < n; i++ {
+		if where != nil {
+			v, err := where(view, i)
+			if err != nil {
+				return err
+			}
+			if b, ok := v.AsBool(); !ok || !b {
+				continue
+			}
+		}
+		for _, s := range setters {
+			v, err := s.fn(view, i)
+			if err != nil {
+				return err
+			}
+			if err := setColumnValue(t.Cols[s.col], i, v); err != nil {
+				return fmt.Errorf("sqldb: UPDATE %s.%s: %w", st.Table, t.Schema[s.col].Name, err)
+			}
+		}
+		updated++
+	}
+	t.invalidateDerivedLocked()
+	db.Profile.add(OpUpdate, updated, time.Since(start))
+	return nil
+}
+
+// setColumnValue overwrites row i of a column in place.
+func setColumnValue(c *Column, i int, v Datum) error {
+	if v.IsNull() {
+		c.ensureNulls()
+		c.Nulls[i] = true
+		return nil
+	}
+	if c.Nulls != nil {
+		c.Nulls[i] = false
+	}
+	switch c.Type {
+	case TInt:
+		x, ok := v.AsInt()
+		if !ok {
+			return fmt.Errorf("cannot assign %s to Int64", v.T)
+		}
+		c.Ints[i] = x
+	case TFloat:
+		x, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("cannot assign %s to Float64", v.T)
+		}
+		c.Floats[i] = x
+	case TString:
+		if v.T != TString {
+			return fmt.Errorf("cannot assign %s to String", v.T)
+		}
+		c.Strs[i] = v.S
+	case TBool:
+		x, ok := v.AsBool()
+		if !ok {
+			return fmt.Errorf("cannot assign %s to Bool", v.T)
+		}
+		c.Bools[i] = x
+	case TBlob:
+		if v.T != TBlob {
+			return fmt.Errorf("cannot assign %s to Blob", v.T)
+		}
+		c.Blobs[i] = v.B
+	}
+	return nil
+}
+
+func (db *DB) runDelete(st *DeleteStmt, hints *QueryHints) error {
+	t := db.lookupTable(st.Table)
+	if t == nil {
+		return fmt.Errorf("sqldb: no table named %q", st.Table)
+	}
+	if st.Where == nil {
+		start := time.Now()
+		n := t.NumRows()
+		t.Truncate()
+		db.Profile.add(OpDelete, n, time.Since(start))
+		return nil
+	}
+	schema := make([]OutCol, len(t.Schema))
+	for i, c := range t.Schema {
+		schema[i] = OutCol{Table: st.Table, Name: c.Name, Type: c.Type}
+	}
+	rewritten, err := db.rewriteSubqueries(st.Where, hints)
+	if err != nil {
+		return err
+	}
+	where, err := db.compileExpr(rewritten, schema)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	t.mu.RLock()
+	view := &Result{Schema: schema, Cols: t.Cols}
+	n := view.NumRows()
+	var dead []int
+	for i := 0; i < n; i++ {
+		v, err := where(view, i)
+		if err != nil {
+			t.mu.RUnlock()
+			return err
+		}
+		if b, ok := v.AsBool(); ok && b {
+			dead = append(dead, i)
+		}
+	}
+	t.mu.RUnlock()
+	t.DeleteRows(dead)
+	db.Profile.add(OpDelete, len(dead), time.Since(start))
+	return nil
+}

@@ -1,0 +1,445 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Profile accumulates per-operator execution statistics for one query (or a
+// whole session when shared across queries). Fig. 10 of the paper is
+// produced from these counters.
+type Profile struct {
+	mu       sync.Mutex
+	Ops      map[string]*OpStats
+	UDFCalls map[string]int
+}
+
+// OpStats is the time and row count attributed to one operator kind.
+type OpStats struct {
+	Calls int
+	Rows  int
+	Nanos int64
+}
+
+// NewProfile allocates an empty profile.
+func NewProfile() *Profile {
+	return &Profile{Ops: map[string]*OpStats{}, UDFCalls: map[string]int{}}
+}
+
+func (p *Profile) add(op string, rows int, d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.Ops[op]
+	if s == nil {
+		s = &OpStats{}
+		p.Ops[op] = s
+	}
+	s.Calls++
+	s.Rows += rows
+	s.Nanos += d.Nanoseconds()
+}
+
+// Merge folds another profile into p.
+func (p *Profile) Merge(o *Profile) {
+	if p == nil || o == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for k, v := range o.Ops {
+		s := p.Ops[k]
+		if s == nil {
+			s = &OpStats{}
+			p.Ops[k] = s
+		}
+		s.Calls += v.Calls
+		s.Rows += v.Rows
+		s.Nanos += v.Nanos
+	}
+	for k, v := range o.UDFCalls {
+		p.UDFCalls[k] += v
+	}
+}
+
+// String renders the profile sorted by time descending.
+func (p *Profile) String() string {
+	type row struct {
+		op string
+		s  *OpStats
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rows := make([]row, 0, len(p.Ops))
+	for k, v := range p.Ops {
+		rows = append(rows, row{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].s.Nanos > rows[j].s.Nanos })
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s calls=%-6d rows=%-10d time=%s\n",
+			r.op, r.s.Calls, r.s.Rows, time.Duration(r.s.Nanos))
+	}
+	return sb.String()
+}
+
+// noteUDF records one UDF invocation.
+func (p *Profile) noteUDF(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.UDFCalls[name]++
+	p.mu.Unlock()
+}
+
+// Operator names used in profiles.
+const (
+	OpScan     = "Scan"
+	OpFilter   = "Filter"
+	OpJoin     = "Join"
+	OpGroupBy  = "GroupBy"
+	OpProject  = "Project"
+	OpSort     = "Sort"
+	OpDistinct = "Distinct"
+	OpLimit    = "Limit"
+	OpInsert   = "Insert"
+	OpUpdate   = "Update"
+	OpDelete   = "Delete"
+)
+
+// execPlan evaluates a plan tree to a materialized result.
+func (db *DB) execPlan(p Plan, prof *Profile) (*Result, error) {
+	switch t := p.(type) {
+	case *LScan:
+		return db.execScan(t, prof)
+	case *LFilter:
+		child, err := db.execPlan(t.Child, prof)
+		if err != nil {
+			return nil, err
+		}
+		return db.execFilter(child, t.Conds, prof, OpFilter)
+	case *LJoin:
+		return db.execJoin(t, prof)
+	case *LProject:
+		return db.execProject(t, prof)
+	case *LAgg:
+		return db.execAgg(t, prof)
+	case *LDistinct:
+		child, err := db.execPlan(t.Child, prof)
+		if err != nil {
+			return nil, err
+		}
+		return db.execDistinct(child, prof)
+	case *LSort:
+		child, err := db.execPlan(t.Child, prof)
+		if err != nil {
+			return nil, err
+		}
+		return db.execSort(child, t.Keys, prof)
+	case *LLimit:
+		child, err := db.execPlan(t.Child, prof)
+		if err != nil {
+			return nil, err
+		}
+		return db.execLimit(child, t.N, t.Offset, prof)
+	case *aliasPlan:
+		child, err := db.execPlan(t.Child, prof)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schema: t.schema, Cols: child.Cols}, nil
+	}
+	return nil, fmt.Errorf("sqldb: cannot execute plan node %T", p)
+}
+
+func (db *DB) execScan(s *LScan, prof *Profile) (*Result, error) {
+	t := db.lookupTable(s.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqldb: table %q disappeared during execution", s.Table)
+	}
+	start := time.Now()
+	// Snapshot the column headers under the read lock: concurrent appends
+	// then extend the table without the escaping Result observing torn
+	// lengths (appends write at indices beyond every snapshot's length;
+	// in-place UPDATEs still require external coordination).
+	res := &Result{Schema: s.schema, Cols: t.SnapshotCols()}
+	prof.add(OpScan, res.NumRows(), time.Since(start))
+	if len(s.Filters) > 0 {
+		return db.execFilter(res, s.Filters, prof, OpFilter)
+	}
+	return res, nil
+}
+
+// execFilter applies conjuncts, producing a compacted result. Conjuncts of
+// the shape `column op literal` run through vectorized kernels streaming
+// over the column vectors (their results intersected); remaining conjuncts
+// — UDF calls, multi-column predicates — fall back to row-at-a-time
+// evaluation over the surviving rows only, preserving the optimizer's
+// expensive-predicate ordering among them.
+func (db *DB) execFilter(in *Result, conds []Expr, prof *Profile, opName string) (*Result, error) {
+	start := time.Now()
+	var vecs []vectorPred
+	var generic []Expr
+	for _, c := range conds {
+		if vp := compileVectorPred(c, in.Schema); vp != nil {
+			vecs = append(vecs, vp)
+		} else {
+			generic = append(generic, c)
+		}
+	}
+	preds := make([]evalFn, len(generic))
+	for i, c := range generic {
+		f, err := db.compileExpr(c, in.Schema)
+		if err != nil {
+			return nil, err
+		}
+		preds[i] = f
+	}
+	n := in.NumRows()
+
+	var keep []int
+	if len(vecs) > 0 {
+		keep = vecs[0](in, make([]int, 0, n/4+1))
+		for _, vp := range vecs[1:] {
+			if len(keep) == 0 {
+				break
+			}
+			other := vp(in, make([]int, 0, len(keep)))
+			keep = intersectSorted(keep, other)
+		}
+	} else {
+		keep = make([]int, n)
+		for i := range keep {
+			keep[i] = i
+		}
+	}
+	if len(preds) > 0 {
+		filtered := keep[:0]
+	rows:
+		for _, i := range keep {
+			for _, pred := range preds {
+				v, err := pred(in, i)
+				if err != nil {
+					return nil, err
+				}
+				b, ok := v.AsBool()
+				if !ok || !b {
+					continue rows
+				}
+			}
+			filtered = append(filtered, i)
+		}
+		keep = filtered
+	}
+	out := &Result{Schema: in.Schema, Cols: make([]*Column, len(in.Cols))}
+	for i, c := range in.Cols {
+		out.Cols[i] = c.Gather(keep)
+	}
+	prof.add(opName, n, time.Since(start))
+	return out, nil
+}
+
+func (db *DB) execProject(p *LProject, prof *Profile) (*Result, error) {
+	var child *Result
+	if p.Child != nil {
+		var err error
+		child, err = db.execPlan(p.Child, prof)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		child = &Result{} // FROM-less: single conceptual row
+	}
+	start := time.Now()
+	n := 1
+	if p.Child != nil {
+		n = child.NumRows()
+	}
+	out := &Result{}
+	// Expand stars and compile items.
+	type proj struct {
+		fn  evalFn
+		col int // >=0 for direct column pass-through
+	}
+	var projs []proj
+	for _, it := range p.Items {
+		if it.Star {
+			for ci := range child.Schema {
+				out.Schema = append(out.Schema, child.Schema[ci])
+				projs = append(projs, proj{col: ci})
+			}
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			if cr, ok := it.Expr.(*ColRef); ok {
+				name = cr.Name
+			} else {
+				name = it.Expr.String()
+			}
+		}
+		out.Schema = append(out.Schema, OutCol{Name: name})
+		if cr, ok := it.Expr.(*ColRef); ok && p.Child != nil {
+			if ci, err := child.ColIndex(cr.Table, cr.Name); err == nil {
+				projs = append(projs, proj{col: ci})
+				continue
+			}
+		}
+		fn, err := db.compileExpr(it.Expr, child.Schema)
+		if err != nil {
+			return nil, err
+		}
+		projs = append(projs, proj{fn: fn, col: -1})
+	}
+	for pi, pr := range projs {
+		if pr.col >= 0 {
+			// Zero-copy column pass-through.
+			out.Cols = append(out.Cols, child.Cols[pr.col])
+			out.Schema[pi].Type = child.Schema[pr.col].Type
+			continue
+		}
+		col := &Column{Type: TNull}
+		first := true
+		for i := 0; i < n; i++ {
+			v, err := pr.fn(child, i)
+			if err != nil {
+				return nil, err
+			}
+			if first && !v.IsNull() {
+				col.Type = v.T
+				first = false
+				// backfill earlier nulls
+				for j := 0; j < i; j++ {
+					if err := col.Append(Null()); err != nil {
+						return nil, err
+					}
+				}
+				col2 := NewColumn(v.T)
+				for j := 0; j < i; j++ {
+					if err := col2.Append(Null()); err != nil {
+						return nil, err
+					}
+				}
+				col = col2
+			}
+			if err := col.Append(v); err != nil {
+				return nil, err
+			}
+		}
+		out.Cols = append(out.Cols, col)
+		out.Schema[pi].Type = col.Type
+	}
+	prof.add(OpProject, n, time.Since(start))
+	return out, nil
+}
+
+func (db *DB) execDistinct(in *Result, prof *Profile) (*Result, error) {
+	start := time.Now()
+	n := in.NumRows()
+	seen := make(map[string]struct{}, n)
+	keep := make([]int, 0, n)
+	buf := make([]byte, 0, 64)
+	for i := 0; i < n; i++ {
+		buf = buf[:0]
+		for _, c := range in.Cols {
+			buf = c.Get(i).AppendKey(buf)
+		}
+		if _, dup := seen[string(buf)]; dup {
+			continue
+		}
+		seen[string(buf)] = struct{}{}
+		keep = append(keep, i)
+	}
+	out := &Result{Schema: in.Schema, Cols: make([]*Column, len(in.Cols))}
+	for i, c := range in.Cols {
+		out.Cols[i] = c.Gather(keep)
+	}
+	prof.add(OpDistinct, n, time.Since(start))
+	return out, nil
+}
+
+func (db *DB) execSort(in *Result, keys []OrderItem, prof *Profile) (*Result, error) {
+	start := time.Now()
+	fns := make([]evalFn, len(keys))
+	for i, k := range keys {
+		f, err := db.compileExpr(k.Expr, in.Schema)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	n := in.NumRows()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Pre-evaluate keys to avoid O(n log n) expression evaluations.
+	keyVals := make([][]Datum, len(keys))
+	for ki, f := range fns {
+		keyVals[ki] = make([]Datum, n)
+		for i := 0; i < n; i++ {
+			v, err := f(in, i)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[ki][i] = v
+		}
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		for ki := range keys {
+			c, err := Compare(keyVals[ki][idx[a]], keyVals[ki][idx[b]])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if keys[ki].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	out := &Result{Schema: in.Schema, Cols: make([]*Column, len(in.Cols))}
+	for i, c := range in.Cols {
+		out.Cols[i] = c.Gather(idx)
+	}
+	prof.add(OpSort, n, time.Since(start))
+	return out, nil
+}
+
+func (db *DB) execLimit(in *Result, limit, offset int, prof *Profile) (*Result, error) {
+	start := time.Now()
+	n := in.NumRows()
+	lo := offset
+	if lo > n {
+		lo = n
+	}
+	hi := lo + limit
+	if hi > n || hi < 0 {
+		hi = n
+	}
+	idx := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		idx = append(idx, i)
+	}
+	out := &Result{Schema: in.Schema, Cols: make([]*Column, len(in.Cols))}
+	for i, c := range in.Cols {
+		out.Cols[i] = c.Gather(idx)
+	}
+	prof.add(OpLimit, n, time.Since(start))
+	return out, nil
+}

@@ -1,0 +1,710 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// OutCol names one column of an intermediate result: the producing
+// relation's alias (possibly empty) plus the column name.
+type OutCol struct {
+	Table string
+	Name  string
+	Type  Type
+}
+
+// Result is a materialized relation: the unit of data flow between physical
+// operators (analogous to a ClickHouse block pipeline that has been fully
+// drained).
+type Result struct {
+	Schema []OutCol
+	Cols   []*Column
+}
+
+// NumRows returns the row count of the result.
+func (r *Result) NumRows() int {
+	if len(r.Cols) == 0 {
+		return 0
+	}
+	return r.Cols[0].Len()
+}
+
+// ColIndex resolves a possibly-qualified column name against the result
+// schema. It returns an error if the name is missing or ambiguous.
+func (r *Result) ColIndex(table, name string) (int, error) {
+	found := -1
+	for i, c := range r.Schema {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(c.Table, table) {
+			continue
+		}
+		if found >= 0 {
+			if table == "" {
+				return 0, fmt.Errorf("sqldb: ambiguous column %q", name)
+			}
+			return 0, fmt.Errorf("sqldb: ambiguous column %s.%s", table, name)
+		}
+		found = i
+	}
+	if found < 0 {
+		qual := name
+		if table != "" {
+			qual = table + "." + name
+		}
+		return 0, fmt.Errorf("sqldb: unknown column %q", qual)
+	}
+	return found, nil
+}
+
+// GetRow materializes row i of the result.
+func (r *Result) GetRow(i int) []Datum {
+	row := make([]Datum, len(r.Cols))
+	for j, c := range r.Cols {
+		row[j] = c.Get(i)
+	}
+	return row
+}
+
+// evalFn evaluates an expression against one row of a result.
+type evalFn func(r *Result, row int) (Datum, error)
+
+// ScalarUDF is a user-registered scalar function — the engine's nUDF
+// extension point. Cost is the optimizer's per-call cost estimate in
+// abstract cost units; EstimateSelectivity (optional) reports the fraction
+// of rows expected to satisfy `udf(x) = value` predicates, per Eq. (10).
+type ScalarUDF struct {
+	Name                string
+	Arity               int
+	Fn                  func(args []Datum) (Datum, error)
+	Cost                float64
+	EstimateSelectivity func(equalsTo Datum) float64
+}
+
+// compileExpr binds an AST expression to a result schema, producing an
+// evaluator closure. Scalar subqueries must already have been replaced by
+// literals (the planner executes them up front — only uncorrelated
+// subqueries are supported, which covers the paper's Q4 batch-norm pattern).
+func (db *DB) compileExpr(e Expr, schema []OutCol) (evalFn, error) {
+	switch t := e.(type) {
+	case *Lit:
+		v := t.Val
+		return func(*Result, int) (Datum, error) { return v, nil }, nil
+	case *ColRef:
+		idx := -1
+		for i, c := range schema {
+			if !strings.EqualFold(c.Name, t.Name) {
+				continue
+			}
+			if t.Table != "" && !strings.EqualFold(c.Table, t.Table) {
+				continue
+			}
+			if idx >= 0 {
+				return nil, fmt.Errorf("sqldb: ambiguous column %q", t.String())
+			}
+			idx = i
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("sqldb: unknown column %q", t.String())
+		}
+		i := idx
+		return func(r *Result, row int) (Datum, error) { return r.Cols[i].Get(row), nil }, nil
+	case *UnaryExpr:
+		sub, err := db.compileExpr(t.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		switch t.Op {
+		case "not":
+			return func(r *Result, row int) (Datum, error) {
+				v, err := sub(r, row)
+				if err != nil {
+					return Null(), err
+				}
+				if v.IsNull() {
+					return Null(), nil
+				}
+				b, ok := v.AsBool()
+				if !ok {
+					return Null(), fmt.Errorf("sqldb: NOT applied to %s", v.T)
+				}
+				return Bool(!b), nil
+			}, nil
+		case "-":
+			return func(r *Result, row int) (Datum, error) {
+				v, err := sub(r, row)
+				if err != nil || v.IsNull() {
+					return v, err
+				}
+				switch v.T {
+				case TInt:
+					return Int(-v.I), nil
+				case TFloat:
+					return Float(-v.F), nil
+				}
+				return Null(), fmt.Errorf("sqldb: unary minus applied to %s", v.T)
+			}, nil
+		}
+		return nil, fmt.Errorf("sqldb: unknown unary op %q", t.Op)
+	case *BinExpr:
+		return db.compileBin(t, schema)
+	case *FuncCall:
+		return db.compileFunc(t, schema)
+	case *CaseExpr:
+		whens := make([]struct{ cond, then evalFn }, len(t.Whens))
+		for i, w := range t.Whens {
+			c, err := db.compileExpr(w.Cond, schema)
+			if err != nil {
+				return nil, err
+			}
+			th, err := db.compileExpr(w.Then, schema)
+			if err != nil {
+				return nil, err
+			}
+			whens[i] = struct{ cond, then evalFn }{c, th}
+		}
+		var els evalFn
+		if t.Else != nil {
+			var err error
+			if els, err = db.compileExpr(t.Else, schema); err != nil {
+				return nil, err
+			}
+		}
+		return func(r *Result, row int) (Datum, error) {
+			for _, w := range whens {
+				c, err := w.cond(r, row)
+				if err != nil {
+					return Null(), err
+				}
+				if b, ok := c.AsBool(); ok && b {
+					return w.then(r, row)
+				}
+			}
+			if els != nil {
+				return els(r, row)
+			}
+			return Null(), nil
+		}, nil
+	case *InExpr:
+		sub, err := db.compileExpr(t.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]evalFn, len(t.List))
+		for i, x := range t.List {
+			if items[i], err = db.compileExpr(x, schema); err != nil {
+				return nil, err
+			}
+		}
+		not := t.Not
+		return func(r *Result, row int) (Datum, error) {
+			v, err := sub(r, row)
+			if err != nil {
+				return Null(), err
+			}
+			if v.IsNull() {
+				return Null(), nil
+			}
+			for _, item := range items {
+				iv, err := item(r, row)
+				if err != nil {
+					return Null(), err
+				}
+				if Equal(v, iv) {
+					return Bool(!not), nil
+				}
+			}
+			return Bool(not), nil
+		}, nil
+	case *BetweenExpr:
+		sub, err := db.compileExpr(t.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := db.compileExpr(t.Lo, schema)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := db.compileExpr(t.Hi, schema)
+		if err != nil {
+			return nil, err
+		}
+		not := t.Not
+		return func(r *Result, row int) (Datum, error) {
+			v, err := sub(r, row)
+			if err != nil || v.IsNull() {
+				return Null(), err
+			}
+			lv, err := lo(r, row)
+			if err != nil {
+				return Null(), err
+			}
+			hv, err := hi(r, row)
+			if err != nil {
+				return Null(), err
+			}
+			c1, err := Compare(v, lv)
+			if err != nil {
+				return Null(), err
+			}
+			c2, err := Compare(v, hv)
+			if err != nil {
+				return Null(), err
+			}
+			in := c1 >= 0 && c2 <= 0
+			return Bool(in != not), nil
+		}, nil
+	case *IsNullExpr:
+		sub, err := db.compileExpr(t.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		not := t.Not
+		return func(r *Result, row int) (Datum, error) {
+			v, err := sub(r, row)
+			if err != nil {
+				return Null(), err
+			}
+			return Bool(v.IsNull() != not), nil
+		}, nil
+	case *SubqueryExpr:
+		return nil, fmt.Errorf("sqldb: internal: scalar subquery not resolved before compilation")
+	}
+	return nil, fmt.Errorf("sqldb: cannot compile expression %T", e)
+}
+
+func (db *DB) compileBin(t *BinExpr, schema []OutCol) (evalFn, error) {
+	l, err := db.compileExpr(t.L, schema)
+	if err != nil {
+		return nil, err
+	}
+	r, err := db.compileExpr(t.R, schema)
+	if err != nil {
+		return nil, err
+	}
+	op := t.Op
+	switch op {
+	case "and":
+		return func(res *Result, row int) (Datum, error) {
+			lv, err := l(res, row)
+			if err != nil {
+				return Null(), err
+			}
+			if b, ok := lv.AsBool(); ok && !b {
+				return Bool(false), nil
+			}
+			rv, err := r(res, row)
+			if err != nil {
+				return Null(), err
+			}
+			lb, lok := lv.AsBool()
+			rb, rok := rv.AsBool()
+			if lok && rok {
+				return Bool(lb && rb), nil
+			}
+			return Null(), nil
+		}, nil
+	case "or":
+		return func(res *Result, row int) (Datum, error) {
+			lv, err := l(res, row)
+			if err != nil {
+				return Null(), err
+			}
+			if b, ok := lv.AsBool(); ok && b {
+				return Bool(true), nil
+			}
+			rv, err := r(res, row)
+			if err != nil {
+				return Null(), err
+			}
+			lb, lok := lv.AsBool()
+			rb, rok := rv.AsBool()
+			if lok && rok {
+				return Bool(lb || rb), nil
+			}
+			return Null(), nil
+		}, nil
+	case "=", "!=", "<", "<=", ">", ">=":
+		return func(res *Result, row int) (Datum, error) {
+			lv, err := l(res, row)
+			if err != nil {
+				return Null(), err
+			}
+			rv, err := r(res, row)
+			if err != nil {
+				return Null(), err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return Null(), nil
+			}
+			c, err := Compare(lv, rv)
+			if err != nil {
+				return Null(), err
+			}
+			switch op {
+			case "=":
+				return Bool(c == 0), nil
+			case "!=":
+				return Bool(c != 0), nil
+			case "<":
+				return Bool(c < 0), nil
+			case "<=":
+				return Bool(c <= 0), nil
+			case ">":
+				return Bool(c > 0), nil
+			default:
+				return Bool(c >= 0), nil
+			}
+		}, nil
+	case "+", "-", "*", "/", "%":
+		return func(res *Result, row int) (Datum, error) {
+			lv, err := l(res, row)
+			if err != nil {
+				return Null(), err
+			}
+			rv, err := r(res, row)
+			if err != nil {
+				return Null(), err
+			}
+			return arith(op, lv, rv)
+		}, nil
+	case "||":
+		return func(res *Result, row int) (Datum, error) {
+			lv, err := l(res, row)
+			if err != nil {
+				return Null(), err
+			}
+			rv, err := r(res, row)
+			if err != nil {
+				return Null(), err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return Null(), nil
+			}
+			return Str(lv.String() + rv.String()), nil
+		}, nil
+	}
+	return nil, fmt.Errorf("sqldb: unknown binary op %q", op)
+}
+
+// arith applies a numeric binary operator with int/float promotion.
+func arith(op string, a, b Datum) (Datum, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null(), nil
+	}
+	if a.T == TInt && b.T == TInt && op != "/" {
+		switch op {
+		case "+":
+			return Int(a.I + b.I), nil
+		case "-":
+			return Int(a.I - b.I), nil
+		case "*":
+			return Int(a.I * b.I), nil
+		case "%":
+			if b.I == 0 {
+				return Null(), fmt.Errorf("sqldb: modulo by zero")
+			}
+			return Int(a.I % b.I), nil
+		}
+	}
+	af, aok := a.AsFloat()
+	bf, bok := b.AsFloat()
+	if !aok || !bok {
+		return Null(), fmt.Errorf("sqldb: arithmetic on %s and %s", a.T, b.T)
+	}
+	switch op {
+	case "+":
+		return Float(af + bf), nil
+	case "-":
+		return Float(af - bf), nil
+	case "*":
+		return Float(af * bf), nil
+	case "/":
+		if bf == 0 {
+			return Null(), nil // SQL semantics: x/0 yields NULL rather than aborting
+		}
+		return Float(af / bf), nil
+	case "%":
+		if bf == 0 {
+			return Null(), fmt.Errorf("sqldb: modulo by zero")
+		}
+		return Float(math.Mod(af, bf)), nil
+	}
+	return Null(), fmt.Errorf("sqldb: unknown arithmetic op %q", op)
+}
+
+func (db *DB) compileFunc(t *FuncCall, schema []OutCol) (evalFn, error) {
+	name := strings.ToLower(t.Name)
+	if isAggregateName(name) {
+		return nil, fmt.Errorf("sqldb: aggregate %s used outside aggregation context", name)
+	}
+	args := make([]evalFn, len(t.Args))
+	for i, a := range t.Args {
+		f, err := db.compileExpr(a, schema)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = f
+	}
+	evalArgs := func(r *Result, row int) ([]Datum, error) {
+		vals := make([]Datum, len(args))
+		for i, f := range args {
+			v, err := f(r, row)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		return vals, nil
+	}
+	if udf := db.lookupUDF(name); udf != nil {
+		if udf.Arity >= 0 && len(args) != udf.Arity {
+			return nil, fmt.Errorf("sqldb: %s expects %d arguments, got %d", name, udf.Arity, len(args))
+		}
+		return func(r *Result, row int) (Datum, error) {
+			vals, err := evalArgs(r, row)
+			if err != nil {
+				return Null(), err
+			}
+			db.noteUDFCall(name)
+			return udf.Fn(vals)
+		}, nil
+	}
+	fn, ok := builtinScalars[name]
+	if !ok {
+		return nil, fmt.Errorf("sqldb: unknown function %q", name)
+	}
+	return func(r *Result, row int) (Datum, error) {
+		vals, err := evalArgs(r, row)
+		if err != nil {
+			return Null(), err
+		}
+		return fn(vals)
+	}, nil
+}
+
+// builtinScalars is the scalar function library (ClickHouse-flavoured
+// names).
+var builtinScalars = map[string]func([]Datum) (Datum, error){
+	"abs":   numUnary("abs", math.Abs),
+	"sqrt":  numUnary("sqrt", math.Sqrt),
+	"exp":   numUnary("exp", math.Exp),
+	"ln":    numUnary("ln", math.Log),
+	"log":   numUnary("log", math.Log),
+	"floor": numUnary("floor", math.Floor),
+	"ceil":  numUnary("ceil", math.Ceil),
+	"round": numUnary("round", math.Round),
+	"sign": numUnary("sign", func(x float64) float64 {
+		switch {
+		case x > 0:
+			return 1
+		case x < 0:
+			return -1
+		}
+		return 0
+	}),
+	"pow":   numBinary("pow", math.Pow),
+	"power": numBinary("power", math.Pow),
+	"greatest": func(args []Datum) (Datum, error) {
+		return extreme("greatest", args, func(c int) bool { return c > 0 })
+	},
+	"least": func(args []Datum) (Datum, error) {
+		return extreme("least", args, func(c int) bool { return c < 0 })
+	},
+	"if": func(args []Datum) (Datum, error) {
+		if len(args) != 3 {
+			return Null(), fmt.Errorf("sqldb: if expects 3 arguments")
+		}
+		b, _ := args[0].AsBool()
+		if b {
+			return args[1], nil
+		}
+		return args[2], nil
+	},
+	"coalesce": func(args []Datum) (Datum, error) {
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return Null(), nil
+	},
+	"tofloat64": func(args []Datum) (Datum, error) {
+		if len(args) != 1 {
+			return Null(), fmt.Errorf("sqldb: toFloat64 expects 1 argument")
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		if f, ok := args[0].AsFloat(); ok {
+			return Float(f), nil
+		}
+		return Null(), fmt.Errorf("sqldb: cannot convert %s to Float64", args[0].T)
+	},
+	"toint64": func(args []Datum) (Datum, error) {
+		if len(args) != 1 {
+			return Null(), fmt.Errorf("sqldb: toInt64 expects 1 argument")
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		if v, ok := args[0].AsInt(); ok {
+			return Int(v), nil
+		}
+		return Null(), fmt.Errorf("sqldb: cannot convert %s to Int64", args[0].T)
+	},
+	"tostring": func(args []Datum) (Datum, error) {
+		if len(args) != 1 {
+			return Null(), fmt.Errorf("sqldb: toString expects 1 argument")
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		return Str(args[0].String()), nil
+	},
+	"length": func(args []Datum) (Datum, error) {
+		if len(args) != 1 {
+			return Null(), fmt.Errorf("sqldb: length expects 1 argument")
+		}
+		switch args[0].T {
+		case TString:
+			return Int(int64(len(args[0].S))), nil
+		case TBlob:
+			return Int(int64(len(args[0].B))), nil
+		}
+		return Null(), fmt.Errorf("sqldb: length of %s", args[0].T)
+	},
+	"concat": func(args []Datum) (Datum, error) {
+		var sb strings.Builder
+		for _, a := range args {
+			if a.IsNull() {
+				return Null(), nil
+			}
+			sb.WriteString(a.String())
+		}
+		return Str(sb.String()), nil
+	},
+	"lower": strUnary("lower", strings.ToLower),
+	"upper": strUnary("upper", strings.ToUpper),
+}
+
+func numUnary(name string, f func(float64) float64) func([]Datum) (Datum, error) {
+	return func(args []Datum) (Datum, error) {
+		if len(args) != 1 {
+			return Null(), fmt.Errorf("sqldb: %s expects 1 argument", name)
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		v, ok := args[0].AsFloat()
+		if !ok {
+			return Null(), fmt.Errorf("sqldb: %s of %s", name, args[0].T)
+		}
+		return Float(f(v)), nil
+	}
+}
+
+func numBinary(name string, f func(a, b float64) float64) func([]Datum) (Datum, error) {
+	return func(args []Datum) (Datum, error) {
+		if len(args) != 2 {
+			return Null(), fmt.Errorf("sqldb: %s expects 2 arguments", name)
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return Null(), nil
+		}
+		a, aok := args[0].AsFloat()
+		b, bok := args[1].AsFloat()
+		if !aok || !bok {
+			return Null(), fmt.Errorf("sqldb: %s of %s, %s", name, args[0].T, args[1].T)
+		}
+		return Float(f(a, b)), nil
+	}
+}
+
+func strUnary(name string, f func(string) string) func([]Datum) (Datum, error) {
+	return func(args []Datum) (Datum, error) {
+		if len(args) != 1 {
+			return Null(), fmt.Errorf("sqldb: %s expects 1 argument", name)
+		}
+		if args[0].IsNull() {
+			return Null(), nil
+		}
+		if args[0].T != TString {
+			return Null(), fmt.Errorf("sqldb: %s of %s", name, args[0].T)
+		}
+		return Str(f(args[0].S)), nil
+	}
+}
+
+func extreme(name string, args []Datum, pick func(int) bool) (Datum, error) {
+	if len(args) == 0 {
+		return Null(), fmt.Errorf("sqldb: %s expects at least 1 argument", name)
+	}
+	best := args[0]
+	for _, a := range args[1:] {
+		if a.IsNull() {
+			return Null(), nil
+		}
+		c, err := Compare(a, best)
+		if err != nil {
+			return Null(), err
+		}
+		if pick(c) {
+			best = a
+		}
+	}
+	return best, nil
+}
+
+// isAggregateName reports whether a function name denotes an aggregate.
+func isAggregateName(name string) bool {
+	switch name {
+	case "count", "sum", "avg", "min", "max", "stddevsamp", "stddevpop", "varsamp", "varpop", "argmax", "argmin":
+		return true
+	}
+	return false
+}
+
+// exprHasAggregate walks an expression tree looking for aggregate calls.
+func exprHasAggregate(e Expr) bool {
+	switch t := e.(type) {
+	case *FuncCall:
+		if isAggregateName(strings.ToLower(t.Name)) {
+			return true
+		}
+		for _, a := range t.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+	case *BinExpr:
+		return exprHasAggregate(t.L) || exprHasAggregate(t.R)
+	case *UnaryExpr:
+		return exprHasAggregate(t.E)
+	case *CaseExpr:
+		for _, w := range t.Whens {
+			if exprHasAggregate(w.Cond) || exprHasAggregate(w.Then) {
+				return true
+			}
+		}
+		if t.Else != nil {
+			return exprHasAggregate(t.Else)
+		}
+	case *InExpr:
+		if exprHasAggregate(t.E) {
+			return true
+		}
+		for _, x := range t.List {
+			if exprHasAggregate(x) {
+				return true
+			}
+		}
+	case *BetweenExpr:
+		return exprHasAggregate(t.E) || exprHasAggregate(t.Lo) || exprHasAggregate(t.Hi)
+	case *IsNullExpr:
+		return exprHasAggregate(t.E)
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package sqldb
+
+import "testing"
+
+// FuzzParse asserts the lexer/parser never panic on arbitrary input — they
+// must either produce a statement or return an error. Run the corpus with
+// `go test`, or explore with `go test -fuzz=FuzzParse ./internal/sqldb`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT 1",
+		"SELECT a, b FROM t WHERE x = 1 AND y < 'z' GROUP BY a HAVING count(*) > 0 ORDER BY b DESC LIMIT 5",
+		"CREATE TEMP TABLE t(SELECT MatrixID, SUM(A.Value * B.Value) FROM fm A INNER JOIN k B ON A.OrderID = B.OrderID GROUP BY KernelID, MatrixID)",
+		"UPDATE cb_output SET Value = 0 WHERE Value < 0",
+		"INSERT INTO t VALUES (1, 'a'), (2, 'b')",
+		"SELECT CASE WHEN a THEN 1 ELSE 2 END FROM t",
+		"SELECT * FROM (SELECT 1 AS x) s WHERE x BETWEEN 0 AND 2",
+		"EXPLAIN SELECT 1",
+		"SELECT '''; DROP TABLE t; --'",
+		"SELECT 1e309, -0.0, .5",
+		"((((",
+		"SELECT \xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		// Must never panic.
+		_, _ = ParseMulti(sql)
+	})
+}
+
+// FuzzExec runs arbitrary statements against a small database: any outcome
+// except a panic is acceptable.
+func FuzzExec(f *testing.F) {
+	f.Add("SELECT id FROM emp WHERE salary > 50")
+	f.Add("SELECT count(*) FROM emp GROUP BY dept")
+	f.Add("UPDATE emp SET salary = salary * 2 WHERE id = 1")
+	f.Add("SELECT 1/0, abs('x')")
+	f.Fuzz(func(t *testing.T, sql string) {
+		db := New()
+		db.Profile = NewProfile()
+		if _, err := db.Exec(`CREATE TABLE emp (id Int64, name String, dept String, salary Float64)`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec(`INSERT INTO emp VALUES (1, 'a', 'x', 10.0), (2, 'b', 'y', 20.0)`); err != nil {
+			t.Fatal(err)
+		}
+		_, _ = db.Exec(sql)
+	})
+}

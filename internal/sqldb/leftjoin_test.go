@@ -1,0 +1,210 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLeftJoinBasic(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE badge (emp_id Int64, badge String)`)
+	mustExec(t, db, `INSERT INTO badge VALUES (1, 'gold'), (3, 'silver')`)
+	res := mustExec(t, db, `SELECT e.name, b.badge FROM emp e LEFT JOIN badge b ON e.id = b.emp_id ORDER BY e.id`)
+	if res.NumRows() != 5 {
+		t.Fatalf("left join rows = %d, want 5", res.NumRows())
+	}
+	if res.Cols[1].Get(0).S != "gold" {
+		t.Fatalf("row 0 badge = %v", res.Cols[1].Get(0))
+	}
+	if !res.Cols[1].Get(1).IsNull() {
+		t.Fatalf("row 1 badge should be NULL, got %v", res.Cols[1].Get(1))
+	}
+	if res.Cols[1].Get(2).S != "silver" {
+		t.Fatalf("row 2 badge = %v", res.Cols[1].Get(2))
+	}
+}
+
+func TestLeftJoinOuterKeyword(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE badge (emp_id Int64, badge String)`)
+	res := mustExec(t, db, `SELECT e.id FROM emp e LEFT OUTER JOIN badge b ON e.id = b.emp_id`)
+	if res.NumRows() != 5 {
+		t.Fatalf("left outer rows = %d", res.NumRows())
+	}
+}
+
+func TestLeftJoinWhereOnRightSide(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE badge (emp_id Int64, badge String)`)
+	mustExec(t, db, `INSERT INTO badge VALUES (1, 'gold'), (3, 'silver')`)
+	// WHERE applies after the join: IS NULL finds the unmatched rows.
+	res := mustExec(t, db, `SELECT count(*) c FROM emp e LEFT JOIN badge b ON e.id = b.emp_id WHERE b.badge IS NULL`)
+	if res.Cols[0].Get(0).I != 3 {
+		t.Fatalf("anti-join count = %v, want 3", res.Cols[0].Get(0))
+	}
+}
+
+func TestLeftJoinDuplicateMatches(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE badge (emp_id Int64, badge String)`)
+	mustExec(t, db, `INSERT INTO badge VALUES (1, 'gold'), (1, 'platinum')`)
+	res := mustExec(t, db, `SELECT count(*) c FROM emp e LEFT JOIN badge b ON e.id = b.emp_id`)
+	// 2 matches for alice + 4 unmatched singles = 6.
+	if res.Cols[0].Get(0).I != 6 {
+		t.Fatalf("rows = %v, want 6", res.Cols[0].Get(0))
+	}
+}
+
+func TestLeftJoinWithExtraRelation(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE badge (emp_id Int64, badge String)`)
+	mustExec(t, db, `INSERT INTO badge VALUES (2, 'gold')`)
+	mustExec(t, db, `CREATE TABLE dept2 (name String, floor Int64)`)
+	mustExec(t, db, `INSERT INTO dept2 VALUES ('eng', 3), ('sales', 1), ('hr', 2)`)
+	// Composite left-join relation inner-joined with another table.
+	res := mustExec(t, db, `SELECT e.name, d.floor, b.badge FROM emp e LEFT JOIN badge b ON e.id = b.emp_id, dept2 d WHERE e.dept = d.name ORDER BY e.id`)
+	if res.NumRows() != 5 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	if !res.Cols[2].Get(0).IsNull() || res.Cols[2].Get(1).S != "gold" {
+		t.Fatalf("badges: %v %v", res.Cols[2].Get(0), res.Cols[2].Get(1))
+	}
+}
+
+func TestLeftJoinAggregation(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE badge (emp_id Int64, badge String)`)
+	mustExec(t, db, `INSERT INTO badge VALUES (1, 'gold'), (2, 'gold')`)
+	// count(col) skips the NULL-padded rows, count(*) does not.
+	res := mustExec(t, db, `SELECT count(*) a, count(b.badge) m FROM emp e LEFT JOIN badge b ON e.id = b.emp_id`)
+	if res.Cols[0].Get(0).I != 5 || res.Cols[1].Get(0).I != 2 {
+		t.Fatalf("counts: %v", res.GetRow(0))
+	}
+}
+
+func TestLeftJoinRequiresEquiOn(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE badge (emp_id Int64, badge String)`)
+	if _, err := db.Exec(`SELECT e.id FROM emp e LEFT JOIN badge b ON e.id > b.emp_id`); err == nil {
+		t.Fatal("non-equi LEFT JOIN must be rejected")
+	}
+	if _, err := db.Exec(`SELECT e.id FROM emp e LEFT JOIN badge b`); err == nil {
+		t.Fatal("LEFT JOIN without ON must be rejected")
+	}
+}
+
+func TestLeftJoinExplain(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE badge (emp_id Int64, badge String)`)
+	res := mustExec(t, db, `EXPLAIN SELECT e.id FROM emp e LEFT JOIN badge b ON e.id = b.emp_id`)
+	joined := ""
+	for i := 0; i < res.NumRows(); i++ {
+		joined += res.Cols[0].Get(i).S + "\n"
+	}
+	if !strings.Contains(joined, "LeftOuterHashJoin") {
+		t.Fatalf("explain missing LeftOuterHashJoin:\n%s", joined)
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE vip (emp_id Int64)`)
+	mustExec(t, db, `INSERT INTO vip VALUES (1), (4)`)
+	res := mustExec(t, db, `SELECT name FROM emp WHERE id IN (SELECT emp_id FROM vip) ORDER BY id`)
+	if res.NumRows() != 2 || res.Cols[0].Get(0).S != "alice" || res.Cols[0].Get(1).S != "dave" {
+		t.Fatalf("IN subquery: %v", res.Cols[0])
+	}
+	res = mustExec(t, db, `SELECT count(*) c FROM emp WHERE id NOT IN (SELECT emp_id FROM vip)`)
+	if res.Cols[0].Get(0).I != 3 {
+		t.Fatalf("NOT IN subquery: %v", res.Cols[0].Get(0))
+	}
+}
+
+func TestInSubqueryEmpty(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE vip (emp_id Int64)`)
+	res := mustExec(t, db, `SELECT count(*) c FROM emp WHERE id IN (SELECT emp_id FROM vip)`)
+	if res.Cols[0].Get(0).I != 0 {
+		t.Fatalf("empty IN subquery: %v", res.Cols[0].Get(0))
+	}
+}
+
+func TestInSubqueryMultiColumnRejected(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`SELECT name FROM emp WHERE id IN (SELECT id, name FROM emp)`); err == nil {
+		t.Fatal("multi-column IN subquery must fail")
+	}
+}
+
+func TestInSubqueryAggregated(t *testing.T) {
+	db := newTestDB(t)
+	// Employees in departments with more than one member.
+	res := mustExec(t, db, `SELECT count(*) c FROM emp WHERE dept IN (SELECT dept FROM emp GROUP BY dept HAVING count(*) > 1)`)
+	if res.Cols[0].Get(0).I != 4 {
+		t.Fatalf("aggregated IN subquery: %v", res.Cols[0].Get(0))
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db, `SELECT name, salary FROM emp WHERE dept = 'eng'
+		UNION ALL SELECT name, salary FROM emp WHERE dept = 'hr'`)
+	if res.NumRows() != 3 {
+		t.Fatalf("union rows = %d, want 3", res.NumRows())
+	}
+	// Duplicates are preserved.
+	res = mustExec(t, db, `SELECT id FROM emp UNION ALL SELECT id FROM emp`)
+	if res.NumRows() != 10 {
+		t.Fatalf("dup union rows = %d, want 10", res.NumRows())
+	}
+}
+
+func TestUnionAllThreeBranches(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db, `SELECT 1 AS x UNION ALL SELECT 2 UNION ALL SELECT 3`)
+	if res.NumRows() != 3 {
+		t.Fatalf("3-branch union rows = %d", res.NumRows())
+	}
+	sum := int64(0)
+	for i := 0; i < 3; i++ {
+		v, _ := res.Cols[0].Get(i).AsInt()
+		sum += v
+	}
+	if sum != 6 {
+		t.Fatalf("union values sum = %d", sum)
+	}
+}
+
+func TestUnionAllColumnMismatch(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`SELECT id FROM emp UNION ALL SELECT id, name FROM emp`); err == nil {
+		t.Fatal("column-count mismatch must fail")
+	}
+}
+
+func TestUnionRequiresAll(t *testing.T) {
+	db := newTestDB(t)
+	if _, err := db.Exec(`SELECT id FROM emp UNION SELECT id FROM emp`); err == nil {
+		t.Fatal("bare UNION must be rejected (only UNION ALL)")
+	}
+}
+
+func TestUnionAllInsideCreateAndFromSubquery(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE u AS SELECT id FROM emp WHERE id <= 2 UNION ALL SELECT id FROM emp WHERE id >= 4`)
+	res := mustExec(t, db, `SELECT count(*) c FROM u`)
+	if res.Cols[0].Get(0).I != 4 {
+		t.Fatalf("create-from-union rows = %v", res.Cols[0].Get(0))
+	}
+}
+
+func TestOrderByOrdinal(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db, `SELECT name, salary FROM emp ORDER BY 2 DESC LIMIT 1`)
+	if res.Cols[0].Get(0).S != "alice" {
+		t.Fatalf("ORDER BY 2: %v", res.Cols[0].Get(0))
+	}
+	if _, err := db.Exec(`SELECT name FROM emp ORDER BY 5`); err == nil {
+		t.Fatal("out-of-range ordinal must fail")
+	}
+}

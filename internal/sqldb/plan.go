@@ -1,0 +1,669 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Logical plan nodes. The engine executes plans by full materialization —
+// each operator drains its child and produces a Result — which mirrors a
+// block-at-a-time columnar pipeline that has been fully consumed and keeps
+// per-operator profiling (Fig. 10) exact.
+
+// Plan is a logical/physical query plan node.
+type Plan interface {
+	planNode()
+	// OutSchema is the statically-known schema of this node's output.
+	OutSchema() []OutCol
+}
+
+// LScan reads a base table or view, applying pushed-down filters.
+type LScan struct {
+	Table   string
+	Alias   string
+	Filters []Expr // conjuncts evaluated during the scan
+	schema  []OutCol
+	// EstRows is the optimizer's cardinality estimate, kept for EXPLAIN and
+	// tests.
+	EstRows float64
+}
+
+// LFilter applies residual conjuncts.
+type LFilter struct {
+	Child Plan
+	Conds []Expr
+}
+
+// LJoin is a binary join. EquiL/EquiR are matching key expressions (over
+// the left/right child schemas respectively); when empty the join degrades
+// to a nested-loop cross join filtered by Residual.
+type LJoin struct {
+	L, R      Plan
+	EquiL     []Expr
+	EquiR     []Expr
+	Residual  []Expr
+	Symmetric bool // use the symmetric hash join algorithm (hint rule 3)
+	// LeftOuter preserves unmatched left rows, padding the right side with
+	// NULLs (LEFT OUTER JOIN).
+	LeftOuter bool
+	EstRows   float64
+}
+
+// LProject computes the SELECT items.
+type LProject struct {
+	Child  Plan
+	Items  []SelectItem
+	schema []OutCol
+}
+
+// LAgg performs (optionally grouped) aggregation and computes the SELECT
+// items over the aggregated values.
+type LAgg struct {
+	Child   Plan
+	GroupBy []Expr
+	Items   []SelectItem
+	Having  Expr
+	schema  []OutCol
+}
+
+// LDistinct removes duplicate rows.
+type LDistinct struct{ Child Plan }
+
+// LSort orders rows.
+type LSort struct {
+	Child Plan
+	Keys  []OrderItem
+}
+
+// LLimit truncates rows.
+type LLimit struct {
+	Child  Plan
+	N      int
+	Offset int
+}
+
+func (*LScan) planNode()     {}
+func (*LFilter) planNode()   {}
+func (*LJoin) planNode()     {}
+func (*LProject) planNode()  {}
+func (*LAgg) planNode()      {}
+func (*LDistinct) planNode() {}
+func (*LSort) planNode()     {}
+func (*LLimit) planNode()    {}
+
+func (p *LScan) OutSchema() []OutCol     { return p.schema }
+func (p *LFilter) OutSchema() []OutCol   { return p.Child.OutSchema() }
+func (p *LProject) OutSchema() []OutCol  { return p.schema }
+func (p *LAgg) OutSchema() []OutCol      { return p.schema }
+func (p *LDistinct) OutSchema() []OutCol { return p.Child.OutSchema() }
+func (p *LSort) OutSchema() []OutCol     { return p.Child.OutSchema() }
+func (p *LLimit) OutSchema() []OutCol    { return p.Child.OutSchema() }
+
+func (p *LJoin) OutSchema() []OutCol {
+	l := p.L.OutSchema()
+	r := p.R.OutSchema()
+	out := make([]OutCol, 0, len(l)+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}
+
+// planRel is one relation in the FROM list during planning.
+type planRel struct {
+	alias string
+	plan  Plan
+}
+
+// planSelect builds a plan for a SELECT statement.
+func (db *DB) planSelect(st *SelectStmt, hints *QueryHints) (Plan, error) {
+	// Resolve scalar subqueries first: execute each uncorrelated subquery
+	// once and replace it with a literal (covers the paper's Q4 AVG/stddev
+	// pattern).
+	st, err := db.resolveSubqueries(st, hints)
+	if err != nil {
+		return nil, err
+	}
+
+	if st.From == nil {
+		// FROM-less SELECT: single-row projection.
+		return &LProject{
+			Child:  nil,
+			Items:  st.Items,
+			schema: db.projectSchema(st.Items, nil),
+		}, nil
+	}
+
+	rels, onConds, err := db.flattenFrom(st.From, hints)
+	if err != nil {
+		return nil, err
+	}
+	conds := append(onConds, conjuncts(st.Where)...)
+
+	plan, residual, err := db.buildJoinTree(rels, conds, hints)
+	if err != nil {
+		return nil, err
+	}
+	if len(residual) > 0 {
+		plan = &LFilter{Child: plan, Conds: db.orderPredicates(residual, hints)}
+	}
+
+	// ORDER BY ordinals: an integer literal key selects the Nth item.
+	for i, k := range st.OrderBy {
+		lit, ok := k.Expr.(*Lit)
+		if !ok || lit.Val.T != TInt {
+			continue
+		}
+		n := int(lit.Val.I)
+		if n < 1 || n > len(st.Items) || st.Items[n-1].Star {
+			return nil, fmt.Errorf("sqldb: ORDER BY position %d out of range", n)
+		}
+		st.OrderBy[i].Expr = st.Items[n-1].Expr
+	}
+
+	// Aggregation?
+	hasAgg := len(st.GroupBy) > 0 || st.Having != nil
+	for _, it := range st.Items {
+		if !it.Star && exprHasAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		agg := &LAgg{Child: plan, GroupBy: st.GroupBy, Items: st.Items, Having: st.Having}
+		agg.schema = db.projectSchema(st.Items, plan.OutSchema())
+		plan = agg
+		if st.Distinct {
+			plan = &LDistinct{Child: plan}
+		}
+		if len(st.OrderBy) > 0 {
+			plan = &LSort{Child: plan, Keys: st.OrderBy}
+		}
+	} else {
+		star := len(st.Items) == 1 && st.Items[0].Star
+		if len(st.OrderBy) > 0 && !st.Distinct {
+			// Sort below the projection so ORDER BY can reference source
+			// columns that are not projected; output-alias references are
+			// rewritten to the underlying item expressions first.
+			keys := make([]OrderItem, len(st.OrderBy))
+			for i, k := range st.OrderBy {
+				keys[i] = k
+				if cr, ok := k.Expr.(*ColRef); ok && cr.Table == "" {
+					for _, it := range st.Items {
+						if !it.Star && it.Alias != "" && strings.EqualFold(it.Alias, cr.Name) {
+							keys[i].Expr = it.Expr
+							break
+						}
+					}
+				}
+			}
+			plan = &LSort{Child: plan, Keys: keys}
+		}
+		if !star {
+			plan = &LProject{Child: plan, Items: st.Items, schema: db.projectSchema(st.Items, plan.OutSchema())}
+		}
+		if st.Distinct {
+			plan = &LDistinct{Child: plan}
+			if len(st.OrderBy) > 0 {
+				plan = &LSort{Child: plan, Keys: st.OrderBy}
+			}
+		}
+	}
+	if st.Limit >= 0 || st.Offset > 0 {
+		n := st.Limit
+		if n < 0 {
+			n = 1<<62 - 1
+		}
+		plan = &LLimit{Child: plan, N: n, Offset: st.Offset}
+	}
+	return plan, nil
+}
+
+// projectSchema derives output column names for SELECT items.
+func (db *DB) projectSchema(items []SelectItem, child []OutCol) []OutCol {
+	var out []OutCol
+	for _, it := range items {
+		if it.Star {
+			out = append(out, child...)
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			if cr, ok := it.Expr.(*ColRef); ok {
+				name = cr.Name
+			} else {
+				name = it.Expr.String()
+			}
+		}
+		out = append(out, OutCol{Name: name})
+	}
+	return out
+}
+
+// flattenFrom walks the FROM tree collecting base relations and ON
+// conditions. LEFT JOIN subtrees are planned structurally (they cannot be
+// reordered) and returned as one composite relation.
+func (db *DB) flattenFrom(ref *TableRef, hints *QueryHints) ([]planRel, []Expr, error) {
+	switch {
+	case ref.Join != nil && ref.Join.Left:
+		return db.planLeftJoin(ref.Join, hints)
+	case ref.Join != nil:
+		lRels, lConds, err := db.flattenFrom(ref.Join.L, hints)
+		if err != nil {
+			return nil, nil, err
+		}
+		rRels, rConds, err := db.flattenFrom(ref.Join.R, hints)
+		if err != nil {
+			return nil, nil, err
+		}
+		rels := append(lRels, rRels...)
+		conds := append(lConds, rConds...)
+		if ref.Join.Cond != nil {
+			conds = append(conds, conjuncts(ref.Join.Cond)...)
+		}
+		return rels, conds, nil
+	case ref.Sub != nil:
+		sub, err := db.planSelect(ref.Sub, hints)
+		if err != nil {
+			return nil, nil, err
+		}
+		alias := ref.Alias
+		// Requalify the subquery's output columns under the alias.
+		schema := make([]OutCol, len(sub.OutSchema()))
+		for i, c := range sub.OutSchema() {
+			schema[i] = OutCol{Table: alias, Name: c.Name, Type: c.Type}
+		}
+		sub = &aliasPlan{Child: sub, schema: schema}
+		return []planRel{{alias: alias, plan: sub}}, nil, nil
+	default:
+		scan, err := db.newScan(ref.Table, ref.Alias)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []planRel{{alias: ref.Alias, plan: scan}}, nil, nil
+	}
+}
+
+// planLeftJoin plans `L LEFT JOIN R ON cond` as a composite relation. The
+// ON condition must be a conjunction of equi-predicates between the two
+// sides (the paper's workloads never need outer non-equi joins).
+func (db *DB) planLeftJoin(j *JoinRef, hints *QueryHints) ([]planRel, []Expr, error) {
+	buildSide := func(ref *TableRef) (Plan, error) {
+		rels, conds, err := db.flattenFrom(ref, hints)
+		if err != nil {
+			return nil, err
+		}
+		plan, residual, err := db.buildJoinTree(rels, conds, hints)
+		if err != nil {
+			return nil, err
+		}
+		if len(residual) > 0 {
+			plan = &LFilter{Child: plan, Conds: residual}
+		}
+		return plan, nil
+	}
+	lPlan, err := buildSide(j.L)
+	if err != nil {
+		return nil, nil, err
+	}
+	rPlan, err := buildSide(j.R)
+	if err != nil {
+		return nil, nil, err
+	}
+	join := &LJoin{L: lPlan, R: rPlan, LeftOuter: true}
+	for _, c := range conjuncts(j.Cond) {
+		b, ok := c.(*BinExpr)
+		if !ok || b.Op != "=" {
+			return nil, nil, fmt.Errorf("sqldb: LEFT JOIN requires equi ON conditions, got %s", c)
+		}
+		lSide := exprResolvesIn(b.L, lPlan.OutSchema()) && !exprResolvesIn(b.L, rPlan.OutSchema())
+		rSide := exprResolvesIn(b.R, rPlan.OutSchema()) && !exprResolvesIn(b.R, lPlan.OutSchema())
+		switch {
+		case lSide && rSide:
+			join.EquiL = append(join.EquiL, b.L)
+			join.EquiR = append(join.EquiR, b.R)
+		case exprResolvesIn(b.R, lPlan.OutSchema()) && exprResolvesIn(b.L, rPlan.OutSchema()):
+			join.EquiL = append(join.EquiL, b.R)
+			join.EquiR = append(join.EquiR, b.L)
+		default:
+			return nil, nil, fmt.Errorf("sqldb: cannot attribute LEFT JOIN condition %s to one side each", c)
+		}
+	}
+	if len(join.EquiL) == 0 {
+		return nil, nil, fmt.Errorf("sqldb: LEFT JOIN requires an ON condition")
+	}
+	db.mu.Lock()
+	db.leftJoinSeq++
+	alias := fmt.Sprintf("_lj%d", db.leftJoinSeq)
+	db.mu.Unlock()
+	return []planRel{{alias: alias, plan: join}}, nil, nil
+}
+
+// exprResolvesIn reports whether every column reference in e resolves
+// against the schema.
+func exprResolvesIn(e Expr, schema []OutCol) bool {
+	var refs []*ColRef
+	collectColRefs(e, &refs)
+	if len(refs) == 0 {
+		return false
+	}
+	for _, ref := range refs {
+		found := false
+		for _, c := range schema {
+			if strings.EqualFold(c.Name, ref.Name) &&
+				(ref.Table == "" || strings.EqualFold(c.Table, ref.Table)) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// aliasPlan renames its child's output columns (for FROM subqueries).
+type aliasPlan struct {
+	Child  Plan
+	schema []OutCol
+}
+
+func (*aliasPlan) planNode()             {}
+func (p *aliasPlan) OutSchema() []OutCol { return p.schema }
+
+// newScan plans a base-table or view access.
+func (db *DB) newScan(table, alias string) (Plan, error) {
+	if v := db.lookupView(table); v != nil {
+		sub, err := db.planSelect(v.Query, nil)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: expanding view %s: %w", table, err)
+		}
+		schema := make([]OutCol, len(sub.OutSchema()))
+		for i, c := range sub.OutSchema() {
+			schema[i] = OutCol{Table: alias, Name: c.Name, Type: c.Type}
+		}
+		return &aliasPlan{Child: sub, schema: schema}, nil
+	}
+	t := db.lookupTable(table)
+	if t == nil {
+		return nil, fmt.Errorf("sqldb: no table or view named %q", table)
+	}
+	schema := make([]OutCol, len(t.Schema))
+	for i, c := range t.Schema {
+		schema[i] = OutCol{Table: alias, Name: c.Name, Type: c.Type}
+	}
+	return &LScan{Table: t.Name, Alias: alias, schema: schema, EstRows: float64(t.NumRows())}, nil
+}
+
+// conjuncts splits an expression on AND.
+func conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinExpr); ok && b.Op == "and" {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// collectColRefs gathers every column reference in an expression.
+func collectColRefs(e Expr, out *[]*ColRef) {
+	switch t := e.(type) {
+	case *ColRef:
+		*out = append(*out, t)
+	case *BinExpr:
+		collectColRefs(t.L, out)
+		collectColRefs(t.R, out)
+	case *UnaryExpr:
+		collectColRefs(t.E, out)
+	case *FuncCall:
+		for _, a := range t.Args {
+			collectColRefs(a, out)
+		}
+	case *CaseExpr:
+		for _, w := range t.Whens {
+			collectColRefs(w.Cond, out)
+			collectColRefs(w.Then, out)
+		}
+		if t.Else != nil {
+			collectColRefs(t.Else, out)
+		}
+	case *InExpr:
+		collectColRefs(t.E, out)
+		for _, x := range t.List {
+			collectColRefs(x, out)
+		}
+	case *BetweenExpr:
+		collectColRefs(t.E, out)
+		collectColRefs(t.Lo, out)
+		collectColRefs(t.Hi, out)
+	case *IsNullExpr:
+		collectColRefs(t.E, out)
+	}
+}
+
+// relsOf returns the set of relation aliases an expression touches, given
+// the per-relation schemas. Unqualified names resolve to whichever relation
+// has the column; ambiguity across relations is an error.
+func relsOf(e Expr, rels []planRel) (map[string]bool, error) {
+	var refs []*ColRef
+	collectColRefs(e, &refs)
+	out := map[string]bool{}
+	for _, ref := range refs {
+		matched := ""
+		for _, rel := range rels {
+			for _, c := range rel.plan.OutSchema() {
+				if !strings.EqualFold(c.Name, ref.Name) {
+					continue
+				}
+				// A qualifier must match either the relation's alias or the
+				// schema column's own qualifier (composite relations such as
+				// LEFT JOIN subtrees carry their members' qualifiers).
+				if ref.Table != "" && !strings.EqualFold(ref.Table, rel.alias) &&
+					!strings.EqualFold(ref.Table, c.Table) {
+					continue
+				}
+				if matched != "" && !strings.EqualFold(matched, rel.alias) {
+					return nil, fmt.Errorf("sqldb: ambiguous column %q", ref.String())
+				}
+				matched = rel.alias
+			}
+		}
+		if matched == "" {
+			return nil, fmt.Errorf("sqldb: unknown column %q", ref.String())
+		}
+		out[strings.ToLower(matched)] = true
+	}
+	return out, nil
+}
+
+// exprUDFs returns the registered UDF names appearing in the expression.
+func (db *DB) exprUDFs(e Expr) []string {
+	var out []string
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch t := x.(type) {
+		case *FuncCall:
+			if db.lookupUDF(strings.ToLower(t.Name)) != nil {
+				out = append(out, strings.ToLower(t.Name))
+			}
+			for _, a := range t.Args {
+				walk(a)
+			}
+		case *BinExpr:
+			walk(t.L)
+			walk(t.R)
+		case *UnaryExpr:
+			walk(t.E)
+		case *CaseExpr:
+			for _, w := range t.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			if t.Else != nil {
+				walk(t.Else)
+			}
+		case *InExpr:
+			walk(t.E)
+			for _, i := range t.List {
+				walk(i)
+			}
+		case *BetweenExpr:
+			walk(t.E)
+			walk(t.Lo)
+			walk(t.Hi)
+		case *IsNullExpr:
+			walk(t.E)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// resolveSubqueries executes uncorrelated scalar subqueries and substitutes
+// their values as literals, returning a rewritten statement.
+func (db *DB) resolveSubqueries(st *SelectStmt, hints *QueryHints) (*SelectStmt, error) {
+	rewrite := func(e Expr) (Expr, error) { return db.rewriteSubqueries(e, hints) }
+	out := *st
+	out.Items = append([]SelectItem(nil), st.Items...)
+	for i := range out.Items {
+		if out.Items[i].Star {
+			continue
+		}
+		e, err := rewrite(out.Items[i].Expr)
+		if err != nil {
+			return nil, err
+		}
+		out.Items[i].Expr = e
+	}
+	var err error
+	if st.Where != nil {
+		if out.Where, err = rewrite(st.Where); err != nil {
+			return nil, err
+		}
+	}
+	if st.Having != nil {
+		if out.Having, err = rewrite(st.Having); err != nil {
+			return nil, err
+		}
+	}
+	return &out, nil
+}
+
+func (db *DB) rewriteSubqueries(e Expr, hints *QueryHints) (Expr, error) {
+	switch t := e.(type) {
+	case *SubqueryExpr:
+		res, err := db.runSelect(t.Query, hints)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: scalar subquery: %w", err)
+		}
+		if len(res.Cols) != 1 {
+			return nil, fmt.Errorf("sqldb: scalar subquery returns %d columns", len(res.Cols))
+		}
+		if res.NumRows() == 0 {
+			return &Lit{Val: Null()}, nil
+		}
+		if res.NumRows() > 1 {
+			return nil, fmt.Errorf("sqldb: scalar subquery returns %d rows", res.NumRows())
+		}
+		return &Lit{Val: res.Cols[0].Get(0)}, nil
+	case *BinExpr:
+		l, err := db.rewriteSubqueries(t.L, hints)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.rewriteSubqueries(t.R, hints)
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: t.Op, L: l, R: r}, nil
+	case *UnaryExpr:
+		sub, err := db.rewriteSubqueries(t.E, hints)
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Op, E: sub}, nil
+	case *FuncCall:
+		out := &FuncCall{Name: t.Name, Distinct: t.Distinct, Star: t.Star}
+		for _, a := range t.Args {
+			ra, err := db.rewriteSubqueries(a, hints)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, ra)
+		}
+		return out, nil
+	case *CaseExpr:
+		out := &CaseExpr{}
+		for _, w := range t.Whens {
+			c, err := db.rewriteSubqueries(w.Cond, hints)
+			if err != nil {
+				return nil, err
+			}
+			th, err := db.rewriteSubqueries(w.Then, hints)
+			if err != nil {
+				return nil, err
+			}
+			out.Whens = append(out.Whens, WhenClause{Cond: c, Then: th})
+		}
+		if t.Else != nil {
+			e2, err := db.rewriteSubqueries(t.Else, hints)
+			if err != nil {
+				return nil, err
+			}
+			out.Else = e2
+		}
+		return out, nil
+	case *InExpr:
+		sub, err := db.rewriteSubqueries(t.E, hints)
+		if err != nil {
+			return nil, err
+		}
+		out := &InExpr{E: sub, Not: t.Not}
+		if t.Sub != nil {
+			// Materialize the (uncorrelated) IN-subquery into a literal
+			// list; the expression evaluator then probes it like any IN.
+			res, err := db.runSelect(t.Sub, hints)
+			if err != nil {
+				return nil, fmt.Errorf("sqldb: IN subquery: %w", err)
+			}
+			if len(res.Cols) != 1 {
+				return nil, fmt.Errorf("sqldb: IN subquery returns %d columns, want 1", len(res.Cols))
+			}
+			n := res.NumRows()
+			for i := 0; i < n; i++ {
+				out.List = append(out.List, &Lit{Val: res.Cols[0].Get(i)})
+			}
+			return out, nil
+		}
+		for _, x := range t.List {
+			rx, err := db.rewriteSubqueries(x, hints)
+			if err != nil {
+				return nil, err
+			}
+			out.List = append(out.List, rx)
+		}
+		return out, nil
+	case *BetweenExpr:
+		sub, err := db.rewriteSubqueries(t.E, hints)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := db.rewriteSubqueries(t.Lo, hints)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := db.rewriteSubqueries(t.Hi, hints)
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{E: sub, Lo: lo, Hi: hi, Not: t.Not}, nil
+	case *IsNullExpr:
+		sub, err := db.rewriteSubqueries(t.E, hints)
+		if err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: sub, Not: t.Not}, nil
+	default:
+		return e, nil
+	}
+}

@@ -1,0 +1,422 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ColumnDef describes one column of a table schema.
+type ColumnDef struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of column definitions.
+type Schema []ColumnDef
+
+// ColIndex returns the index of the named column (case-insensitive), or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column is a typed columnar vector. Exactly one of the typed slices is in
+// use, chosen by Type; Nulls (when non-nil) flags NULL rows.
+type Column struct {
+	Type   Type
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+	Blobs  [][]byte
+	Nulls  []bool
+}
+
+// NewColumn allocates an empty column of the given type.
+func NewColumn(t Type) *Column { return &Column{Type: t} }
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int {
+	switch c.Type {
+	case TInt:
+		return len(c.Ints)
+	case TFloat:
+		return len(c.Floats)
+	case TString:
+		return len(c.Strs)
+	case TBool:
+		return len(c.Bools)
+	case TBlob:
+		return len(c.Blobs)
+	case TNull:
+		return len(c.Nulls)
+	}
+	return 0
+}
+
+// Get returns row i as a Datum.
+func (c *Column) Get(i int) Datum {
+	if c.Nulls != nil && c.Nulls[i] {
+		return Null()
+	}
+	switch c.Type {
+	case TInt:
+		return Int(c.Ints[i])
+	case TFloat:
+		return Float(c.Floats[i])
+	case TString:
+		return Str(c.Strs[i])
+	case TBool:
+		return Bool(c.Bools[i])
+	case TBlob:
+		return Blob(c.Blobs[i])
+	}
+	return Null()
+}
+
+// Append adds a datum to the column, coercing numerics as needed.
+func (c *Column) Append(d Datum) error {
+	isNull := d.IsNull()
+	switch c.Type {
+	case TInt:
+		v, ok := d.AsInt()
+		if !ok && !isNull {
+			return fmt.Errorf("sqldb: cannot store %s in Int64 column", d.T)
+		}
+		c.Ints = append(c.Ints, v)
+	case TFloat:
+		v, ok := d.AsFloat()
+		if !ok && !isNull {
+			return fmt.Errorf("sqldb: cannot store %s in Float64 column", d.T)
+		}
+		c.Floats = append(c.Floats, v)
+	case TString:
+		if d.T != TString && !isNull {
+			return fmt.Errorf("sqldb: cannot store %s in String column", d.T)
+		}
+		c.Strs = append(c.Strs, d.S)
+	case TBool:
+		v, ok := d.AsBool()
+		if !ok && !isNull {
+			return fmt.Errorf("sqldb: cannot store %s in Bool column", d.T)
+		}
+		c.Bools = append(c.Bools, v)
+	case TBlob:
+		if d.T != TBlob && !isNull {
+			return fmt.Errorf("sqldb: cannot store %s in Blob column", d.T)
+		}
+		c.Blobs = append(c.Blobs, d.B)
+	case TNull:
+		c.Nulls = append(c.Nulls, true)
+		return nil
+	}
+	if isNull {
+		c.ensureNulls()
+		c.Nulls[c.Len()-1] = true
+	} else if c.Nulls != nil {
+		c.Nulls = append(c.Nulls, false)
+	}
+	return nil
+}
+
+func (c *Column) ensureNulls() {
+	if c.Nulls == nil {
+		c.Nulls = make([]bool, c.Len())
+	}
+	for len(c.Nulls) < c.Len() {
+		c.Nulls = append(c.Nulls, false)
+	}
+}
+
+// Gather builds a new column holding rows[i] = c[idx[i]]. A negative index
+// produces a NULL row (used by outer joins to pad unmatched sides).
+func (c *Column) Gather(idx []int) *Column {
+	out := NewColumn(c.Type)
+	hasNeg := false
+	for _, j := range idx {
+		if j < 0 {
+			hasNeg = true
+			break
+		}
+	}
+	switch c.Type {
+	case TInt:
+		out.Ints = make([]int64, len(idx))
+		for i, j := range idx {
+			if j >= 0 {
+				out.Ints[i] = c.Ints[j]
+			}
+		}
+	case TFloat:
+		out.Floats = make([]float64, len(idx))
+		for i, j := range idx {
+			if j >= 0 {
+				out.Floats[i] = c.Floats[j]
+			}
+		}
+	case TString:
+		out.Strs = make([]string, len(idx))
+		for i, j := range idx {
+			if j >= 0 {
+				out.Strs[i] = c.Strs[j]
+			}
+		}
+	case TBool:
+		out.Bools = make([]bool, len(idx))
+		for i, j := range idx {
+			if j >= 0 {
+				out.Bools[i] = c.Bools[j]
+			}
+		}
+	case TBlob:
+		out.Blobs = make([][]byte, len(idx))
+		for i, j := range idx {
+			if j >= 0 {
+				out.Blobs[i] = c.Blobs[j]
+			}
+		}
+	case TNull:
+		out.Nulls = make([]bool, len(idx))
+		for i := range idx {
+			out.Nulls[i] = true
+		}
+		return out
+	}
+	if c.Nulls != nil || hasNeg {
+		out.Nulls = make([]bool, len(idx))
+		for i, j := range idx {
+			if j < 0 {
+				out.Nulls[i] = true
+			} else if c.Nulls != nil {
+				out.Nulls[i] = c.Nulls[j]
+			}
+		}
+	}
+	return out
+}
+
+// SnapshotCols returns stable shallow copies of the table's column headers:
+// the returned columns share backing arrays with the table but keep their
+// lengths fixed, so concurrent appends (which only write beyond these
+// lengths) cannot be observed through them.
+func (t *Table) SnapshotCols() []*Column {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Column, len(t.Cols))
+	for i, c := range t.Cols {
+		cc := *c
+		out[i] = &cc
+	}
+	return out
+}
+
+// Table is an in-memory columnar table.
+type Table struct {
+	Name    string
+	Schema  Schema
+	Cols    []*Column
+	mu      sync.RWMutex
+	stats   *TableStats
+	indexes map[string]*HashIndex
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema Schema) *Table {
+	t := &Table{Name: name, Schema: schema, indexes: map[string]*HashIndex{}}
+	for _, c := range schema {
+		t.Cols = append(t.Cols, NewColumn(c.Type))
+	}
+	return t
+}
+
+// NumRows returns the current row count.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return t.Cols[0].Len()
+}
+
+// AppendRow adds one row; the row length must match the schema.
+func (t *Table) AppendRow(row []Datum) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.appendRowLocked(row)
+}
+
+func (t *Table) appendRowLocked(row []Datum) error {
+	if len(row) != len(t.Schema) {
+		return fmt.Errorf("sqldb: table %s expects %d values, got %d", t.Name, len(t.Schema), len(row))
+	}
+	for i, d := range row {
+		if err := t.Cols[i].Append(d); err != nil {
+			return fmt.Errorf("sqldb: table %s column %s: %w", t.Name, t.Schema[i].Name, err)
+		}
+	}
+	t.invalidateDerivedLocked()
+	return nil
+}
+
+// AppendRows bulk-appends rows.
+func (t *Table) AppendRows(rows [][]Datum) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range rows {
+		if err := t.appendRowLocked(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetRow materializes row i as a slice of data.
+func (t *Table) GetRow(i int) []Datum {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	row := make([]Datum, len(t.Cols))
+	for j, c := range t.Cols {
+		row[j] = c.Get(i)
+	}
+	return row
+}
+
+// invalidateDerivedLocked drops cached statistics and indexes after a write.
+func (t *Table) invalidateDerivedLocked() {
+	t.stats = nil
+	for k := range t.indexes {
+		delete(t.indexes, k)
+	}
+}
+
+// Truncate removes all rows, keeping the schema.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, c := range t.Schema {
+		t.Cols[i] = NewColumn(c.Type)
+	}
+	t.invalidateDerivedLocked()
+}
+
+// DeleteRows removes the given row indices (sorted or not).
+func (t *Table) DeleteRows(idx []int) {
+	if len(idx) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	dead := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		dead[i] = true
+	}
+	n := t.Cols[0].Len()
+	keep := make([]int, 0, n-len(dead))
+	for i := 0; i < n; i++ {
+		if !dead[i] {
+			keep = append(keep, i)
+		}
+	}
+	for i, c := range t.Cols {
+		t.Cols[i] = c.Gather(keep)
+	}
+	t.invalidateDerivedLocked()
+}
+
+// TableStats carries optimizer statistics: row count and per-column
+// distinct-value estimates (exact when computed; the engine recomputes them
+// lazily after writes).
+type TableStats struct {
+	Rows     int
+	Distinct map[string]int
+}
+
+// Stats computes (or returns cached) statistics for the table.
+func (t *Table) Stats() *TableStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stats != nil {
+		return t.stats
+	}
+	s := &TableStats{Distinct: map[string]int{}}
+	if len(t.Cols) > 0 {
+		s.Rows = t.Cols[0].Len()
+	}
+	// Exact distinct counts; for blob columns we skip (never join keys).
+	for i, def := range t.Schema {
+		if def.Type == TBlob {
+			continue
+		}
+		col := t.Cols[i]
+		seen := make(map[string]struct{}, 64)
+		n := col.Len()
+		// Cap the scan for very large columns: sample the first 64k rows and
+		// extrapolate, which is how production engines keep stats cheap.
+		limit := n
+		const sampleCap = 65536
+		if limit > sampleCap {
+			limit = sampleCap
+		}
+		for r := 0; r < limit; r++ {
+			seen[col.Get(r).GroupKey()] = struct{}{}
+		}
+		d := len(seen)
+		if n > limit && d > limit/2 {
+			// Looks near-unique in the sample; assume it scales.
+			d = d * n / limit
+		}
+		if d == 0 {
+			d = 1
+		}
+		s.Distinct[strings.ToLower(def.Name)] = d
+	}
+	t.stats = s
+	return s
+}
+
+// HashIndex maps a column's group keys to row indices, standing in for the
+// paper's indices on MatrixID/OrderID/KernelID.
+type HashIndex struct {
+	Col  string
+	Rows map[string][]int
+}
+
+// EnsureIndex builds (or returns) a hash index on the named column.
+func (t *Table) EnsureIndex(col string) (*HashIndex, error) {
+	key := strings.ToLower(col)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if idx, ok := t.indexes[key]; ok {
+		return idx, nil
+	}
+	ci := t.Schema.ColIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("sqldb: no column %s in table %s", col, t.Name)
+	}
+	idx := &HashIndex{Col: key, Rows: map[string][]int{}}
+	c := t.Cols[ci]
+	for i, n := 0, c.Len(); i < n; i++ {
+		k := c.Get(i).GroupKey()
+		idx.Rows[k] = append(idx.Rows[k], i)
+	}
+	t.indexes[key] = idx
+	return idx, nil
+}
+
+// SortedColumnNames lists schema columns alphabetically (used in error text
+// and introspection commands).
+func (t *Table) SortedColumnNames() []string {
+	names := make([]string, len(t.Schema))
+	for i, c := range t.Schema {
+		names[i] = c.Name
+	}
+	sort.Strings(names)
+	return names
+}

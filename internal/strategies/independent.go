@@ -1,0 +1,220 @@
+package strategies
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/colquery"
+	"repro/internal/iotdata"
+	"repro/internal/nn"
+	"repro/internal/sqldb"
+)
+
+// DBPyTorch is the independent-processing strategy: the database and the DL
+// serving system are separate components, and the application layer
+// coordinates them. The cross-system boundary is real — candidate keyframes
+// are serialized over a byte pipe to a serving goroutine, which deserializes
+// them, runs batch inference, and streams serialized predictions back. The
+// serialization, transfer, and model-load time land in the loading bucket;
+// only the forward passes count as inference; the two relational phases
+// (candidate extraction and final merge query) count as relational cost.
+type DBPyTorch struct{}
+
+// Name implements Strategy.
+func (s *DBPyTorch) Name() string { return "DB-PyTorch" }
+
+// servingStats is what the serving component reports back alongside
+// predictions.
+type servingStats struct {
+	decodeSecs float64 // model decode (loading)
+	inferSecs  float64 // forward passes
+}
+
+// Execute implements Strategy.
+func (s *DBPyTorch) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBreakdown, error) {
+	var bd CostBreakdown
+	db := ctx.Dataset.DB
+
+	// Phase 1 (relational): extract candidates with the database.
+	cands, relDur, err := videoSideCandidates(ctx, q, db.Profile)
+	if err != nil {
+		return nil, bd, err
+	}
+	bd.Relational += relDur.Seconds()
+
+	// Phase 2 (cross-system): ship candidates to the serving component once
+	// per referenced model, batch style.
+	preds := make(map[int64]map[string]sqldb.Datum, len(cands))
+	for _, c := range cands {
+		preds[c.videoID] = map[string]sqldb.Datum{}
+	}
+	var totalBytes int64
+	for _, name := range q.UDFNames {
+		b := ctx.Bindings[name]
+		if b == nil {
+			return nil, bd, fmt.Errorf("strategies: no model bound for %s", name)
+		}
+		xferStart := time.Now()
+		results, stats, err := serveBatch(b.Artifact, cands)
+		if err != nil {
+			return nil, bd, fmt.Errorf("strategies: serving %s: %w", name, err)
+		}
+		wall := time.Since(xferStart).Seconds()
+		// The serving pathway pays per-call framework dispatch overhead and
+		// the heavier DL-framework model deserialization (see hwprofile).
+		bd.Inference += ctx.Profile.ScaleInference(stats.inferSecs) +
+			ctx.Profile.DLCallOverhead(len(cands))
+		// Everything that is not a forward pass is cross-system overhead.
+		bd.Loading += wall - stats.inferSecs +
+			ctx.Profile.DLLoadCost(stats.decodeSecs) - stats.decodeSecs
+		for id, classIdx := range results {
+			preds[id][name] = b.predictionDatum(classIdx)
+		}
+		totalBytes += int64(len(b.Artifact))
+		for _, c := range cands {
+			totalBytes += int64(len(c.blob))
+		}
+	}
+	// GPU settings ship the model and the batch across the bus once.
+	bd.Loading += ctx.Profile.TransferCost(totalBytes)
+
+	// Phase 3 (relational): merge predictions back and run the final query.
+	finStart := time.Now()
+	predTable, err := buildPredictionsTable(ctx, q, preds, "pt")
+	if err != nil {
+		return nil, bd, err
+	}
+	defer db.DropTable(predTable)
+	final := rewriteWithPredictions(q, predTable)
+	res, err := db.ExecStmt(final, nil)
+	if err != nil {
+		return nil, bd, fmt.Errorf("strategies: DB-PyTorch final query: %w", err)
+	}
+	bd.Relational += time.Since(finStart).Seconds()
+	bd.Relational = ctx.Profile.ScaleRelational(bd.Relational)
+	return res, bd, nil
+}
+
+// serveBatch runs the serving component for one model over the candidate
+// batch. The request and response cross real byte pipes: keyframes are
+// serialized by the application side, deserialized by the serving side, and
+// predictions come back the same way — the paper's serialization /
+// de-serialization overhead is physically incurred.
+func serveBatch(artifact []byte, cands []candidate) (map[int64]int, *servingStats, error) {
+	reqR, reqW := io.Pipe()
+	respR, respW := io.Pipe()
+	stats := &servingStats{}
+	serveErr := make(chan error, 1)
+
+	go func() {
+		serveErr <- servingLoop(artifact, reqR, respW, stats)
+	}()
+
+	// Application side: serialize the batch.
+	writeErr := make(chan error, 1)
+	go func() {
+		w := bufio.NewWriter(reqW)
+		var hdr [12]byte
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(cands)))
+		if _, err := w.Write(hdr[:4]); err != nil {
+			writeErr <- err
+			return
+		}
+		for _, c := range cands {
+			binary.LittleEndian.PutUint64(hdr[:8], uint64(c.videoID))
+			binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(c.blob)))
+			if _, err := w.Write(hdr[:12]); err != nil {
+				writeErr <- err
+				return
+			}
+			if _, err := w.Write(c.blob); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		if err := w.Flush(); err != nil {
+			writeErr <- err
+			return
+		}
+		writeErr <- reqW.Close()
+	}()
+
+	// Application side: deserialize predictions.
+	out := make(map[int64]int, len(cands))
+	r := bufio.NewReader(respR)
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return nil, nil, fmt.Errorf("reading response count: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(cnt[:]))
+	var rec [12]byte
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return nil, nil, fmt.Errorf("reading prediction %d: %w", i, err)
+		}
+		id := int64(binary.LittleEndian.Uint64(rec[:8]))
+		out[id] = int(int32(binary.LittleEndian.Uint32(rec[8:12])))
+	}
+	if err := <-writeErr; err != nil {
+		return nil, nil, err
+	}
+	if err := <-serveErr; err != nil {
+		return nil, nil, err
+	}
+	return out, stats, nil
+}
+
+// servingLoop is the DL system: it loads the model artifact, reads
+// serialized keyframes, runs inference, and writes serialized predictions.
+func servingLoop(artifact []byte, req *io.PipeReader, resp *io.PipeWriter, stats *servingStats) error {
+	defer resp.Close()
+	decodeStart := time.Now()
+	model, err := nn.DecodeBytes(artifact)
+	if err != nil {
+		return fmt.Errorf("serving: decoding model: %w", err)
+	}
+	stats.decodeSecs = time.Since(decodeStart).Seconds()
+
+	r := bufio.NewReader(req)
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return fmt.Errorf("serving: reading batch count: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(cnt[:]))
+	w := bufio.NewWriter(resp)
+	binary.LittleEndian.PutUint32(cnt[:], uint32(n))
+	if _, err := w.Write(cnt[:]); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return fmt.Errorf("serving: reading request %d: %w", i, err)
+		}
+		id := int64(binary.LittleEndian.Uint64(hdr[:8]))
+		blen := int(binary.LittleEndian.Uint32(hdr[8:12]))
+		blob := make([]byte, blen)
+		if _, err := io.ReadFull(r, blob); err != nil {
+			return fmt.Errorf("serving: reading blob %d: %w", i, err)
+		}
+		in, err := iotdata.KeyframeTensor(blob)
+		if err != nil {
+			return fmt.Errorf("serving: decoding keyframe %d: %w", i, err)
+		}
+		start := time.Now()
+		idx, _, err := model.Predict(in)
+		stats.inferSecs += time.Since(start).Seconds()
+		if err != nil {
+			return fmt.Errorf("serving: inference %d: %w", i, err)
+		}
+		binary.LittleEndian.PutUint64(hdr[:8], uint64(id))
+		binary.LittleEndian.PutUint32(hdr[8:12], uint32(int32(idx)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

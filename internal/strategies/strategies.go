@@ -1,0 +1,276 @@
+// Package strategies implements the paper's four experimental
+// configurations for collaborative query processing:
+//
+//   - DB-PyTorch  — independent processing: the application layer splits the
+//     query, ships keyframes to a separate model-serving component over a
+//     real byte-pipe (serialization and transfer are actually performed),
+//     and merges predictions back into the database.
+//   - DB-UDF      — loose integration: the compiled model artifact is
+//     registered as a native scalar UDF and the whole query runs in the
+//     database, with the UDF opaque to the optimizer.
+//   - DL2SQL      — tight integration: inference is rewritten to SQL by the
+//     dl2sql translator and executed for every candidate keyframe.
+//   - DL2SQL-OP   — DL2SQL plus Section IV's optimizations: hint rules 1–3
+//     and the customized cost model decide nUDF placement, so only tuples
+//     surviving the relational predicates are inferred.
+//
+// Every strategy returns the paper's cost breakdown: loading (model +
+// data movement), inference, and relational algebra, in seconds.
+package strategies
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/colquery"
+	"repro/internal/hints"
+	"repro/internal/hwprofile"
+	"repro/internal/iotdata"
+	"repro/internal/modelrepo"
+	"repro/internal/nn"
+	"repro/internal/sqldb"
+)
+
+// CostBreakdown is the paper's three-bucket cost accounting (seconds).
+type CostBreakdown struct {
+	Loading    float64
+	Inference  float64
+	Relational float64
+}
+
+// Total sums the buckets.
+func (c CostBreakdown) Total() float64 { return c.Loading + c.Inference + c.Relational }
+
+// Add accumulates another breakdown.
+func (c *CostBreakdown) Add(o CostBreakdown) {
+	c.Loading += o.Loading
+	c.Inference += o.Inference
+	c.Relational += o.Relational
+}
+
+// Scale divides every bucket by n (for averaging).
+func (c CostBreakdown) Scale(n float64) CostBreakdown {
+	return CostBreakdown{Loading: c.Loading / n, Inference: c.Inference / n, Relational: c.Relational / n}
+}
+
+// UDFKind describes how a model's class prediction converts to a SQL value.
+type UDFKind int
+
+const (
+	// UDFBool: binary classifiers — class 1 maps to TRUE ("Defect").
+	UDFBool UDFKind = iota
+	// UDFLabel: the class label string.
+	UDFLabel
+	// UDFIndex: the class index as an integer (pattern recognition, whose
+	// indices align with fabric.patternID).
+	UDFIndex
+)
+
+// UDFBinding wires an nUDF name to a repository model.
+type UDFBinding struct {
+	Name  string // lower-cased nUDF name
+	Entry *modelrepo.Entry
+	Kind  UDFKind
+	// Artifact is the compiled model (built once, offline).
+	Artifact []byte
+}
+
+// Context carries the shared experimental fixtures.
+type Context struct {
+	Dataset  *iotdata.Dataset
+	Bindings map[string]*UDFBinding
+	Profile  hwprofile.Profile
+	// HintProvider supplies Eq. 9–10 selectivities for DL2SQL-OP.
+	HintProvider *hints.Provider
+}
+
+// NewContext assembles a context over a dataset with the default profile.
+func NewContext(ds *iotdata.Dataset) *Context {
+	return &Context{
+		Dataset:  ds,
+		Bindings: map[string]*UDFBinding{},
+		Profile:  hwprofile.EdgeCPU,
+	}
+}
+
+// Bind registers a model for an nUDF name, compiling its artifact.
+func (ctx *Context) Bind(name string, entry *modelrepo.Entry, kind UDFKind) error {
+	blob, err := nn.EncodeBytes(entry.Model)
+	if err != nil {
+		return fmt.Errorf("strategies: compiling %s: %w", name, err)
+	}
+	ctx.Bindings[strings.ToLower(name)] = &UDFBinding{
+		Name: strings.ToLower(name), Entry: entry, Kind: kind, Artifact: blob,
+	}
+	return nil
+}
+
+// BindDefaults wires the three template nUDFs to repository models and
+// calibrates their histograms (the offline-training step).
+func (ctx *Context) BindDefaults(repo *modelrepo.Repository, calibrationSamples int) error {
+	side := ctx.Dataset.Config.KeyframeSide
+	pairs := []struct {
+		name string
+		task modelrepo.Task
+		kind UDFKind
+	}{
+		{"nudf_detect", modelrepo.TaskDefectDetection, UDFBool},
+		{"nudf_classify", modelrepo.TaskPatternRecog, UDFLabel},
+		{"nudf_recog", modelrepo.TaskPatternRecog, UDFIndex},
+	}
+	prov := hints.NewProvider()
+	for _, p := range pairs {
+		entry := repo.ForTask(p.task)
+		if entry == nil {
+			return fmt.Errorf("strategies: no model for task %s", p.task)
+		}
+		if entry.Histogram == nil {
+			if err := entry.Calibrate(calibrationSamples, side, 1234); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Bind(p.name, entry, p.kind); err != nil {
+			return err
+		}
+		if err := prov.RegisterModel(p.name, entry); err != nil {
+			return err
+		}
+	}
+	ctx.HintProvider = prov
+	return nil
+}
+
+// predictionDatum converts a class prediction to the binding's SQL type.
+func (b *UDFBinding) predictionDatum(classIdx int) sqldb.Datum {
+	switch b.Kind {
+	case UDFBool:
+		return sqldb.Bool(classIdx == 1)
+	case UDFLabel:
+		classes := b.Entry.Model.Classes
+		if classIdx < len(classes) {
+			return sqldb.Str(classes[classIdx])
+		}
+		return sqldb.Str(fmt.Sprintf("class_%d", classIdx))
+	default:
+		return sqldb.Int(int64(classIdx))
+	}
+}
+
+// predictionType is the SQL column type of the binding's outputs.
+func (b *UDFBinding) predictionType() sqldb.Type {
+	switch b.Kind {
+	case UDFBool:
+		return sqldb.TBool
+	case UDFLabel:
+		return sqldb.TString
+	default:
+		return sqldb.TInt
+	}
+}
+
+// Strategy executes collaborative queries one way.
+type Strategy interface {
+	// Name is the Fig. 8 configuration label.
+	Name() string
+	// Execute runs the query, returning its result and cost breakdown.
+	Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBreakdown, error)
+}
+
+// All returns the four configurations in the paper's order.
+func All() []Strategy {
+	return []Strategy{
+		&DL2SQL{Optimized: false},
+		&DL2SQL{Optimized: true},
+		&DBUDF{},
+		&DBPyTorch{},
+	}
+}
+
+// candidate is one keyframe requiring inference.
+type candidate struct {
+	videoID int64
+	blob    []byte
+}
+
+// videoSideCandidates extracts the video rows selected by the query's
+// single-relation predicates on the keyframe relation (the set a strategy
+// without cross-table pruning must infer).
+func videoSideCandidates(ctx *Context, q *colquery.Query, prof *sqldb.Profile) ([]candidate, time.Duration, error) {
+	alias := keyframeAlias(q)
+	conds := videoConds(q, alias)
+	where := ""
+	if len(conds) > 0 {
+		where = " WHERE " + strings.Join(conds, " AND ")
+	}
+	sql := fmt.Sprintf("SELECT videoID, keyframe FROM video %s%s", alias, where)
+	start := time.Now()
+	res, err := ctx.Dataset.DB.Exec(sql)
+	if err != nil {
+		return nil, 0, fmt.Errorf("strategies: extracting candidates: %w", err)
+	}
+	out, err := candidatesFromResult(res)
+	return out, time.Since(start), err
+}
+
+// prunedCandidates extracts the distinct video rows surviving *all* non-UDF
+// predicates and joins (DL2SQL-OP's delayed evaluation).
+func prunedCandidates(ctx *Context, q *colquery.Query, h *sqldb.QueryHints) ([]candidate, time.Duration, error) {
+	alias := keyframeAlias(q)
+	stripped := stripUDFConjuncts(q.Stmt)
+	stripped.Items = []sqldb.SelectItem{
+		{Expr: &sqldb.ColRef{Table: alias, Name: "videoID"}},
+		{Expr: &sqldb.ColRef{Table: alias, Name: "keyframe"}},
+	}
+	stripped.Distinct = true
+	stripped.GroupBy = nil
+	stripped.Having = nil
+	stripped.OrderBy = nil
+	start := time.Now()
+	res, err := ctx.Dataset.DB.ExecStmt(stripped, h)
+	if err != nil {
+		return nil, 0, fmt.Errorf("strategies: extracting pruned candidates: %w", err)
+	}
+	out, err := candidatesFromResult(res)
+	return out, time.Since(start), err
+}
+
+func candidatesFromResult(res *sqldb.Result) ([]candidate, error) {
+	n := res.NumRows()
+	out := make([]candidate, 0, n)
+	for i := 0; i < n; i++ {
+		id, _ := res.Cols[0].Get(i).AsInt()
+		blob := res.Cols[1].Get(i)
+		if blob.T != sqldb.TBlob {
+			return nil, fmt.Errorf("strategies: keyframe column is %s, want Blob", blob.T)
+		}
+		out = append(out, candidate{videoID: id, blob: blob.B})
+	}
+	return out, nil
+}
+
+// keyframeAlias finds the alias of the relation feeding the nUDFs (the
+// video table in every template).
+func keyframeAlias(q *colquery.Query) string {
+	for _, u := range q.UDFs {
+		if i := strings.IndexByte(u.Arg, '.'); i > 0 {
+			return u.Arg[:i]
+		}
+	}
+	return "V"
+}
+
+// videoConds renders the single-relation conjuncts on the keyframe alias.
+func videoConds(q *colquery.Query, alias string) []string {
+	var out []string
+	for _, c := range whereConjuncts(q.Stmt) {
+		if len(findNUDFs(c)) > 0 {
+			continue
+		}
+		rels := exprRelations(c)
+		if len(rels) == 1 && strings.EqualFold(rels[0], alias) {
+			out = append(out, c.String())
+		}
+	}
+	return out
+}

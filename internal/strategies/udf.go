@@ -1,0 +1,110 @@
+package strategies
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/colquery"
+	"repro/internal/iotdata"
+	"repro/internal/nn"
+	"repro/internal/sqldb"
+)
+
+// DBUDF is the loose-integration strategy: the compiled model artifact is
+// linked into the database as a built-in scalar UDF, and the collaborative
+// query executes unmodified. The optimizer sees the UDF as a black box
+// (its cost and selectivity are unknown), which is exactly the limitation
+// Table III records for this approach.
+type DBUDF struct{}
+
+// Name implements Strategy.
+func (s *DBUDF) Name() string { return "DB-UDF" }
+
+// Execute implements Strategy.
+func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBreakdown, error) {
+	db := ctx.Dataset.DB
+	var bd CostBreakdown
+
+	// Loading: the database "recompilation" — decode each compiled artifact
+	// into an executable model. On GPU settings the weights also cross the
+	// PCIe bus once.
+	var models = map[string]*nn.Model{}
+	loadStart := time.Now()
+	var modelBytes int64
+	for _, name := range q.UDFNames {
+		b := ctx.Bindings[name]
+		if b == nil {
+			return nil, bd, fmt.Errorf("strategies: no model bound for %s", name)
+		}
+		m, err := nn.DecodeBytes(b.Artifact)
+		if err != nil {
+			return nil, bd, fmt.Errorf("strategies: loading UDF %s: %w", name, err)
+		}
+		models[name] = m
+		modelBytes += int64(len(b.Artifact))
+	}
+	bd.Loading += ctx.Profile.DLLoadCost(time.Since(loadStart).Seconds()) +
+		ctx.Profile.TransferCost(modelBytes)
+
+	// Register the UDFs. Each call decodes the keyframe and runs native
+	// inference; inference time accumulates separately from the enclosing
+	// relational execution.
+	var inferSecs float64
+	var calls int
+	var keyframeBytes int64
+	for _, name := range q.UDFNames {
+		name := name
+		b := ctx.Bindings[name]
+		m := models[name]
+		db.RegisterUDF(&sqldb.ScalarUDF{
+			Name:  name,
+			Arity: 1,
+			Fn: func(args []sqldb.Datum) (sqldb.Datum, error) {
+				if args[0].T != sqldb.TBlob {
+					return sqldb.Null(), fmt.Errorf("%s expects a keyframe blob", name)
+				}
+				in, err := iotdata.KeyframeTensor(args[0].B)
+				if err != nil {
+					return sqldb.Null(), err
+				}
+				start := time.Now()
+				idx, _, err := m.Predict(in)
+				inferSecs += time.Since(start).Seconds()
+				calls++
+				keyframeBytes += int64(len(args[0].B))
+				if err != nil {
+					return sqldb.Null(), err
+				}
+				return b.predictionDatum(idx), nil
+			},
+			// A black-box UDF: the engine falls back to its default cost
+			// guess and assumes no selectivity.
+		})
+	}
+	defer func() {
+		for _, name := range q.UDFNames {
+			db.UnregisterUDF(name)
+		}
+	}()
+
+	wallStart := time.Now()
+	res, err := db.Exec(q.SQL)
+	wall := time.Since(wallStart).Seconds()
+	if err != nil {
+		return nil, bd, fmt.Errorf("strategies: DB-UDF execution: %w", err)
+	}
+
+	// Per-call device transfers: a UDF runs row-at-a-time, so on GPU each
+	// call ships one keyframe and pays the launch overhead — the paper's
+	// observation that DB-UDF is the one approach the GPU does not help.
+	if ctx.Profile.UsesGPU && calls > 0 {
+		perCall := ctx.Profile.TransferBaseSec*float64(calls) +
+			float64(keyframeBytes)/1e6*ctx.Profile.TransferSecPerMB
+		bd.Loading += perCall
+	}
+	// The UDF pathway pays the DL framework's per-call dispatch overhead on
+	// top of the raw forward passes (see hwprofile).
+	bd.Inference += ctx.Profile.ScaleInference(inferSecs) + ctx.Profile.DLCallOverhead(calls)
+	bd.Relational += ctx.Profile.ScaleRelational(wall - inferSecs)
+	return res, bd, nil
+}

@@ -1,0 +1,74 @@
+package tensor
+
+import "fmt"
+
+// Pad2D zero-pads a CHW tensor by p on each spatial side.
+func Pad2D(t *Tensor, p int) (*Tensor, error) {
+	if t.Dims() != 3 {
+		return nil, fmt.Errorf("%w: Pad2D needs a CHW tensor, got %v", ErrShape, t.shape)
+	}
+	if p == 0 {
+		return t, nil
+	}
+	c, h, w := t.shape[0], t.shape[1], t.shape[2]
+	out := New(c, h+2*p, w+2*p)
+	oh, ow := h+2*p, w+2*p
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			src := t.data[ch*h*w+y*w : ch*h*w+(y+1)*w]
+			dstOff := ch*oh*ow + (y+p)*ow + p
+			copy(out.data[dstOff:dstOff+w], src)
+		}
+	}
+	return out, nil
+}
+
+// ConvOutDim computes the spatial output dimension of a convolution:
+// (in + 2p - k)/s + 1, matching Eq. (3) of the paper. Inputs smaller than
+// the kernel yield 0 (Go's truncating division would otherwise round the
+// negative span up to an output of 1).
+func ConvOutDim(in, k, s, p int) int {
+	span := in + 2*p - k
+	if span < 0 {
+		return 0
+	}
+	return span/s + 1
+}
+
+// Im2Col lowers a CHW tensor into the (outH*outW) × (C*k*k) patch matrix
+// used to express convolution as a matrix multiply. Row i holds the
+// flattened receptive field of output pixel i, channel-major then row-major
+// within the kernel window — the same serialization order Algorithm 1 of the
+// paper uses for the FeatureMap table, so the SQL path and the native path
+// enumerate patch elements identically.
+func Im2Col(t *Tensor, k, stride, pad int) (*Tensor, error) {
+	if t.Dims() != 3 {
+		return nil, fmt.Errorf("%w: Im2Col needs a CHW tensor, got %v", ErrShape, t.shape)
+	}
+	src, err := Pad2D(t, pad)
+	if err != nil {
+		return nil, err
+	}
+	c, h, w := src.shape[0], src.shape[1], src.shape[2]
+	outH := ConvOutDim(h, k, stride, 0)
+	outW := ConvOutDim(w, k, stride, 0)
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("%w: kernel %d with stride %d does not fit input %dx%d", ErrShape, k, stride, h, w)
+	}
+	cols := New(outH*outW, c*k*k)
+	row := 0
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			base := row * c * k * k
+			for ch := 0; ch < c; ch++ {
+				for ky := 0; ky < k; ky++ {
+					srcOff := ch*h*w + (oy*stride+ky)*w + ox*stride
+					dstOff := base + ch*k*k + ky*k
+					copy(cols.data[dstOff:dstOff+k], src.data[srcOff:srcOff+k])
+				}
+			}
+			row++
+		}
+	}
+	return cols, nil
+}

@@ -1,0 +1,69 @@
+package tensor
+
+import "fmt"
+
+// MatMul multiplies two rank-2 tensors: (m×k) · (k×n) → (m×n).
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		return nil, fmt.Errorf("%w: MatMul needs rank-2 tensors, got %v and %v", ErrShape, a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("%w: inner dimensions %d and %d differ", ErrShape, k, k2)
+	}
+	out := New(m, n)
+	// ikj loop order keeps the inner loop streaming over contiguous memory.
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatVec multiplies a rank-2 tensor (m×k) by a length-k vector, producing a
+// length-m vector.
+func MatVec(a *Tensor, x []float64) ([]float64, error) {
+	if a.Dims() != 2 {
+		return nil, fmt.Errorf("%w: MatVec needs a rank-2 tensor, got %v", ErrShape, a.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	if len(x) != k {
+		return nil, fmt.Errorf("%w: vector length %d does not match %d columns", ErrShape, len(x), k)
+	}
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 {
+		return nil, fmt.Errorf("%w: Transpose needs a rank-2 tensor, got %v", ErrShape, a.shape)
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out, nil
+}

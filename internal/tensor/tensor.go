@@ -1,0 +1,333 @@
+// Package tensor implements dense multi-dimensional arrays of float64 used
+// as the numeric substrate for the neural-network inference engine. It is a
+// from-scratch, stdlib-only stand-in for the tensor runtime of a deep
+// learning framework (the paper uses PyTorch/LibTorch).
+//
+// Tensors are row-major and immutable in shape: reshaping returns a new
+// header sharing the same backing slice. All arithmetic is performed in
+// float64 to keep the SQL-side (which computes in the database's Float64
+// column type) and the native-side numerics bit-identical, which the
+// equivalence tests between DL2SQL and the native engine rely on.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major array of float64.
+type Tensor struct {
+	shape   []int
+	strides []int
+	data    []float64
+}
+
+// ErrShape is returned when an operation receives tensors with incompatible
+// shapes.
+var ErrShape = errors.New("tensor: shape mismatch")
+
+// New allocates a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d", d))
+		}
+		n *= d
+	}
+	t := &Tensor{
+		shape: append([]int(nil), shape...),
+		data:  make([]float64, n),
+	}
+	t.strides = computeStrides(t.shape)
+	return t
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); its length must equal the product of the shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (need %d)", len(data), shape, n))
+	}
+	t := &Tensor{
+		shape: append([]int(nil), shape...),
+		data:  data,
+	}
+	t.strides = computeStrides(t.shape)
+	return t
+}
+
+func computeStrides(shape []int) []int {
+	strides := make([]int, len(shape))
+	s := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= shape[i]
+	}
+	return strides
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// mutated.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the backing slice in row-major order. Mutating it mutates the
+// tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float64 {
+	return t.data[t.offset(idx)]
+}
+
+// Set assigns the element at the given multi-dimensional index.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range for dimension %d (size %d)", x, i, t.shape[i]))
+		}
+		off += x * t.strides[i]
+	}
+	return off
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's data with a new shape. The total
+// element count must be unchanged. One dimension may be -1 to be inferred.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	shape = append([]int(nil), shape...)
+	infer := -1
+	known := 1
+	for i, d := range shape {
+		if d == -1 {
+			if infer >= 0 {
+				panic("tensor: at most one dimension may be -1 in Reshape")
+			}
+			infer = i
+		} else {
+			known *= d
+		}
+	}
+	if infer >= 0 {
+		if known == 0 || len(t.data)%known != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer dimension for reshape of %d elements into %v", len(t.data), shape))
+		}
+		shape[infer] = len(t.data) / known
+		known *= shape[infer]
+	}
+	if known != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %d elements into %v", len(t.data), shape))
+	}
+	return &Tensor{shape: shape, strides: computeStrides(shape), data: t.data}
+}
+
+// Fill sets every element to v and returns t.
+func (t *Tensor) Fill(v float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// Apply replaces each element x with f(x) in place and returns t.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+	return t
+}
+
+// Equal reports whether two tensors have identical shape and all elements
+// within eps of each other.
+func Equal(a, b *Tensor, eps float64) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) (*Tensor, error) {
+	if !sameShape(a, b) {
+		return nil, fmt.Errorf("%w: %v vs %v", ErrShape, a.shape, b.shape)
+	}
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) (*Tensor, error) {
+	if !sameShape(a, b) {
+		return nil, fmt.Errorf("%w: %v vs %v", ErrShape, a.shape, b.shape)
+	}
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out, nil
+}
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) (*Tensor, error) {
+	if !sameShape(a, b) {
+		return nil, fmt.Errorf("%w: %v vs %v", ErrShape, a.shape, b.shape)
+	}
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] * b.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns a new tensor with every element multiplied by s.
+func (t *Tensor) Scale(s float64) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = v * s
+	}
+	return out
+}
+
+// AddScalar returns a new tensor with s added to every element.
+func (t *Tensor) AddScalar(s float64) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = v + s
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Variance returns the population variance of all elements.
+func (t *Tensor) Variance() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	m := t.Mean()
+	s := 0.0
+	for _, v := range t.data {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(t.data))
+}
+
+// VarianceSample returns the sample (Bessel-corrected) variance, matching the
+// SQL stddevSamp aggregate used by the DL2SQL batch-norm rewrite.
+func (t *Tensor) VarianceSample() float64 {
+	if len(t.data) < 2 {
+		return 0
+	}
+	m := t.Mean()
+	s := 0.0
+	for _, v := range t.data {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(t.data)-1)
+}
+
+// Max returns the maximum element; it panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if len(t.data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the maximum element.
+func (t *Tensor) ArgMax() int {
+	if len(t.data) == 0 {
+		panic("tensor: ArgMax of empty tensor")
+	}
+	best, bi := t.data[0], 0
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+func sameShape(a, b *Tensor) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small tensors fully and larger ones as a summary.
+func (t *Tensor) String() string {
+	if len(t.data) <= 16 {
+		return fmt.Sprintf("Tensor%v%v", t.shape, t.data)
+	}
+	return fmt.Sprintf("Tensor%v[%d elements]", t.shape, len(t.data))
+}

@@ -1,0 +1,328 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", x.Len())
+	}
+	if x.Dims() != 3 || x.Dim(0) != 2 || x.Dim(1) != 3 || x.Dim(2) != 4 {
+		t.Fatalf("bad shape %v", x.Shape())
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4)
+	x.Set(7.5, 2, 1)
+	if got := x.At(2, 1); got != 7.5 {
+		t.Fatalf("At(2,1) = %v, want 7.5", got)
+	}
+	// Row-major layout: offset of (2,1) in a 3x4 tensor is 2*4+1 = 9.
+	if x.Data()[9] != 7.5 {
+		t.Fatalf("row-major offset wrong: data[9] = %v", x.Data()[9])
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestFromSliceSharesData(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	d[0] = 9
+	if x.At(0, 0) != 9 {
+		t.Fatal("FromSlice must wrap, not copy")
+	}
+}
+
+func TestFromSliceBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestReshapeInference(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, -1)
+	if y.Dim(0) != 3 || y.Dim(1) != 2 {
+		t.Fatalf("reshape got %v", y.Shape())
+	}
+	// Reshape shares data.
+	y.Set(42, 0, 0)
+	if x.At(0, 0) != 42 {
+		t.Fatal("Reshape must share backing data")
+	}
+}
+
+func TestReshapeBadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).Reshape(4, 2)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	y := x.Clone()
+	y.Set(5, 0)
+	if x.At(0) != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(2) != 9 {
+		t.Fatalf("Add wrong: %v", sum.Data())
+	}
+	diff, _ := Sub(b, a)
+	if diff.At(0) != 3 {
+		t.Fatalf("Sub wrong: %v", diff.Data())
+	}
+	prod, _ := Mul(a, b)
+	if prod.At(1) != 10 {
+		t.Fatalf("Mul wrong: %v", prod.Data())
+	}
+}
+
+func TestShapeMismatchError(t *testing.T) {
+	_, err := Add(New(2), New(3))
+	if err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestScaleAddScalar(t *testing.T) {
+	a := FromSlice([]float64{1, -2}, 2)
+	if got := a.Scale(3).At(1); got != -6 {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := a.AddScalar(10).At(0); got != 11 {
+		t.Fatalf("AddScalar = %v", got)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 4)
+	if a.Sum() != 10 {
+		t.Fatalf("Sum = %v", a.Sum())
+	}
+	if a.Mean() != 2.5 {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	if math.Abs(a.Variance()-1.25) > 1e-12 {
+		t.Fatalf("Variance = %v", a.Variance())
+	}
+	if math.Abs(a.VarianceSample()-5.0/3.0) > 1e-12 {
+		t.Fatalf("VarianceSample = %v", a.VarianceSample())
+	}
+	if a.Max() != 4 {
+		t.Fatalf("Max = %v", a.Max())
+	}
+	if a.ArgMax() != 3 {
+		t.Fatalf("ArgMax = %v", a.ArgMax())
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data()[i] != w {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data()[i], w)
+		}
+	}
+}
+
+func TestMatMulMismatch(t *testing.T) {
+	if _, err := MatMul(New(2, 3), New(2, 3)); err == nil {
+		t.Fatal("expected inner-dim error")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	y, err := MatVec(a, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MatVec = %v", y)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b, err := Transpose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dim(0) != 3 || b.Dim(1) != 2 || b.At(2, 1) != 6 || b.At(0, 1) != 4 {
+		t.Fatalf("Transpose wrong: %v %v", b.Shape(), b.Data())
+	}
+}
+
+func TestPad2D(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 1, 2, 2)
+	p, err := Pad2D(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim(1) != 4 || p.Dim(2) != 4 {
+		t.Fatalf("pad shape %v", p.Shape())
+	}
+	if p.At(0, 0, 0) != 0 || p.At(0, 1, 1) != 1 || p.At(0, 2, 2) != 4 {
+		t.Fatalf("pad content wrong: %v", p.Data())
+	}
+	if got := p.Sum(); got != 10 {
+		t.Fatalf("padding must not change sum: %v", got)
+	}
+}
+
+func TestConvOutDim(t *testing.T) {
+	// Paper's running example: 5x5 input, 3x3 kernel, stride 2, no padding → 2.
+	if got := ConvOutDim(5, 3, 2, 0); got != 2 {
+		t.Fatalf("ConvOutDim = %d, want 2", got)
+	}
+	if got := ConvOutDim(224, 7, 2, 3); got != 112 {
+		t.Fatalf("ConvOutDim = %d, want 112", got)
+	}
+}
+
+func TestIm2ColPaperExample(t *testing.T) {
+	// 5x5 single-channel input 1..25, 3x3 kernel, stride 2, no padding.
+	data := make([]float64, 25)
+	for i := range data {
+		data[i] = float64(i + 1)
+	}
+	x := FromSlice(data, 1, 5, 5)
+	cols, err := Im2Col(x, 3, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols.Dim(0) != 4 || cols.Dim(1) != 9 {
+		t.Fatalf("im2col shape %v, want [4 9]", cols.Shape())
+	}
+	// First patch is rows {1,2,3},{6,7,8},{11,12,13}.
+	want0 := []float64{1, 2, 3, 6, 7, 8, 11, 12, 13}
+	for j, w := range want0 {
+		if cols.At(0, j) != w {
+			t.Fatalf("patch0[%d] = %v, want %v", j, cols.At(0, j), w)
+		}
+	}
+	// Second patch starts at column 2 (stride 2): {3,4,5},...
+	if cols.At(1, 0) != 3 || cols.At(1, 8) != 15 {
+		t.Fatalf("patch1 wrong: %v", cols.Data()[9:18])
+	}
+	// Redundant storage: element 3 appears in both patch 0 and patch 1,
+	// matching the paper's note about duplicated FeatureMap entries.
+	if cols.At(0, 2) != cols.At(1, 0) {
+		t.Fatal("overlapping elements must be duplicated")
+	}
+}
+
+func TestIm2ColTooSmallInput(t *testing.T) {
+	if _, err := Im2Col(New(1, 2, 2), 3, 1, 0); err == nil {
+		t.Fatal("expected error for kernel larger than input")
+	}
+}
+
+func TestApplyFill(t *testing.T) {
+	x := New(3).Fill(2)
+	x.Apply(func(v float64) float64 { return v * v })
+	if x.At(1) != 4 {
+		t.Fatalf("Apply wrong: %v", x.Data())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{1, 2.0000001}, 2)
+	if !Equal(a, b, 1e-6) {
+		t.Fatal("tensors should be equal within eps")
+	}
+	if Equal(a, b, 1e-9) {
+		t.Fatal("tensors should differ at tight eps")
+	}
+	if Equal(a, New(3), 1) {
+		t.Fatal("different shapes must not be equal")
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ for random small matrices.
+func TestMatMulTransposeProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		m, k, n := int(seed%3)+1, int(seed/3%3)+1, int(seed/9%3)+1
+		a := New(m, k)
+		b := New(k, n)
+		for i := range a.Data() {
+			a.Data()[i] = float64((int(seed)+i*7)%11) - 5
+		}
+		for i := range b.Data() {
+			b.Data()[i] = float64((int(seed)+i*13)%9) - 4
+		}
+		ab, err := MatMul(a, b)
+		if err != nil {
+			return false
+		}
+		at, _ := Transpose(a)
+		bt, _ := Transpose(b)
+		btat, err := MatMul(bt, at)
+		if err != nil {
+			return false
+		}
+		abt, _ := Transpose(ab)
+		return Equal(abt, btat, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: padding never changes the sum, and im2col of a stride-k,
+// kernel-k lowering partitions the input exactly (each element once).
+func TestIm2ColPartitionProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		k := int(seed%2) + 1       // kernel 1 or 2
+		tiles := int(seed/2%3) + 1 // output tiles per side
+		side := k * tiles          // input exactly tiled
+		x := New(1, side, side)
+		for i := range x.Data() {
+			x.Data()[i] = float64(i%17) + 1
+		}
+		cols, err := Im2Col(x, k, k, 0)
+		if err != nil {
+			return false
+		}
+		return math.Abs(cols.Sum()-x.Sum()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
