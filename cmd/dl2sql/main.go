@@ -9,6 +9,7 @@
 //	dl2sql -type 3 -strategy dl2sql-op            # run a Type 3 template
 //	dl2sql -query "SELECT ... nUDF_detect(...)"   # run arbitrary SQL
 //	dl2sql -type 4 -strategy all -profile server-gpu
+//	dl2sql -type 1 -strategy all -trace run.json  # Chrome trace of each phase
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"repro/internal/hwprofile"
 	"repro/internal/iotdata"
 	"repro/internal/modelrepo"
+	"repro/internal/obs"
 	"repro/internal/sqldb"
 	"repro/internal/strategies"
 )
@@ -36,6 +38,7 @@ func main() {
 		sel       = flag.Float64("sel", 0.05, "template relational selectivity")
 		maxRows   = flag.Int("maxrows", 10, "result rows to print")
 		explain   = flag.Bool("explain", false, "also print the analyzed query type and nUDF usages")
+		trace     = flag.String("trace", "", "write a Chrome trace_event JSON of every strategy execution to this file")
 	)
 	flag.Parse()
 
@@ -53,6 +56,9 @@ func main() {
 		fatalf("unknown profile %q", *profile)
 	}
 	ctx.Profile = prof
+	if *trace != "" {
+		ctx.Tracer = obs.New()
+	}
 
 	sql := *query
 	if sql == "" {
@@ -107,6 +113,19 @@ func main() {
 			bd.Loading, bd.Inference, bd.Relational, bd.Total())
 		printResult(res, *maxRows)
 		fmt.Println()
+	}
+
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatalf("creating trace file: %v", err)
+		}
+		defer f.Close()
+		if err := ctx.Tracer.WriteChromeTrace(f); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		fmt.Printf("wrote %d spans to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+			ctx.Tracer.SpanCount(), *trace)
 	}
 }
 

@@ -90,6 +90,8 @@ func main() {
 		{"ablation1", suite.AblationBatching},
 		{"ablation2", suite.AblationSymmetricJoin},
 		{"ablation3", suite.AblationPredicateOrdering},
+		// Last so its snapshot covers every strategy execution above.
+		{"metrics", suite.MetricsReport},
 	}
 
 	selected := map[string]bool{}

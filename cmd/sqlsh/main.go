@@ -1,13 +1,16 @@
 // Command sqlsh is an interactive SQL shell for the embedded engine. It can
 // start from an empty database, the synthetic IoT dataset, or a snapshot
-// file, and supports the engine's full dialect plus EXPLAIN and a few
-// shell meta-commands:
+// file, and supports the engine's full dialect plus EXPLAIN / EXPLAIN
+// ANALYZE and a few shell meta-commands:
 //
-//	\d            list tables and views
-//	\d NAME       describe a table
-//	\profile      show the per-operator execution profile
-//	\save PATH    snapshot the database to a file
-//	\q            quit
+//	\d              list tables and views
+//	\d NAME         describe a table
+//	\profile        show the per-operator execution profile
+//	\profile reset  zero the profile counters
+//	\timing on|off  print each query's wall time
+//	\trace PATH     start tracing; \trace off writes Chrome trace JSON to PATH
+//	\save PATH      snapshot the database to a file
+//	\q              quit (flushes an active trace first)
 //
 // Usage:
 //
@@ -24,10 +27,19 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/iotdata"
+	"repro/internal/obs"
 	"repro/internal/sqldb"
 )
+
+// shell is the REPL state shared between queries and meta-commands.
+type shell struct {
+	db        *sqldb.DB
+	timing    bool
+	traceFile string // destination for the active trace; "" when off
+}
 
 func main() {
 	var (
@@ -56,8 +68,11 @@ func main() {
 		fmt.Printf("generated IoT dataset (scale %d)\n", *scale)
 	default:
 		db = sqldb.New()
+	}
+	if db.Profile == nil {
 		db.Profile = sqldb.NewProfile()
 	}
+	sh := &shell{db: db}
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -70,7 +85,8 @@ func main() {
 		line := in.Text()
 		trimmed := strings.TrimSpace(line)
 		if pending.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			if !meta(db, trimmed) {
+			if !sh.meta(trimmed) {
+				sh.flushTrace()
 				return
 			}
 			if interactive {
@@ -86,19 +102,21 @@ func main() {
 			}
 			continue
 		}
-		run(db, pending.String())
+		sh.run(pending.String())
 		pending.Reset()
 		if interactive {
 			fmt.Print("sqlsh> ")
 		}
 	}
 	if pending.Len() > 0 {
-		run(db, pending.String())
+		sh.run(pending.String())
 	}
+	sh.flushTrace()
 }
 
 // meta handles shell meta-commands; it returns false to quit.
-func meta(db *sqldb.DB, cmd string) bool {
+func (sh *shell) meta(cmd string) bool {
+	db := sh.db
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case `\q`, `\quit`:
@@ -123,9 +141,45 @@ func meta(db *sqldb.DB, cmd string) bool {
 		}
 		return true
 	case `\profile`:
+		if len(fields) == 2 && fields[1] == "reset" {
+			db.Profile.Reset()
+			fmt.Println("profile reset")
+			return true
+		}
 		if db.Profile != nil {
 			fmt.Print(db.Profile.String())
 		}
+		return true
+	case `\timing`:
+		switch {
+		case len(fields) == 1:
+			sh.timing = !sh.timing
+		case fields[1] == "on":
+			sh.timing = true
+		case fields[1] == "off":
+			sh.timing = false
+		default:
+			fmt.Println("usage: \\timing [on|off]")
+			return true
+		}
+		fmt.Printf("timing %s\n", onOff(sh.timing))
+		return true
+	case `\trace`:
+		if len(fields) != 2 {
+			fmt.Println("usage: \\trace PATH | \\trace off")
+			return true
+		}
+		if fields[1] == "off" {
+			if sh.traceFile == "" {
+				fmt.Println("tracing is not active")
+				return true
+			}
+			sh.flushTrace()
+			return true
+		}
+		sh.traceFile = fields[1]
+		db.Tracer = obs.New()
+		fmt.Printf("tracing to %s (\\trace off to write)\n", sh.traceFile)
 		return true
 	case `\save`:
 		if len(fields) != 2 {
@@ -143,37 +197,71 @@ func meta(db *sqldb.DB, cmd string) bool {
 	return true
 }
 
-func run(db *sqldb.DB, sql string) {
+// flushTrace writes the active trace (if any) as Chrome trace_event JSON
+// and disables tracing.
+func (sh *shell) flushTrace() {
+	if sh.traceFile == "" || sh.db.Tracer == nil {
+		return
+	}
+	f, err := os.Create(sh.traceFile)
+	if err != nil {
+		fmt.Printf("trace write failed: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := sh.db.Tracer.WriteChromeTrace(f); err != nil {
+		fmt.Printf("trace write failed: %v\n", err)
+		return
+	}
+	fmt.Printf("wrote %d spans to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+		sh.db.Tracer.SpanCount(), sh.traceFile)
+	sh.db.Tracer = nil
+	sh.traceFile = ""
+}
+
+func (sh *shell) run(sql string) {
 	if strings.TrimSpace(sql) == "" {
 		return
 	}
-	res, err := db.Exec(sql)
+	start := time.Now()
+	res, err := sh.db.Exec(sql)
+	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Printf("error: %v\n", err)
 		return
 	}
 	if res == nil {
 		fmt.Println("ok")
-		return
-	}
-	header := make([]string, len(res.Schema))
-	for i, c := range res.Schema {
-		header[i] = c.Name
-	}
-	fmt.Println(strings.Join(header, " | "))
-	n := res.NumRows()
-	const maxRows = 200
-	for i := 0; i < n && i < maxRows; i++ {
-		cells := make([]string, len(res.Cols))
-		for j, c := range res.Cols {
-			cells[j] = c.Get(i).String()
+	} else {
+		header := make([]string, len(res.Schema))
+		for i, c := range res.Schema {
+			header[i] = c.Name
 		}
-		fmt.Println(strings.Join(cells, " | "))
+		fmt.Println(strings.Join(header, " | "))
+		n := res.NumRows()
+		const maxRows = 200
+		for i := 0; i < n && i < maxRows; i++ {
+			cells := make([]string, len(res.Cols))
+			for j, c := range res.Cols {
+				cells[j] = c.Get(i).String()
+			}
+			fmt.Println(strings.Join(cells, " | "))
+		}
+		if n > maxRows {
+			fmt.Printf("... (%d more rows)\n", n-maxRows)
+		}
+		fmt.Printf("(%d rows)\n", n)
 	}
-	if n > maxRows {
-		fmt.Printf("... (%d more rows)\n", n-maxRows)
+	if sh.timing {
+		fmt.Printf("Time: %s\n", elapsed.Round(time.Microsecond))
 	}
-	fmt.Printf("(%d rows)\n", n)
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
 }
 
 // isTerminal reports whether stdin looks interactive (best effort without

@@ -72,6 +72,9 @@ func TestFig8Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full strategy x profile grid is slow; run without -short")
 	}
+	if raceEnabled {
+		t.Skip("wall-clock shape comparison is skewed by race instrumentation")
+	}
 	s := smallSuite(t)
 	tab, err := s.Fig8Overall()
 	if err != nil {

@@ -1,0 +1,10 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is active. Wall-clock shape
+// tests (Fig. 8, Fig. 11) compare real execution times across strategies;
+// race instrumentation slows the interpreted SQL path far more than the
+// native float loops, inverting the comparisons the paper's shapes rest on,
+// so those tests skip under -race.
+const raceEnabled = false

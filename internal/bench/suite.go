@@ -2,11 +2,13 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/colquery"
 	"repro/internal/hwprofile"
 	"repro/internal/iotdata"
 	"repro/internal/modelrepo"
+	"repro/internal/obs"
 	"repro/internal/strategies"
 )
 
@@ -67,11 +69,48 @@ func NewSuite(cfg Config) (*Suite, error) {
 		return nil, err
 	}
 	ctx := strategies.NewContext(ds)
+	ctx.Metrics = obs.NewRegistry()
 	repo := modelrepo.NewRepository(cfg.KeyframeSide, cfg.Seed)
 	if err := ctx.BindDefaults(repo, cfg.CalibrationSamples); err != nil {
 		return nil, err
 	}
 	return &Suite{Cfg: cfg, Ctx: ctx, Repo: repo}, nil
+}
+
+// MetricsReport snapshots the suite's metrics registry — every strategy
+// execution performed so far, as per-strategy query counters and phase
+// latency quantiles — into a renderable table. Run it after the experiments
+// so the report covers them.
+func (s *Suite) MetricsReport() (*Table, error) {
+	t := &Table{
+		ID:      "Metrics",
+		Title:   "accumulated per-strategy phase latencies across all executions",
+		Columns: []string{"histogram", "count", "p50 (s)", "p95 (s)", "p99 (s)", "mean (s)", "max (s)"},
+	}
+	if s.Ctx.Metrics == nil {
+		t.Notes = append(t.Notes, "metrics registry disabled")
+		return t, nil
+	}
+	snap := s.Ctx.Metrics.Snapshot()
+	names := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		t.AddRow(name, fmt.Sprintf("%d", h.Count),
+			f4(h.P50), f4(h.P95), f4(h.P99), f4(h.Mean), f4(h.Max))
+	}
+	ctrs := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		ctrs = append(ctrs, name)
+	}
+	sort.Strings(ctrs)
+	for _, name := range ctrs {
+		t.Notes = append(t.Notes, fmt.Sprintf("%s = %d", name, snap.Counters[name]))
+	}
+	return t, nil
 }
 
 // runMix executes the mixed query benchmark under one strategy and profile,

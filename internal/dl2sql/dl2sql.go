@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/sqldb"
 	"repro/internal/tensor"
 )
@@ -95,6 +96,10 @@ type Translator struct {
 	// exported — the textual form of the paper's Q1–Q5.
 	Trace    bool
 	TraceSQL []string
+	// Span, when non-nil, receives one child span per executed pipeline
+	// step (Conv1, Reshape1, BN1, Classification, ...), nesting the SQL
+	// inference pipeline under the caller's trace.
+	Span *obs.Span
 
 	seq int // temp-table sequence number
 }
@@ -121,6 +126,12 @@ func (t *Translator) StepTotal() time.Duration {
 
 func (t *Translator) record(label string, rows int, d time.Duration) {
 	t.Steps = append(t.Steps, StepCost{Label: label, Rows: rows, Time: d})
+	if t.Span != nil {
+		sp := t.Span.StartChild(label)
+		sp.Start = sp.Start.Add(-d) // backdate: the step already ran
+		sp.SetAttr("rows", rows)
+		sp.Finish()
+	}
 }
 
 // tname builds a namespaced table name.

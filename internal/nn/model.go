@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -14,6 +15,12 @@ type Model struct {
 	InputShape []int
 	Layers     []Layer
 	Classes    []string
+
+	// Trace, when non-nil, receives one child span per layer executed by
+	// Forward — the per-operator breakdown of Fig. 10 as a span tree. It is
+	// runtime-only state and is not serialized with the model. A nil Trace
+	// keeps Forward on its uninstrumented fast path.
+	Trace *obs.Span
 }
 
 // NewModel creates an empty model for the given input shape.
@@ -50,7 +57,10 @@ func (m *Model) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 	cur := in
 	var err error
 	for _, l := range m.Layers {
-		if cur, err = l.Forward(cur); err != nil {
+		sp := m.Trace.StartChild(l.Kind() + ":" + l.Name())
+		cur, err = l.Forward(cur)
+		sp.Finish()
+		if err != nil {
 			return nil, fmt.Errorf("nn: model %s layer %s: %w", m.ModelName, l.Name(), err)
 		}
 	}

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a named collection of counters, gauges, and histograms. Like
+// the tracer, a nil *Registry is a valid disabled registry: lookups return
+// nil instruments whose methods are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing integer.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter. Safe on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float value (e.g. table sizes, cache occupancy).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge value. Safe on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates float observations (typically latency seconds) and
+// summarizes them as count/min/max/mean plus p50/p95/p99 quantiles.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+}
+
+// Observe records one sample. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds. Safe on a nil receiver.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistSummary is a point-in-time histogram summary.
+type HistSummary struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Summary computes the histogram's summary.
+func (h *Histogram) Summary() HistSummary {
+	if h == nil {
+		return HistSummary{}
+	}
+	h.mu.Lock()
+	samples := append([]float64(nil), h.samples...)
+	h.mu.Unlock()
+	if len(samples) == 0 {
+		return HistSummary{}
+	}
+	sort.Float64s(samples)
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	return HistSummary{
+		Count: len(samples),
+		Min:   samples[0],
+		Max:   samples[len(samples)-1],
+		Mean:  sum / float64(len(samples)),
+		P50:   quantile(samples, 0.50),
+		P95:   quantile(samples, 0.95),
+		P99:   quantile(samples, 0.99),
+	}
+}
+
+// quantile reads the q-quantile of sorted samples by linear interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Counter returns (creating on first use) the named counter. On a nil
+// registry it returns a nil instrument whose methods no-op.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument, JSON-serializable.
+type Snapshot struct {
+	Counters   map[string]int64       `json:"counters,omitempty"`
+	Gauges     map[string]float64     `json:"gauges,omitempty"`
+	Histograms map[string]HistSummary `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSummary{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		snap.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		snap.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		snap.Histograms[k] = v.Summary()
+	}
+	return snap
+}
+
+// WriteJSON serializes a snapshot of the registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// String renders the snapshot as aligned text, one instrument per line,
+// keys sorted for determinism.
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	for _, k := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&sb, "counter   %-42s %d\n", k, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&sb, "gauge     %-42s %g\n", k, s.Gauges[k])
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		fmt.Fprintf(&sb, "histogram %-42s count=%d mean=%.6f p50=%.6f p95=%.6f p99=%.6f max=%.6f\n",
+			k, h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max)
+	}
+	return sb.String()
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.StartSpan("root")
+	if sp != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	// Every downstream call must be safe on the nil span.
+	child := sp.StartChild("child")
+	child.SetAttr("k", "v")
+	child.Finish()
+	sp.Finish()
+	if tr.Tree() != "" {
+		t.Fatal("nil tracer rendered a tree")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("nil tracer chrome export = %q, want []", buf.String())
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan("query")
+	root.SetAttr("sql", "SELECT 1")
+	scan := root.StartChild("Scan")
+	scan.SetAttr("rows", 10)
+	scan.Finish()
+	join := root.StartChild("Join")
+	inner := join.StartChild("probe")
+	inner.Finish()
+	join.Finish()
+	root.Finish()
+
+	if got := tr.SpanCount(); got != 4 {
+		t.Fatalf("span count = %d, want 4", got)
+	}
+	if tr.FindSpan("probe") == nil {
+		t.Fatal("nested span not reachable")
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name != "Scan" || kids[1].Name != "Join" {
+		t.Fatalf("unexpected children: %+v", kids)
+	}
+	if root.Duration() <= 0 {
+		t.Fatal("finished span has non-positive duration")
+	}
+}
+
+func TestTreeExporter(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan("inference")
+	l1 := root.StartChild("conv2d:conv1")
+	l1.Finish()
+	l2 := root.StartChild("relu:act1")
+	l2.Finish()
+	root.Finish()
+
+	tree := tr.Tree()
+	lines := strings.Split(strings.TrimRight(tree, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("tree has %d lines, want 3:\n%s", len(lines), tree)
+	}
+	if !strings.HasPrefix(lines[0], "inference") {
+		t.Fatalf("root line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  conv2d:conv1") || !strings.HasPrefix(lines[2], "  relu:act1") {
+		t.Fatalf("children not indented under root:\n%s", tree)
+	}
+}
+
+func TestChromeTraceExporter(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan("strategy")
+	root.SetAttr("name", "DL2SQL")
+	child := root.StartChild("loading")
+	time.Sleep(time.Millisecond)
+	child.Finish()
+	root.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("exported %d events, want 2", len(events))
+	}
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			t.Fatalf("event phase = %v, want X", ev["ph"])
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Fatalf("event missing numeric ts: %v", ev)
+		}
+		if _, ok := ev["dur"].(float64); !ok {
+			t.Fatalf("event missing numeric dur: %v", ev)
+		}
+	}
+	if events[0]["name"] != "strategy" {
+		t.Fatalf("first event = %v, want root span", events[0]["name"])
+	}
+	args, ok := events[0]["args"].(map[string]any)
+	if !ok || args["name"] != "DL2SQL" {
+		t.Fatalf("root span args not exported: %v", events[0]["args"])
+	}
+	// Child duration must sit inside the parent's window.
+	if events[1]["dur"].(float64) > events[0]["dur"].(float64) {
+		t.Fatal("child event outlasts its parent")
+	}
+}
+
+func TestConcurrentSpansAndMetrics(t *testing.T) {
+	tr := New()
+	reg := NewRegistry()
+	root := tr.StartSpan("parallel")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sp := root.StartChild("work")
+				sp.SetAttr("j", j)
+				sp.Finish()
+				reg.Counter("ops").Add(1)
+				reg.Gauge("last").Set(float64(j))
+				reg.Histogram("latency").Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	root.Finish()
+	if got := len(root.Children()); got != 16*50 {
+		t.Fatalf("children = %d, want %d", got, 16*50)
+	}
+	if got := reg.Counter("ops").Value(); got != 16*50 {
+		t.Fatalf("counter = %d, want %d", got, 16*50)
+	}
+	if got := reg.Histogram("latency").Summary().Count; got != 16*50 {
+		t.Fatalf("histogram count = %d, want %d", got, 16*50)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(1)
+	r.Histogram("h").Observe(2)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Summary()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("summary basics wrong: %+v", s)
+	}
+	if s.P50 < 50 || s.P50 > 51 {
+		t.Fatalf("p50 = %v, want ~50.5", s.P50)
+	}
+	if s.P95 < 95 || s.P95 > 96 {
+		t.Fatalf("p95 = %v, want ~95", s.P95)
+	}
+	if s.P99 < 99 || s.P99 > 100 {
+		t.Fatalf("p99 = %v, want ~99", s.P99)
+	}
+	if s.Mean < 50.4 || s.Mean > 50.6 {
+		t.Fatalf("mean = %v, want 50.5", s.Mean)
+	}
+}
+
+func TestRegistrySnapshotJSONAndString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries").Add(3)
+	r.Gauge("tables").Set(7)
+	r.Histogram("strategy.DL2SQL.inference").Observe(0.25)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot JSON round-trip: %v", err)
+	}
+	if snap.Counters["queries"] != 3 || snap.Gauges["tables"] != 7 {
+		t.Fatalf("round-tripped snapshot wrong: %+v", snap)
+	}
+	text := r.Snapshot().String()
+	for _, want := range []string{"queries", "tables", "strategy.DL2SQL.inference", "p95"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("snapshot text missing %q:\n%s", want, text)
+		}
+	}
+}

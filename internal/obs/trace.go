@@ -1,0 +1,286 @@
+// Package obs is the repo's stdlib-only observability layer: hierarchical
+// trace spans with tree and Chrome trace_event exporters, plus a metrics
+// registry (counters, gauges, latency histograms).
+//
+// Everything is nil-safe: a nil *Tracer produces nil *Spans, and every
+// method on a nil receiver is a no-op that allocates nothing. Hot paths can
+// therefore call Start/End unconditionally and pay only a nil check when
+// tracing is disabled — the per-operator instrumentation in sqldb, the
+// per-layer instrumentation in nn, and the per-step instrumentation in
+// dl2sql all rely on this.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed region of work. Spans nest: children created with
+// Start(name) are rendered inside their parent by both exporters.
+type Span struct {
+	Name  string
+	Start time.Time
+	End   time.Time
+
+	mu       sync.Mutex
+	attrs    []Attr
+	children []*Span
+	ended    bool
+}
+
+// Tracer collects root spans. A nil Tracer is a valid disabled tracer.
+type Tracer struct {
+	mu    sync.Mutex
+	roots []*Span
+	epoch time.Time
+}
+
+// New creates an enabled tracer.
+func New() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// StartSpan opens a new root span. On a nil tracer it returns nil, which
+// propagates no-ops through the whole child tree.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{Name: name, Start: time.Now()}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Reset discards all recorded spans and restarts the epoch.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.roots = nil
+	t.epoch = time.Now()
+	t.mu.Unlock()
+}
+
+// Roots returns the recorded root spans.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// StartChild opens a child span. Safe (and free) on a nil receiver.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr annotates the span. Safe on a nil receiver.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Finish closes the span; later calls are ignored. Safe on a nil receiver.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.End = time.Now()
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// Duration is End-Start for a finished span, time-since-Start otherwise.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.End.Sub(s.Start)
+	}
+	return time.Since(s.Start)
+}
+
+// Children returns the span's direct children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Attrs returns the span's annotations.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Tree renders the recorded spans as an indented human-readable tree.
+func (t *Tracer) Tree() string {
+	if t == nil {
+		return ""
+	}
+	var sb strings.Builder
+	for _, r := range t.Roots() {
+		writeSpanTree(&sb, r, 0)
+	}
+	return sb.String()
+}
+
+func writeSpanTree(sb *strings.Builder, s *Span, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(s.Name)
+	fmt.Fprintf(sb, " %s", s.Duration().Round(time.Microsecond))
+	for _, a := range s.Attrs() {
+		fmt.Fprintf(sb, " %s=%v", a.Key, a.Value)
+	}
+	sb.WriteByte('\n')
+	for _, c := range s.Children() {
+		writeSpanTree(sb, c, depth+1)
+	}
+}
+
+// chromeEvent is one Chrome trace_event entry ("X" = complete event).
+// Load the exported file at chrome://tracing or https://ui.perfetto.dev.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`  // microseconds since epoch start
+	Dur   float64        `json:"dur"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports all recorded spans as Chrome trace_event JSON.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]")
+		return err
+	}
+	t.mu.Lock()
+	epoch := t.epoch
+	t.mu.Unlock()
+	var events []chromeEvent
+	for _, r := range t.Roots() {
+		collectChrome(&events, r, epoch)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+func collectChrome(out *[]chromeEvent, s *Span, epoch time.Time) {
+	ev := chromeEvent{
+		Name:  s.Name,
+		Phase: "X",
+		TS:    float64(s.Start.Sub(epoch)) / float64(time.Microsecond),
+		Dur:   float64(s.Duration()) / float64(time.Microsecond),
+		PID:   1,
+		TID:   1,
+	}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		ev.Args = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			ev.Args[a.Key] = fmt.Sprint(a.Value)
+		}
+	}
+	*out = append(*out, ev)
+	for _, c := range s.Children() {
+		collectChrome(out, c, epoch)
+	}
+}
+
+// SpanCount returns the total number of spans (all depths), for tests.
+func (t *Tracer) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	var walk func(*Span)
+	walk = func(s *Span) {
+		n++
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots() {
+		walk(r)
+	}
+	return n
+}
+
+// FindSpan returns the first span (depth-first) whose name matches, or nil.
+func (t *Tracer) FindSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	var find func(*Span) *Span
+	find = func(s *Span) *Span {
+		if s.Name == name {
+			return s
+		}
+		for _, c := range s.Children() {
+			if got := find(c); got != nil {
+				return got
+			}
+		}
+		return nil
+	}
+	for _, r := range t.Roots() {
+		if got := find(r); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns map keys in deterministic order (exporter helper).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -280,8 +280,9 @@ func rewriteAggRefs(e Expr, aggCols map[string]string, grpCols map[string]string
 
 // execAgg performs hash aggregation and evaluates the SELECT items over the
 // per-group aggregate values.
-func (db *DB) execAgg(a *LAgg, prof *Profile) (*Result, error) {
-	child, err := db.execPlan(a.Child, prof)
+func (db *DB) execAgg(a *LAgg, ec *execCtx) (*Result, error) {
+	prof := ec.prof
+	child, err := db.execPlan(a.Child, ec)
 	if err != nil {
 		return nil, err
 	}

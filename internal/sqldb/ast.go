@@ -266,10 +266,13 @@ type DeleteStmt struct {
 	Where Expr
 }
 
-// ExplainStmt is EXPLAIN SELECT ...: it returns the optimized plan tree as
-// a one-column result instead of executing the query.
+// ExplainStmt is EXPLAIN [ANALYZE] SELECT ...: it returns the optimized
+// plan tree as a one-column result. With Analyze set the plan is also
+// executed and every node is annotated with its actual row count, call
+// count, and (inclusive) wall time next to the optimizer's estimates.
 type ExplainStmt struct {
-	Query *SelectStmt
+	Query   *SelectStmt
+	Analyze bool
 }
 
 // DropStmt is DROP TABLE|VIEW [IF EXISTS] name.
@@ -288,7 +291,12 @@ func (*DeleteStmt) stmtNode()      {}
 func (*DropStmt) stmtNode()        {}
 func (*ExplainStmt) stmtNode()     {}
 
-func (s *ExplainStmt) String() string { return "EXPLAIN " + s.Query.String() }
+func (s *ExplainStmt) String() string {
+	if s.Analyze {
+		return "EXPLAIN ANALYZE " + s.Query.String()
+	}
+	return "EXPLAIN " + s.Query.String()
+}
 
 func (s *SelectStmt) String() string {
 	var sb strings.Builder

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // DB is an embedded in-memory database instance.
@@ -17,6 +19,11 @@ type DB struct {
 	// Profile, when non-nil, accumulates operator statistics across every
 	// statement executed on this DB (Fig. 10 uses this).
 	Profile *Profile
+
+	// Tracer, when non-nil, receives one hierarchical span per executed
+	// SELECT with nested per-operator child spans. A nil tracer keeps the
+	// executor on its uninstrumented fast path.
+	Tracer *obs.Tracer
 
 	leftJoinSeq int // composite-relation alias counter
 }
@@ -199,8 +206,19 @@ func (db *DB) execStmt(st Stmt, hints *QueryHints) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		text := Explain(plan)
+		if t.Analyze {
+			// EXPLAIN ANALYZE executes the plan with a per-node stats
+			// collector and renders actual rows/calls/time next to the
+			// optimizer's estimates.
+			ec := &execCtx{prof: db.Profile, nodes: map[Plan]*NodeStats{}}
+			if _, err := db.execPlan(plan, ec); err != nil {
+				return nil, err
+			}
+			text = ExplainAnalyze(plan, ec.nodes)
+		}
 		out := &Result{Schema: []OutCol{{Name: "plan", Type: TString}}, Cols: []*Column{NewColumn(TString)}}
-		for _, line := range strings.Split(strings.TrimRight(Explain(plan), "\n"), "\n") {
+		for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 			if err := out.Cols[0].Append(Str(line)); err != nil {
 				return nil, err
 			}
@@ -215,7 +233,13 @@ func (db *DB) runSelect(sel *SelectStmt, hints *QueryHints) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.execPlan(plan, db.Profile)
+	ec := &execCtx{prof: db.Profile}
+	if db.Tracer.Enabled() {
+		root := db.Tracer.StartSpan("query")
+		defer root.Finish()
+		ec.span = root
+	}
+	res, err := db.execPlan(plan, ec)
 	if err != nil || len(sel.UnionAll) == 0 {
 		return res, err
 	}

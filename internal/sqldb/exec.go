@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Profile accumulates per-operator execution statistics for one query (or a
@@ -69,6 +71,18 @@ func (p *Profile) Merge(o *Profile) {
 	}
 }
 
+// Reset clears all accumulated operator statistics and UDF call counts, so
+// a long-lived session profile can be zeroed between queries.
+func (p *Profile) Reset() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.Ops = map[string]*OpStats{}
+	p.UDFCalls = map[string]int{}
+}
+
 // String renders the profile sorted by time descending.
 func (p *Profile) String() string {
 	type row struct {
@@ -115,43 +129,118 @@ const (
 	OpDelete   = "Delete"
 )
 
-// execPlan evaluates a plan tree to a materialized result.
-func (db *DB) execPlan(p Plan, prof *Profile) (*Result, error) {
+// NodeStats is the per-plan-node actual-execution record EXPLAIN ANALYZE
+// reports. Times are inclusive of children (Postgres-style actuals).
+type NodeStats struct {
+	Calls int
+	Rows  int
+	Nanos int64
+}
+
+// execCtx threads the per-query execution context through the plan tree:
+// the session profile, the per-node stats collector (non-nil only under
+// EXPLAIN ANALYZE), and the parent trace span (non-nil only when the DB has
+// a tracer attached). The common case — both nil — costs a single branch
+// per plan node on top of the uninstrumented executor.
+type execCtx struct {
+	prof  *Profile
+	nodes map[Plan]*NodeStats
+	span  *obs.Span
+}
+
+// execPlan evaluates a plan tree to a materialized result, recording
+// per-node actuals and emitting operator spans when the context asks for
+// them.
+func (db *DB) execPlan(p Plan, ec *execCtx) (*Result, error) {
+	if ec.nodes == nil && ec.span == nil {
+		return db.execPlanNode(p, ec)
+	}
+	sp := ec.span.StartChild(planNodeName(p))
+	child := *ec
+	child.span = sp
+	start := time.Now()
+	res, err := db.execPlanNode(p, &child)
+	elapsed := time.Since(start)
+	if err == nil {
+		sp.SetAttr("rows", res.NumRows())
+		if ec.nodes != nil {
+			ns := ec.nodes[p]
+			if ns == nil {
+				ns = &NodeStats{}
+				ec.nodes[p] = ns
+			}
+			ns.Calls++
+			ns.Rows += res.NumRows()
+			ns.Nanos += elapsed.Nanoseconds()
+		}
+	}
+	sp.Finish()
+	return res, err
+}
+
+// planNodeName labels a plan node for trace spans.
+func planNodeName(p Plan) string {
+	switch t := p.(type) {
+	case *LScan:
+		return "Scan " + t.Table
+	case *LFilter:
+		return "Filter"
+	case *LJoin:
+		return joinKind(t)
+	case *LProject:
+		return "Project"
+	case *LAgg:
+		return "Aggregate"
+	case *LDistinct:
+		return "Distinct"
+	case *LSort:
+		return "Sort"
+	case *LLimit:
+		return "Limit"
+	case *aliasPlan:
+		return "Alias"
+	}
+	return fmt.Sprintf("%T", p)
+}
+
+// execPlanNode dispatches one plan node.
+func (db *DB) execPlanNode(p Plan, ec *execCtx) (*Result, error) {
+	prof := ec.prof
 	switch t := p.(type) {
 	case *LScan:
 		return db.execScan(t, prof)
 	case *LFilter:
-		child, err := db.execPlan(t.Child, prof)
+		child, err := db.execPlan(t.Child, ec)
 		if err != nil {
 			return nil, err
 		}
 		return db.execFilter(child, t.Conds, prof, OpFilter)
 	case *LJoin:
-		return db.execJoin(t, prof)
+		return db.execJoin(t, ec)
 	case *LProject:
-		return db.execProject(t, prof)
+		return db.execProject(t, ec)
 	case *LAgg:
-		return db.execAgg(t, prof)
+		return db.execAgg(t, ec)
 	case *LDistinct:
-		child, err := db.execPlan(t.Child, prof)
+		child, err := db.execPlan(t.Child, ec)
 		if err != nil {
 			return nil, err
 		}
 		return db.execDistinct(child, prof)
 	case *LSort:
-		child, err := db.execPlan(t.Child, prof)
+		child, err := db.execPlan(t.Child, ec)
 		if err != nil {
 			return nil, err
 		}
 		return db.execSort(child, t.Keys, prof)
 	case *LLimit:
-		child, err := db.execPlan(t.Child, prof)
+		child, err := db.execPlan(t.Child, ec)
 		if err != nil {
 			return nil, err
 		}
 		return db.execLimit(child, t.N, t.Offset, prof)
 	case *aliasPlan:
-		child, err := db.execPlan(t.Child, prof)
+		child, err := db.execPlan(t.Child, ec)
 		if err != nil {
 			return nil, err
 		}
@@ -247,11 +336,12 @@ func (db *DB) execFilter(in *Result, conds []Expr, prof *Profile, opName string)
 	return out, nil
 }
 
-func (db *DB) execProject(p *LProject, prof *Profile) (*Result, error) {
+func (db *DB) execProject(p *LProject, ec *execCtx) (*Result, error) {
+	prof := ec.prof
 	var child *Result
 	if p.Child != nil {
 		var err error
-		child, err = db.execPlan(p.Child, prof)
+		child, err = db.execPlan(p.Child, ec)
 		if err != nil {
 			return nil, err
 		}

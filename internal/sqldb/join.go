@@ -5,12 +5,13 @@ import (
 )
 
 // execJoin dispatches to the hash, symmetric-hash, or nested-loop join.
-func (db *DB) execJoin(j *LJoin, prof *Profile) (*Result, error) {
-	left, err := db.execPlan(j.L, prof)
+func (db *DB) execJoin(j *LJoin, ec *execCtx) (*Result, error) {
+	prof := ec.prof
+	left, err := db.execPlan(j.L, ec)
 	if err != nil {
 		return nil, err
 	}
-	right, err := db.execPlan(j.R, prof)
+	right, err := db.execPlan(j.R, ec)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 )
 
 // QueryHints carries the paper's optimizer hints (Section IV-B) into the
@@ -443,12 +444,51 @@ func (db *DB) chooseJoinOrder(rels []planRel, pushed map[string][]Expr, equis []
 // Explain renders a plan tree for debugging and tests.
 func Explain(p Plan) string {
 	var sb strings.Builder
-	explainNode(&sb, p, 0)
+	explainNode(&sb, p, 0, nil)
 	return sb.String()
 }
 
-func explainNode(sb *strings.Builder, p Plan, depth int) {
+// ExplainAnalyze renders a plan tree annotated with the actual per-node
+// rows, calls, and inclusive wall time collected during execution, next to
+// the optimizer's estimates — making estimate-vs-actual skew visible.
+func ExplainAnalyze(p Plan, stats map[Plan]*NodeStats) string {
+	var sb strings.Builder
+	explainNode(&sb, p, 0, stats)
+	return sb.String()
+}
+
+// joinKind labels a join node with every algorithm property it carries:
+// outer-ness and symmetry compose rather than overwrite each other, so a
+// symmetric left-outer join renders as LeftOuterSymmetricHashJoin.
+func joinKind(t *LJoin) string {
+	kind := "HashJoin"
+	if len(t.EquiL) == 0 {
+		kind = "NestedLoopJoin"
+	}
+	if t.Symmetric {
+		kind = "Symmetric" + kind
+	}
+	if t.LeftOuter {
+		kind = "LeftOuter" + kind
+	}
+	return kind
+}
+
+func explainNode(sb *strings.Builder, p Plan, depth int, stats map[Plan]*NodeStats) {
 	indent := strings.Repeat("  ", depth)
+	// actuals appends the node's EXPLAIN ANALYZE annotation (when stats
+	// were collected) and terminates the line.
+	actuals := func() {
+		if stats != nil {
+			if ns := stats[p]; ns != nil {
+				fmt.Fprintf(sb, " (actual rows=%d calls=%d time=%s)",
+					ns.Rows, ns.Calls, time.Duration(ns.Nanos).Round(time.Microsecond))
+			} else {
+				sb.WriteString(" (never executed)")
+			}
+		}
+		sb.WriteString("\n")
+	}
 	switch t := p.(type) {
 	case *LScan:
 		fmt.Fprintf(sb, "%sScan %s as %s (est %.0f rows)", indent, t.Table, t.Alias, t.EstRows)
@@ -458,49 +498,47 @@ func explainNode(sb *strings.Builder, p Plan, depth int) {
 				fmt.Fprintf(sb, " [%s]", f)
 			}
 		}
-		sb.WriteString("\n")
+		actuals()
 	case *LFilter:
 		fmt.Fprintf(sb, "%sFilter", indent)
 		for _, f := range t.Conds {
 			fmt.Fprintf(sb, " [%s]", f)
 		}
-		sb.WriteString("\n")
-		explainNode(sb, t.Child, depth+1)
+		actuals()
+		explainNode(sb, t.Child, depth+1, stats)
 	case *LJoin:
-		kind := "HashJoin"
-		if len(t.EquiL) == 0 {
-			kind = "NestedLoopJoin"
-		}
-		if t.Symmetric {
-			kind = "SymmetricHashJoin"
-		}
-		if t.LeftOuter {
-			kind = "LeftOuterHashJoin"
-		}
-		fmt.Fprintf(sb, "%s%s (est %.0f rows)\n", indent, kind, t.EstRows)
-		explainNode(sb, t.L, depth+1)
-		explainNode(sb, t.R, depth+1)
+		fmt.Fprintf(sb, "%s%s (est %.0f rows)", indent, joinKind(t), t.EstRows)
+		actuals()
+		explainNode(sb, t.L, depth+1, stats)
+		explainNode(sb, t.R, depth+1, stats)
 	case *LProject:
-		fmt.Fprintf(sb, "%sProject %d items\n", indent, len(t.Items))
+		fmt.Fprintf(sb, "%sProject %d items", indent, len(t.Items))
+		actuals()
 		if t.Child != nil {
-			explainNode(sb, t.Child, depth+1)
+			explainNode(sb, t.Child, depth+1, stats)
 		}
 	case *LAgg:
-		fmt.Fprintf(sb, "%sAggregate groupby=%d items=%d\n", indent, len(t.GroupBy), len(t.Items))
-		explainNode(sb, t.Child, depth+1)
+		fmt.Fprintf(sb, "%sAggregate groupby=%d items=%d", indent, len(t.GroupBy), len(t.Items))
+		actuals()
+		explainNode(sb, t.Child, depth+1, stats)
 	case *LDistinct:
-		fmt.Fprintf(sb, "%sDistinct\n", indent)
-		explainNode(sb, t.Child, depth+1)
+		fmt.Fprintf(sb, "%sDistinct", indent)
+		actuals()
+		explainNode(sb, t.Child, depth+1, stats)
 	case *LSort:
-		fmt.Fprintf(sb, "%sSort keys=%d\n", indent, len(t.Keys))
-		explainNode(sb, t.Child, depth+1)
+		fmt.Fprintf(sb, "%sSort keys=%d", indent, len(t.Keys))
+		actuals()
+		explainNode(sb, t.Child, depth+1, stats)
 	case *LLimit:
-		fmt.Fprintf(sb, "%sLimit %d offset %d\n", indent, t.N, t.Offset)
-		explainNode(sb, t.Child, depth+1)
+		fmt.Fprintf(sb, "%sLimit %d offset %d", indent, t.N, t.Offset)
+		actuals()
+		explainNode(sb, t.Child, depth+1, stats)
 	case *aliasPlan:
-		fmt.Fprintf(sb, "%sAlias\n", indent)
-		explainNode(sb, t.Child, depth+1)
+		fmt.Fprintf(sb, "%sAlias", indent)
+		actuals()
+		explainNode(sb, t.Child, depth+1, stats)
 	default:
-		fmt.Fprintf(sb, "%s%T\n", indent, p)
+		fmt.Fprintf(sb, "%s%T", indent, p)
+		actuals()
 	}
 }

@@ -134,11 +134,12 @@ func (p *parser) parseStmt() (Stmt, error) {
 		return p.parseDrop()
 	case p.isKw("explain"):
 		p.pos++
+		analyze := p.eatKw("analyze")
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Query: sel}, nil
+		return &ExplainStmt{Query: sel, Analyze: analyze}, nil
 	}
 	return nil, p.errf("unexpected statement start %q", p.cur())
 }

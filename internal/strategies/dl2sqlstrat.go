@@ -48,6 +48,8 @@ func (s *DL2SQL) Name() string {
 func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBreakdown, error) {
 	var bd CostBreakdown
 	db := ctx.Dataset.DB
+	root := ctx.Tracer.StartSpan("strategy:" + s.Name())
+	defer root.Finish()
 
 	// Build hints (DL2SQL-OP only).
 	var h *sqldb.QueryHints
@@ -60,6 +62,7 @@ func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBr
 	// Loading: store every referenced model as relational tables.
 	translators := map[string]*dl2sql.Translator{}
 	stored := map[string]*dl2sql.StoredModel{}
+	loadSpan := root.StartChild("loading:store-models")
 	loadStart := time.Now()
 	for _, name := range q.UDFNames {
 		b := ctx.Bindings[name]
@@ -77,6 +80,7 @@ func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBr
 		stored[name] = sm
 	}
 	bd.Loading += time.Since(loadStart).Seconds()
+	loadSpan.Finish()
 	defer func() {
 		for name, sm := range stored {
 			for _, t := range sm.TableNames() {
@@ -90,6 +94,7 @@ func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBr
 	// keyframe the video-side predicates keep; delayed evaluation (OP, when
 	// the cost comparison favours it) infers only tuples surviving all
 	// relational predicates.
+	candSpan := root.StartChild("relational:candidates")
 	var cands []candidate
 	var relDur time.Duration
 	var err error
@@ -98,6 +103,8 @@ func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBr
 	} else {
 		cands, relDur, err = videoSideCandidates(ctx, q, db.Profile)
 	}
+	candSpan.SetAttr("candidates", len(cands))
+	candSpan.Finish()
 	if err != nil {
 		return nil, bd, err
 	}
@@ -109,10 +116,13 @@ func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBr
 	for _, c := range cands {
 		preds[c.videoID] = map[string]sqldb.Datum{}
 	}
+	infSpan := root.StartChild("inference")
 	for _, name := range q.UDFNames {
 		tr := translators[name]
 		sm := stored[name]
 		b := ctx.Bindings[name]
+		modelSpan := infSpan.StartChild("model:" + name)
+		tr.Span = modelSpan
 		if s.Batched && len(cands) > 0 {
 			ins := make([]*tensor.Tensor, len(cands))
 			for i, c := range cands {
@@ -136,6 +146,7 @@ func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBr
 			for i, c := range cands {
 				preds[c.videoID][name] = b.predictionDatum(idxs[i])
 			}
+			modelSpan.Finish()
 			continue
 		}
 		for _, c := range cands {
@@ -158,9 +169,12 @@ func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBr
 			s.LastSteps = append(s.LastSteps, tr.Steps...)
 			preds[c.videoID][name] = b.predictionDatum(idx)
 		}
+		modelSpan.Finish()
 	}
+	infSpan.Finish()
 
 	// Final relational merge.
+	mergeSpan := root.StartChild("relational:final-merge")
 	finStart := time.Now()
 	predTable, err := buildPredictionsTable(ctx, q, preds, "dl2sql")
 	if err != nil {
@@ -173,7 +187,10 @@ func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBr
 		return nil, bd, fmt.Errorf("strategies: DL2SQL final query: %w", err)
 	}
 	bd.Relational += time.Since(finStart).Seconds()
+	mergeSpan.SetAttr("rows", res.NumRows())
+	mergeSpan.Finish()
 	bd.Relational = ctx.Profile.ScaleRelational(bd.Relational)
+	ctx.recordBreakdown(s.Name(), bd)
 	return res, bd, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/colquery"
 	"repro/internal/iotdata"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/sqldb"
 )
 
@@ -37,9 +38,14 @@ type servingStats struct {
 func (s *DBPyTorch) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBreakdown, error) {
 	var bd CostBreakdown
 	db := ctx.Dataset.DB
+	root := ctx.Tracer.StartSpan("strategy:" + s.Name())
+	defer root.Finish()
 
 	// Phase 1 (relational): extract candidates with the database.
+	candSpan := root.StartChild("relational:candidates")
 	cands, relDur, err := videoSideCandidates(ctx, q, db.Profile)
+	candSpan.SetAttr("candidates", len(cands))
+	candSpan.Finish()
 	if err != nil {
 		return nil, bd, err
 	}
@@ -57,8 +63,10 @@ func (s *DBPyTorch) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, Cos
 		if b == nil {
 			return nil, bd, fmt.Errorf("strategies: no model bound for %s", name)
 		}
+		serveSpan := root.StartChild("serving:" + name)
 		xferStart := time.Now()
-		results, stats, err := serveBatch(b.Artifact, cands)
+		results, stats, err := serveBatch(b.Artifact, cands, serveSpan)
+		serveSpan.Finish()
 		if err != nil {
 			return nil, bd, fmt.Errorf("strategies: serving %s: %w", name, err)
 		}
@@ -82,6 +90,7 @@ func (s *DBPyTorch) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, Cos
 	bd.Loading += ctx.Profile.TransferCost(totalBytes)
 
 	// Phase 3 (relational): merge predictions back and run the final query.
+	mergeSpan := root.StartChild("relational:final-merge")
 	finStart := time.Now()
 	predTable, err := buildPredictionsTable(ctx, q, preds, "pt")
 	if err != nil {
@@ -94,7 +103,10 @@ func (s *DBPyTorch) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, Cos
 		return nil, bd, fmt.Errorf("strategies: DB-PyTorch final query: %w", err)
 	}
 	bd.Relational += time.Since(finStart).Seconds()
+	mergeSpan.SetAttr("rows", res.NumRows())
+	mergeSpan.Finish()
 	bd.Relational = ctx.Profile.ScaleRelational(bd.Relational)
+	ctx.recordBreakdown(s.Name(), bd)
 	return res, bd, nil
 }
 
@@ -103,14 +115,14 @@ func (s *DBPyTorch) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, Cos
 // serialized by the application side, deserialized by the serving side, and
 // predictions come back the same way — the paper's serialization /
 // de-serialization overhead is physically incurred.
-func serveBatch(artifact []byte, cands []candidate) (map[int64]int, *servingStats, error) {
+func serveBatch(artifact []byte, cands []candidate, span *obs.Span) (map[int64]int, *servingStats, error) {
 	reqR, reqW := io.Pipe()
 	respR, respW := io.Pipe()
 	stats := &servingStats{}
 	serveErr := make(chan error, 1)
 
 	go func() {
-		serveErr <- servingLoop(artifact, reqR, respW, stats)
+		serveErr <- servingLoop(artifact, reqR, respW, stats, span)
 	}()
 
 	// Application side: serialize the batch.
@@ -169,10 +181,12 @@ func serveBatch(artifact []byte, cands []candidate) (map[int64]int, *servingStat
 
 // servingLoop is the DL system: it loads the model artifact, reads
 // serialized keyframes, runs inference, and writes serialized predictions.
-func servingLoop(artifact []byte, req *io.PipeReader, resp *io.PipeWriter, stats *servingStats) error {
+func servingLoop(artifact []byte, req *io.PipeReader, resp *io.PipeWriter, stats *servingStats, span *obs.Span) error {
 	defer resp.Close()
+	decodeSpan := span.StartChild("loading:decode-model")
 	decodeStart := time.Now()
 	model, err := nn.DecodeBytes(artifact)
+	decodeSpan.Finish()
 	if err != nil {
 		return fmt.Errorf("serving: decoding model: %w", err)
 	}
@@ -189,6 +203,9 @@ func servingLoop(artifact []byte, req *io.PipeReader, resp *io.PipeWriter, stats
 	if _, err := w.Write(cnt[:]); err != nil {
 		return err
 	}
+	infSpan := span.StartChild("inference")
+	model.Trace = infSpan
+	defer infSpan.Finish()
 	var hdr [12]byte
 	for i := 0; i < n; i++ {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/iotdata"
 	"repro/internal/modelrepo"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/sqldb"
 )
 
@@ -83,6 +84,28 @@ type Context struct {
 	Profile  hwprofile.Profile
 	// HintProvider supplies Eq. 9–10 selectivities for DL2SQL-OP.
 	HintProvider *hints.Provider
+	// Tracer, when non-nil, receives one root span per strategy execution
+	// with nested loading/inference/relational phase spans (and, below
+	// them, per-NN-layer or per-SQL-step spans). Nil disables tracing at
+	// zero cost.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, accumulates per-strategy phase latency
+	// histograms and query counters across Execute calls.
+	Metrics *obs.Registry
+}
+
+// recordBreakdown folds one Execute's cost breakdown into the metrics
+// registry. Safe to call with a nil registry.
+func (ctx *Context) recordBreakdown(strategy string, bd CostBreakdown) {
+	if ctx.Metrics == nil {
+		return
+	}
+	prefix := "strategy." + strategy
+	ctx.Metrics.Counter(prefix + ".queries").Add(1)
+	ctx.Metrics.Histogram(prefix + ".loading_s").Observe(bd.Loading)
+	ctx.Metrics.Histogram(prefix + ".inference_s").Observe(bd.Inference)
+	ctx.Metrics.Histogram(prefix + ".relational_s").Observe(bd.Relational)
+	ctx.Metrics.Histogram(prefix + ".total_s").Observe(bd.Total())
 }
 
 // NewContext assembles a context over a dataset with the default profile.

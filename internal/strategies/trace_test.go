@@ -1,0 +1,142 @@
+package strategies
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/colquery"
+	"repro/internal/obs"
+)
+
+// collectNames walks a span tree collecting every span name.
+func collectNames(sp *obs.Span, out map[string]int) {
+	if sp == nil {
+		return
+	}
+	out[sp.Name]++
+	for _, c := range sp.Children() {
+		collectNames(c, out)
+	}
+}
+
+// TestStrategyTraces is the acceptance test for strategy-level tracing:
+// every strategy executed with a tracer must produce one root span with
+// nested loading / inference / relational phase spans, and the whole tree
+// must export as Chrome-loadable trace_event JSON.
+func TestStrategyTraces(t *testing.T) {
+	ctx := testContext(t)
+	ctx.Tracer = obs.New()
+	ctx.Metrics = obs.NewRegistry()
+	q, err := colquery.GenerateAnalyzed(colquery.Type1, colquery.TemplateParams{Selectivity: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range All() {
+		ctx.Tracer.Reset()
+		if _, _, err := s.Execute(ctx, q); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		roots := ctx.Tracer.Roots()
+		if len(roots) != 1 {
+			t.Fatalf("%s: want 1 root span, got %d", s.Name(), len(roots))
+		}
+		root := roots[0]
+		if want := "strategy:" + s.Name(); root.Name != want {
+			t.Fatalf("root span %q, want %q", root.Name, want)
+		}
+		names := map[string]int{}
+		collectNames(root, names)
+		var hasLoading, hasInference, hasRelational bool
+		for n := range names {
+			hasLoading = hasLoading || strings.HasPrefix(n, "loading:")
+			hasInference = hasInference || n == "inference" || strings.HasPrefix(n, "inference:") || strings.HasPrefix(n, "model:")
+			hasRelational = hasRelational || strings.HasPrefix(n, "relational:")
+		}
+		if !hasLoading || !hasInference || !hasRelational {
+			t.Fatalf("%s: missing phase spans (loading=%v inference=%v relational=%v) in %v",
+				s.Name(), hasLoading, hasInference, hasRelational, names)
+		}
+		// Chrome export must be valid JSON with one complete event per span.
+		var buf bytes.Buffer
+		if err := ctx.Tracer.WriteChromeTrace(&buf); err != nil {
+			t.Fatalf("%s: chrome export: %v", s.Name(), err)
+		}
+		var events []map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+			t.Fatalf("%s: chrome trace is not valid JSON: %v", s.Name(), err)
+		}
+		if len(events) != ctx.Tracer.SpanCount() {
+			t.Fatalf("%s: %d chrome events for %d spans", s.Name(), len(events), ctx.Tracer.SpanCount())
+		}
+	}
+	// Metrics: every strategy recorded its breakdown.
+	snap := ctx.Metrics.Snapshot()
+	for _, s := range All() {
+		if got := snap.Counters["strategy."+s.Name()+".queries"]; got < 1 {
+			t.Fatalf("%s: queries counter = %d, want >= 1", s.Name(), got)
+		}
+		if _, ok := snap.Histograms["strategy."+s.Name()+".total_s"]; !ok {
+			t.Fatalf("%s: total_s histogram missing", s.Name())
+		}
+	}
+}
+
+// TestPerLayerSpans pins the acceptance criterion that native-NN strategies
+// (DB-UDF's in-database UDF and DB-PyTorch's serving component) emit one
+// span per NN layer, and DL2SQL emits one span per SQL pipeline step.
+func TestPerLayerSpans(t *testing.T) {
+	ctx := testContext(t)
+	ctx.Tracer = obs.New()
+	q, err := colquery.GenerateAnalyzed(colquery.Type1, colquery.TemplateParams{Selectivity: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		strat  Strategy
+		marker string // span-name prefix proving layer/step granularity
+	}{
+		{&DBUDF{}, "conv2d:"},
+		{&DBPyTorch{}, "conv2d:"},
+		{&DL2SQL{}, "Conv"},
+	}
+	for _, tc := range cases {
+		ctx.Tracer.Reset()
+		if _, _, err := tc.strat.Execute(ctx, q); err != nil {
+			t.Fatalf("%s: %v", tc.strat.Name(), err)
+		}
+		names := map[string]int{}
+		for _, r := range ctx.Tracer.Roots() {
+			collectNames(r, names)
+		}
+		found := false
+		for n := range names {
+			if strings.HasPrefix(n, tc.marker) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("%s: no span with prefix %q in %v", tc.strat.Name(), tc.marker, names)
+		}
+	}
+}
+
+// TestTracingDisabledUnchanged guards the nil fast path: with no tracer the
+// strategies run exactly as before and allocate no spans.
+func TestTracingDisabledUnchanged(t *testing.T) {
+	ctx := testContext(t)
+	if ctx.Tracer.Enabled() {
+		t.Fatal("fresh context must have tracing disabled")
+	}
+	q, err := colquery.GenerateAnalyzed(colquery.Type1, colquery.TemplateParams{Selectivity: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range All() {
+		if _, _, err := s.Execute(ctx, q); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+	}
+}

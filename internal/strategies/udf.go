@@ -7,6 +7,7 @@ import (
 	"repro/internal/colquery"
 	"repro/internal/iotdata"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/sqldb"
 )
 
@@ -24,11 +25,14 @@ func (s *DBUDF) Name() string { return "DB-UDF" }
 func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBreakdown, error) {
 	db := ctx.Dataset.DB
 	var bd CostBreakdown
+	root := ctx.Tracer.StartSpan("strategy:" + s.Name())
+	defer root.Finish()
 
 	// Loading: the database "recompilation" — decode each compiled artifact
 	// into an executable model. On GPU settings the weights also cross the
 	// PCIe bus once.
 	var models = map[string]*nn.Model{}
+	loadSpan := root.StartChild("loading:decode-models")
 	loadStart := time.Now()
 	var modelBytes int64
 	for _, name := range q.UDFNames {
@@ -45,10 +49,14 @@ func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBre
 	}
 	bd.Loading += ctx.Profile.DLLoadCost(time.Since(loadStart).Seconds()) +
 		ctx.Profile.TransferCost(modelBytes)
+	loadSpan.Finish()
 
 	// Register the UDFs. Each call decodes the keyframe and runs native
 	// inference; inference time accumulates separately from the enclosing
-	// relational execution.
+	// relational execution. querySpan is assigned before the query runs so
+	// the per-call inference spans created inside each UDF nest under it
+	// (UDF evaluation is single-threaded inside the engine).
+	var querySpan *obs.Span
 	var inferSecs float64
 	var calls int
 	var keyframeBytes int64
@@ -67,9 +75,13 @@ func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBre
 				if err != nil {
 					return sqldb.Null(), err
 				}
+				callSpan := querySpan.StartChild("inference:" + name)
+				m.Trace = callSpan
 				start := time.Now()
 				idx, _, err := m.Predict(in)
 				inferSecs += time.Since(start).Seconds()
+				m.Trace = nil
+				callSpan.Finish()
 				calls++
 				keyframeBytes += int64(len(args[0].B))
 				if err != nil {
@@ -87,9 +99,12 @@ func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBre
 		}
 	}()
 
+	querySpan = root.StartChild("relational:query")
 	wallStart := time.Now()
 	res, err := db.Exec(q.SQL)
 	wall := time.Since(wallStart).Seconds()
+	querySpan.SetAttr("udf_calls", calls)
+	querySpan.Finish()
 	if err != nil {
 		return nil, bd, fmt.Errorf("strategies: DB-UDF execution: %w", err)
 	}
@@ -106,5 +121,6 @@ func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBre
 	// top of the raw forward passes (see hwprofile).
 	bd.Inference += ctx.Profile.ScaleInference(inferSecs) + ctx.Profile.DLCallOverhead(calls)
 	bd.Relational += ctx.Profile.ScaleRelational(wall - inferSecs)
+	ctx.recordBreakdown(s.Name(), bd)
 	return res, bd, nil
 }
