@@ -39,6 +39,7 @@ func main() {
 		maxRows   = flag.Int("maxrows", 10, "result rows to print")
 		explain   = flag.Bool("explain", false, "also print the analyzed query type and nUDF usages")
 		trace     = flag.String("trace", "", "write a Chrome trace_event JSON of every strategy execution to this file")
+		parallel  = flag.Int("parallel", 0, "executor worker degree (0 = NumCPU default, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 	if err != nil {
 		fatalf("generating dataset: %v", err)
 	}
+	ds.DB.Parallelism = *parallel
 	ctx := strategies.NewContext(ds)
 	repo := modelrepo.NewRepository(*side, 42)
 	if err := ctx.BindDefaults(repo, 30); err != nil {

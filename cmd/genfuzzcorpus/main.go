@@ -1,0 +1,61 @@
+// Command genfuzzcorpus regenerates the checked-in seed corpus for the
+// sqldb parser fuzz target from the paper's collaborative-query templates
+// (internal/colquery). The corpus lives in the fuzz cache location Go
+// expects, so plain `go test` replays it and `go test -fuzz=FuzzParse`
+// mutates from it:
+//
+//	go run ./cmd/genfuzzcorpus
+//	git add internal/sqldb/testdata/fuzz/FuzzParse
+//
+// The generator lives here (not in a sqldb test) because colquery imports
+// sqldb: generating the corpus from inside package sqldb would create an
+// import cycle.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/colquery"
+)
+
+const corpusDir = "internal/sqldb/testdata/fuzz/FuzzParse"
+
+func main() {
+	var seeds []string
+	// Every template type at a few selectivities, plus the device-table
+	// variant of Type 3, covers all UDF placements (WHERE, SELECT, JOIN)
+	// and both join shapes the paper's workload generator emits.
+	for _, qt := range []colquery.QueryType{colquery.Type1, colquery.Type2, colquery.Type3, colquery.Type4} {
+		for _, sel := range []float64{0.0005, 0.05, 0.5} {
+			sql, err := colquery.Generate(qt, colquery.TemplateParams{Selectivity: sel})
+			if err != nil {
+				fatalf("generate type %v sel %v: %v", qt, sel, err)
+			}
+			seeds = append(seeds, sql)
+		}
+	}
+	sql, err := colquery.Generate(colquery.Type3, colquery.TemplateParams{Selectivity: 0.05, UseDeviceTable: true})
+	if err != nil {
+		fatalf("generate type 3 device-table variant: %v", err)
+	}
+	seeds = append(seeds, sql)
+
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		fatalf("mkdir %s: %v", corpusDir, err)
+	}
+	for i, s := range seeds {
+		name := filepath.Join(corpusDir, fmt.Sprintf("colquery-template-%02d", i))
+		body := fmt.Sprintf("go test fuzz v1\nstring(%q)\n", s)
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			fatalf("write %s: %v", name, err)
+		}
+	}
+	fmt.Printf("wrote %d corpus files to %s\n", len(seeds), corpusDir)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "genfuzzcorpus: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command parbench measures the large filter+hash-join+aggregate query used
+// for BENCH_parallel.json at a chosen executor parallelism degree.
+//
+//	parbench -rows 300000 -iters 5 -parallel 1
+//	parbench -rows 300000 -iters 5 -parallel 4 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/sqldb"
+)
+
+func main() {
+	rows := flag.Int("rows", 300000, "fact table rows")
+	iters := flag.Int("iters", 5, "timed iterations")
+	parallel := flag.Int("parallel", 1, "executor worker degree (0 = NumCPU default, 1 = serial)")
+	asJSON := flag.Bool("json", false, "emit a machine-readable result line on stdout")
+	flag.Parse()
+
+	db := sqldb.New()
+	db.Profile = sqldb.NewProfile()
+	db.Parallelism = *parallel
+	must(db.Exec(`CREATE TABLE big (a Int64, b Float64, g Int64)`))
+	must(db.Exec(`CREATE TABLE dim (g Int64, name String)`))
+	big := db.GetTable("big")
+	state := uint64(12345)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := 0; i < *rows; i++ {
+		a := int64(next() % 1000)
+		b := float64(next()%10000) / 100.0
+		g := int64(next() % 500)
+		if err := big.AppendRow([]sqldb.Datum{sqldb.Int(a), sqldb.Float(b), sqldb.Int(g)}); err != nil {
+			panic(err)
+		}
+	}
+	dim := db.GetTable("dim")
+	for g := 0; g < 500; g++ {
+		if err := dim.AppendRow([]sqldb.Datum{sqldb.Int(int64(g)), sqldb.Str(fmt.Sprintf("grp_%03d", g%37))}); err != nil {
+			panic(err)
+		}
+	}
+	const q = `SELECT d.name, count(*) AS n, sum(b.b) AS s, avg(b.a) AS m
+	           FROM big b INNER JOIN dim d ON b.g = d.g
+	           WHERE b.a > 250 AND b.b < 75.0
+	           GROUP BY d.name ORDER BY name`
+	// warmup
+	must(db.Query(q))
+	var best, total time.Duration
+	resultRows := 0
+	for i := 0; i < *iters; i++ {
+		start := time.Now()
+		res, err := db.Query(q)
+		if err != nil {
+			panic(err)
+		}
+		el := time.Since(start)
+		total += el
+		if best == 0 || el < best {
+			best = el
+		}
+		resultRows = res.NumRows()
+		if !*asJSON {
+			fmt.Printf("iter %d: %s\n", i, el)
+		}
+	}
+	mean := total / time.Duration(*iters)
+	if *asJSON {
+		out := map[string]any{
+			"rows":        *rows,
+			"parallelism": *parallel,
+			"iters":       *iters,
+			"result_rows": resultRows,
+			"best_ms":     float64(best.Microseconds()) / 1000.0,
+			"mean_ms":     float64(mean.Microseconds()) / 1000.0,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(out); err != nil {
+			panic(err)
+		}
+		return
+	}
+	fmt.Printf("result rows: %d\n", resultRows)
+	fmt.Printf("best=%s mean=%s\n", best, mean)
+}
+
+func must(res *sqldb.Result, err error) {
+	if err != nil {
+		panic(err)
+	}
+}

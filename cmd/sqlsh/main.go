@@ -7,6 +7,7 @@
 //	\d NAME         describe a table
 //	\profile        show the per-operator execution profile
 //	\profile reset  zero the profile counters
+//	\parallel N     set the executor's worker degree (0 = NumCPU, 1 = serial)
 //	\timing on|off  print each query's wall time
 //	\trace PATH     start tracing; \trace off writes Chrome trace JSON to PATH
 //	\save PATH      snapshot the database to a file
@@ -26,11 +27,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/iotdata"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/sqldb"
 )
 
@@ -148,6 +151,31 @@ func (sh *shell) meta(cmd string) bool {
 		}
 		if db.Profile != nil {
 			fmt.Print(db.Profile.String())
+		}
+		return true
+	case `\parallel`:
+		if len(fields) == 1 {
+			deg := db.Parallelism
+			if deg == 0 {
+				fmt.Printf("parallelism: default (%d workers)\n", par.DefaultDegree())
+			} else {
+				fmt.Printf("parallelism: %d\n", deg)
+			}
+			return true
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			fmt.Println("usage: \\parallel N   (0 = NumCPU default, 1 = serial)")
+			return true
+		}
+		db.Parallelism = n
+		switch n {
+		case 0:
+			fmt.Printf("parallelism reset to default (%d workers)\n", par.DefaultDegree())
+		case 1:
+			fmt.Println("parallelism 1 (serial)")
+		default:
+			fmt.Printf("parallelism %d\n", n)
 		}
 		return true
 	case `\timing`:

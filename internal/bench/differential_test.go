@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/colquery"
+	"repro/internal/iotdata"
+	"repro/internal/modelrepo"
+	"repro/internal/sqldb"
+	"repro/internal/strategies"
+)
+
+// diffCanonKey renders a result as an order-independent canonical string:
+// rows sorted, floats rounded to 9 significant digits so legitimate
+// summation-order differences (serial vs chunked parallel aggregation,
+// strategy-specific evaluation order) do not register as disagreement.
+func diffCanonKey(res *sqldb.Result) string {
+	n := res.NumRows()
+	rows := make([]string, n)
+	for i := 0; i < n; i++ {
+		var sb strings.Builder
+		for j, c := range res.Cols {
+			if j > 0 {
+				sb.WriteByte('|')
+			}
+			d := c.Get(i)
+			if d.T == sqldb.TFloat {
+				sb.WriteString(fmt.Sprintf("%.9g", d.F))
+			} else {
+				sb.WriteString(d.String())
+			}
+		}
+		rows[i] = sb.String()
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+// TestDifferentialStrategiesAndParallelism is the end-to-end differential
+// harness for the executor: every inference strategy (DL2SQL, DL2SQL-OP,
+// DB-UDF, DB-PyTorch) runs every collaborative query template (Types 1–4)
+// at executor parallelism 1 and 4, and all eight results per template must
+// agree on the same canonical row multiset. This pins two properties at
+// once: the strategies agree with each other (the paper's correctness
+// baseline), and the morsel-parallel executor agrees with the serial one
+// under every strategy's query shape — including nUDF-heavy plans.
+func TestDifferentialStrategiesAndParallelism(t *testing.T) {
+	ds, err := iotdata.Generate(iotdata.Config{Scale: 2, KeyframeSide: 8, Seed: 7, PatternCount: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := strategies.NewContext(ds)
+	repo := modelrepo.NewRepository(8, 99)
+	if err := ctx.BindDefaults(repo, 20); err != nil {
+		t.Fatal(err)
+	}
+	for _, typ := range []colquery.QueryType{colquery.Type1, colquery.Type2, colquery.Type3, colquery.Type4} {
+		q, err := colquery.GenerateAnalyzed(typ, colquery.TemplateParams{Selectivity: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantKey, wantFrom string
+		for _, deg := range []int{1, 4} {
+			ds.DB.Parallelism = deg
+			for _, s := range strategies.All() {
+				res, _, err := s.Execute(ctx, q)
+				if err != nil {
+					t.Fatalf("%s at parallelism %d on %v: %v", s.Name(), deg, typ, err)
+				}
+				label := fmt.Sprintf("%s@par=%d", s.Name(), deg)
+				key := diffCanonKey(res)
+				if wantFrom == "" {
+					wantKey, wantFrom = key, label
+					continue
+				}
+				if key != wantKey {
+					t.Fatalf("%v: %s disagrees with %s:\n--- %s ---\n%s\n--- %s ---\n%s",
+						typ, label, wantFrom, wantFrom, wantKey, label, key)
+				}
+			}
+		}
+	}
+}

@@ -34,6 +34,9 @@ type Config struct {
 	Depths []int
 	// Seed drives all pseudo-randomness.
 	Seed int64
+	// Parallelism is the SQL executor's worker degree: 0 = process default
+	// (runtime.NumCPU()), 1 = serial, N > 1 = up to N workers per operator.
+	Parallelism int
 }
 
 // DefaultConfig returns the laptop-scale configuration.
@@ -70,6 +73,10 @@ func NewSuite(cfg Config) (*Suite, error) {
 	}
 	ctx := strategies.NewContext(ds)
 	ctx.Metrics = obs.NewRegistry()
+	// The executor shares the suite registry, so parallel operator/morsel
+	// counters land in MetricsReport next to the strategy histograms.
+	ds.DB.Parallelism = cfg.Parallelism
+	ds.DB.Metrics = ctx.Metrics
 	repo := modelrepo.NewRepository(cfg.KeyframeSide, cfg.Seed)
 	if err := ctx.BindDefaults(repo, cfg.CalibrationSamples); err != nil {
 		return nil, err

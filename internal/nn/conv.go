@@ -72,7 +72,9 @@ func (c *Conv2D) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := tensor.MatMul(c.Weight, colsT) // outC x (oh*ow)
+	// outC x (oh*ow); MatMul fans its rows — the output channels — across
+	// the shared worker pool for large layers.
+	res, err := tensor.MatMul(c.Weight, colsT)
 	if err != nil {
 		return nil, err
 	}

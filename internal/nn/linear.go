@@ -50,6 +50,8 @@ func (l *Linear) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 	if _, err := l.OutShape(in.Shape()); err != nil {
 		return nil, err
 	}
+	// MatVec fans its rows — the layer's output features — across the
+	// shared worker pool for large layers.
 	y, err := tensor.MatVec(l.Weight, in.Data())
 	if err != nil {
 		return nil, err

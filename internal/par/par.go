@@ -1,0 +1,149 @@
+// Package par is the process-wide morsel-driven parallel execution layer
+// shared by the SQL executor and the tensor kernels.
+//
+// Work over [0, n) is split into fixed-size row-range morsels; a pool of
+// workers pulls morsels from a shared atomic counter until the range is
+// drained (the classic morsel-driven scheduling of HyPer). Because morsels
+// are contiguous, ascending ranges, callers that collect per-morsel outputs
+// and concatenate them in morsel order reproduce the exact serial result —
+// the property the sqldb executor relies on to keep parallel query results
+// bit-identical to serial execution.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultDegree is the process-wide default worker count, used when a
+// caller does not carry its own parallelism knob (the tensor kernels, and
+// sqldb.DB instances with Parallelism == 0).
+var defaultDegree atomic.Int32
+
+func init() { defaultDegree.Store(int32(runtime.NumCPU())) }
+
+// SetDefaultDegree sets the process-wide default parallelism degree.
+// Values below 1 are clamped to 1 (serial).
+func SetDefaultDegree(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultDegree.Store(int32(n))
+}
+
+// DefaultDegree returns the process-wide default parallelism degree
+// (runtime.NumCPU() unless overridden).
+func DefaultDegree() int { return int(defaultDegree.Load()) }
+
+// Stats reports how one Run distributed its morsels, for skew diagnostics
+// (EXPLAIN ANALYZE renders these per plan node).
+type Stats struct {
+	// Workers is the number of workers that participated.
+	Workers int
+	// Morsels is the total number of morsels dispatched.
+	Morsels int
+	// WorkerItems[w] counts the items (rows) worker w processed.
+	WorkerItems []int
+}
+
+// MaxItems returns the largest per-worker item count.
+func (s Stats) MaxItems() int {
+	max := 0
+	for _, v := range s.WorkerItems {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Skew is the ratio of the busiest worker's item count to the ideal even
+// share; 1.0 means perfectly balanced. Returns 0 for empty runs.
+func (s Stats) Skew() float64 {
+	total := 0
+	for _, v := range s.WorkerItems {
+		total += v
+	}
+	if total == 0 || s.Workers == 0 {
+		return 0
+	}
+	ideal := float64(total) / float64(s.Workers)
+	return float64(s.MaxItems()) / ideal
+}
+
+// Run splits [0, n) into morsels of at most morsel items and fans them
+// across up to degree workers (the calling goroutine acts as worker 0).
+// fn is invoked as fn(worker, lo, hi) for each morsel and must be safe for
+// concurrent invocation on disjoint ranges. With degree <= 1, or when only
+// one morsel exists, everything runs inline on the caller.
+func Run(degree, n, morsel int, fn func(worker, lo, hi int)) Stats {
+	if n <= 0 {
+		return Stats{}
+	}
+	if morsel < 1 {
+		morsel = 1
+	}
+	morsels := (n + morsel - 1) / morsel
+	workers := degree
+	if workers > morsels {
+		workers = morsels
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return Stats{Workers: 1, Morsels: morsels, WorkerItems: []int{n}}
+	}
+	stats := Stats{Workers: workers, Morsels: morsels, WorkerItems: make([]int, workers)}
+	var next atomic.Int64
+	work := func(w int) {
+		for {
+			m := int(next.Add(1)) - 1
+			if m >= morsels {
+				return
+			}
+			lo := m * morsel
+			hi := lo + morsel
+			if hi > n {
+				hi = n
+			}
+			fn(w, lo, hi)
+			stats.WorkerItems[w] += hi - lo
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			work(w)
+		}(w)
+	}
+	work(0)
+	wg.Wait()
+	return stats
+}
+
+// RunErr is Run for morsel bodies that can fail. All morsels still execute
+// (workers do not cancel mid-flight; morsels are small), and the error of
+// the lowest-indexed failing morsel is returned — the same error serial
+// row-order execution would have surfaced first, keeping error identity
+// deterministic under parallelism.
+func RunErr(degree, n, morsel int, fn func(worker, lo, hi int) error) (Stats, error) {
+	if n <= 0 {
+		return Stats{}, nil
+	}
+	if morsel < 1 {
+		morsel = 1
+	}
+	morsels := (n + morsel - 1) / morsel
+	errs := make([]error, morsels)
+	stats := Run(degree, n, morsel, func(w, lo, hi int) {
+		errs[lo/morsel] = fn(w, lo, hi)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}

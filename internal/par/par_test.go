@@ -1,0 +1,91 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversRangeExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ degree, n, morsel int }{
+		{1, 100, 7},
+		{4, 100, 7},
+		{4, 1, 10},
+		{8, 1000, 1},
+		{3, 10, 100}, // single morsel: inline
+	} {
+		hits := make([]int32, tc.n)
+		stats := Run(tc.degree, tc.n, tc.morsel, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("degree=%d n=%d morsel=%d: index %d visited %d times", tc.degree, tc.n, tc.morsel, i, h)
+			}
+		}
+		total := 0
+		for _, v := range stats.WorkerItems {
+			total += v
+		}
+		if total != tc.n {
+			t.Fatalf("stats items %d != n %d", total, tc.n)
+		}
+		wantMorsels := (tc.n + tc.morsel - 1) / tc.morsel
+		if stats.Morsels != wantMorsels {
+			t.Fatalf("morsels %d, want %d", stats.Morsels, wantMorsels)
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	called := false
+	stats := Run(4, 0, 16, func(w, lo, hi int) { called = true })
+	if called || stats.Workers != 0 {
+		t.Fatalf("empty run executed work: %+v", stats)
+	}
+}
+
+func TestRunErrReturnsLowestMorselError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	_, err := RunErr(4, 100, 10, func(w, lo, hi int) error {
+		switch lo {
+		case 20:
+			return errLow
+		case 70:
+			return errHigh
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Fatalf("got %v, want the lowest-morsel error", err)
+	}
+	if _, err := RunErr(4, 100, 10, func(w, lo, hi int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestSkew(t *testing.T) {
+	s := Stats{Workers: 2, WorkerItems: []int{75, 25}}
+	if got := s.Skew(); got != 1.5 {
+		t.Fatalf("skew = %v, want 1.5", got)
+	}
+	if (Stats{}).Skew() != 0 {
+		t.Fatalf("empty skew should be 0")
+	}
+}
+
+func TestSetDefaultDegree(t *testing.T) {
+	old := DefaultDegree()
+	defer SetDefaultDegree(old)
+	SetDefaultDegree(7)
+	if DefaultDegree() != 7 {
+		t.Fatalf("degree = %d", DefaultDegree())
+	}
+	SetDefaultDegree(0)
+	if DefaultDegree() != 1 {
+		t.Fatalf("degree should clamp to 1, got %d", DefaultDegree())
+	}
+}

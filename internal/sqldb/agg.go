@@ -3,8 +3,11 @@ package sqldb
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/par"
 )
 
 // aggState accumulates one aggregate function over one group.
@@ -15,9 +18,13 @@ type aggState struct {
 	sumSq    float64
 	min, max Datum
 	// argVal/argBest back argMax/argMin: argVal is the tracked argument,
-	// argBest the current extreme of the ordering value.
+	// argBest the current extreme of the ordering value; argRow is the
+	// input row index that set them, used as the tie-breaker when merging
+	// parallel partials so the merged winner is the first row achieving
+	// the extreme — exactly what the serial scan picks.
 	argVal   Datum
 	argBest  Datum
+	argRow   int
 	distinct map[string]struct{}
 	sawFloat bool
 	intSum   int64
@@ -31,7 +38,9 @@ func newAggState(kind string, distinct bool) *aggState {
 	return s
 }
 
-func (s *aggState) add(vals []Datum) error {
+// add folds one row's values into the state; row is the input row index
+// (only argmax/argmin record it, for deterministic parallel merges).
+func (s *aggState) add(vals []Datum, row int) error {
 	if len(vals) == 0 {
 		return fmt.Errorf("sqldb: aggregate %s got no arguments", s.kind)
 	}
@@ -56,14 +65,14 @@ func (s *aggState) add(vals []Datum) error {
 			return nil
 		}
 		if s.count == 0 {
-			s.argVal, s.argBest = v, ord
+			s.argVal, s.argBest, s.argRow = v, ord, row
 		} else {
 			c, err := Compare(ord, s.argBest)
 			if err != nil {
 				return err
 			}
 			if (s.kind == "argmax" && c > 0) || (s.kind == "argmin" && c < 0) {
-				s.argVal, s.argBest = v, ord
+				s.argVal, s.argBest, s.argRow = v, ord, row
 			}
 		}
 		s.count++
@@ -103,6 +112,58 @@ func (s *aggState) add(vals []Datum) error {
 	default:
 		return fmt.Errorf("sqldb: unknown aggregate %q", s.kind)
 	}
+	return nil
+}
+
+// merge folds another partial state for the same group into s. Partials
+// are merged in ascending chunk order (see execAgg), so float partial sums
+// accumulate deterministically and argmax/argmin ties resolve to the
+// lowest contributing row via argRow — matching the serial scan. DISTINCT
+// aggregates never reach merge: per-partial distinct sets would double
+// count, so they force the serial path.
+func (s *aggState) merge(o *aggState) error {
+	switch s.kind {
+	case "argmax", "argmin":
+		if o.count > 0 {
+			if s.count == 0 {
+				s.argVal, s.argBest, s.argRow = o.argVal, o.argBest, o.argRow
+			} else {
+				c, err := Compare(o.argBest, s.argBest)
+				if err != nil {
+					return err
+				}
+				if (s.kind == "argmax" && c > 0) || (s.kind == "argmin" && c < 0) ||
+					(c == 0 && o.argRow < s.argRow) {
+					s.argVal, s.argBest, s.argRow = o.argVal, o.argBest, o.argRow
+				}
+			}
+		}
+	case "min":
+		if o.count > 0 {
+			if s.count == 0 {
+				s.min = o.min
+			} else if c, err := Compare(o.min, s.min); err != nil {
+				return err
+			} else if c < 0 {
+				s.min = o.min
+			}
+		}
+	case "max":
+		if o.count > 0 {
+			if s.count == 0 {
+				s.max = o.max
+			} else if c, err := Compare(o.max, s.max); err != nil {
+				return err
+			} else if c > 0 {
+				s.max = o.max
+			}
+		}
+	}
+	s.count += o.count
+	s.sum += o.sum
+	s.sumSq += o.sumSq
+	s.intSum += o.intSum
+	s.sawFloat = s.sawFloat || o.sawFloat
 	return nil
 }
 
@@ -333,55 +394,125 @@ func (db *DB) execAgg(a *LAgg, ec *execCtx) (*Result, error) {
 		}
 	}
 
-	// Group rows.
+	// Group rows. The serial path scans rows in order; the parallel path
+	// splits the input into at most `deg` contiguous chunks that each
+	// build an independent partial-group map (the per-worker partial
+	// aggregates of morsel-driven engines), merged at the barrier in
+	// ascending chunk order so float partial sums accumulate
+	// deterministically. Each group records the first input row that
+	// created it; sorting merged groups by that row reproduces the serial
+	// first-seen group order exactly.
 	type group struct {
 		keys   []Datum
 		states []*aggState
+		first  int
 	}
-	groups := map[string]*group{}
-	var order []string
 	n := child.NumRows()
-	buf := make([]byte, 0, 64)
-	keyBuf := make([]Datum, len(grpFns))
-	valBuf := make([]Datum, 0, 4)
-	for row := 0; row < n; row++ {
-		buf = buf[:0]
-		for i, f := range grpFns {
-			v, err := f(child, row)
-			if err != nil {
-				return nil, err
-			}
-			keyBuf[i] = v
-			buf = v.AppendKey(buf)
-		}
-		g := groups[string(buf)]
-		if g == nil {
-			gk := string(buf)
-			g = &group{keys: append([]Datum(nil), keyBuf...), states: make([]*aggState, len(calls))}
-			for i, c := range calls {
-				g.states[i] = newAggState(c.kind, c.distinct)
-			}
-			groups[gk] = g
-			order = append(order, gk)
-		}
-		for i, c := range calls {
-			if c.star {
-				g.states[i].count++
-				continue
-			}
-			valBuf = valBuf[:0]
-			for _, f := range argFns[i] {
+	aggregateRange := func(lo, hi int) (map[string]*group, error) {
+		groups := map[string]*group{}
+		buf := make([]byte, 0, 64)
+		keyBuf := make([]Datum, len(grpFns))
+		valBuf := make([]Datum, 0, 4)
+		for row := lo; row < hi; row++ {
+			buf = buf[:0]
+			for i, f := range grpFns {
 				v, err := f(child, row)
 				if err != nil {
 					return nil, err
 				}
-				valBuf = append(valBuf, v)
+				keyBuf[i] = v
+				buf = v.AppendKey(buf)
 			}
-			if err := g.states[i].add(valBuf); err != nil {
-				return nil, err
+			g := groups[string(buf)]
+			if g == nil {
+				gk := string(buf)
+				g = &group{keys: append([]Datum(nil), keyBuf...), states: make([]*aggState, len(calls)), first: row}
+				for i, c := range calls {
+					g.states[i] = newAggState(c.kind, c.distinct)
+				}
+				groups[gk] = g
+			}
+			for i, c := range calls {
+				if c.star {
+					g.states[i].count++
+					continue
+				}
+				valBuf = valBuf[:0]
+				for _, f := range argFns[i] {
+					v, err := f(child, row)
+					if err != nil {
+						return nil, err
+					}
+					valBuf = append(valBuf, v)
+				}
+				if err := g.states[i].add(valBuf, row); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return groups, nil
+	}
+
+	deg := ec.parDegreeFor(n)
+	if deg > 1 {
+		var argExprs []Expr
+		for _, c := range calls {
+			if c.distinct {
+				deg = 1 // per-partial distinct sets would double count
+				break
+			}
+			argExprs = append(argExprs, c.args...)
+		}
+		if deg > 1 && !db.exprsParallelSafe(a.GroupBy, argExprs) {
+			deg = 1
+		}
+	}
+	var groups map[string]*group
+	if deg <= 1 {
+		var err error
+		groups, err = aggregateRange(0, n)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		chunk := (n + deg - 1) / deg
+		if chunk < morselRows {
+			chunk = morselRows
+		}
+		partials := make([]map[string]*group, (n+chunk-1)/chunk)
+		stats, err := par.RunErr(deg, n, chunk, func(_, lo, hi int) error {
+			p, err := aggregateRange(lo, hi)
+			partials[lo/chunk] = p
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		db.notePar(ec, stats)
+		groups = map[string]*group{}
+		for _, p := range partials {
+			for gk, g := range p {
+				mg := groups[gk]
+				if mg == nil {
+					groups[gk] = g
+					continue
+				}
+				if g.first < mg.first {
+					mg.first = g.first
+				}
+				for i := range mg.states {
+					if err := mg.states[i].merge(g.states[i]); err != nil {
+						return nil, err
+					}
+				}
 			}
 		}
 	}
+	order := make([]string, 0, len(groups))
+	for gk := range groups {
+		order = append(order, gk)
+	}
+	sort.Slice(order, func(i, j int) bool { return groups[order[i]].first < groups[order[j]].first })
 	// Global aggregation over empty input still yields one group.
 	if len(grpFns) == 0 && len(groups) == 0 {
 		g := &group{states: make([]*aggState, len(calls))}
@@ -427,7 +558,7 @@ func (db *DB) execAgg(a *LAgg, ec *execCtx) (*Result, error) {
 	// Evaluate HAVING over the intermediate result.
 	if a.Having != nil {
 		hav := rewriteAggRefs(a.Having, aggCols, grpCols)
-		filtered, err := db.execFilter(inter, []Expr{hav}, prof, OpFilter)
+		filtered, err := db.execFilter(inter, []Expr{hav}, ec, OpFilter)
 		if err != nil {
 			return nil, err
 		}

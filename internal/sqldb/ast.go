@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -99,7 +100,21 @@ func (e *ColRef) String() string {
 
 func (e *Lit) String() string {
 	if e.Val.T == TString {
-		return "'" + strings.ReplaceAll(e.Val.S, "'", "''") + "'"
+		// Escape backslashes before doubling quotes: the lexer treats \ as
+		// an escape inside string literals, so a bare \ in the value would
+		// swallow the closing quote on re-parse (found by FuzzParse).
+		s := strings.ReplaceAll(e.Val.S, `\`, `\\`)
+		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	}
+	if e.Val.T == TFloat {
+		// Keep float syntax visible: -0E0 folds to the float -0.0, whose
+		// shortest rendering "-0" would re-parse as the integer 0 (found by
+		// FuzzParse). Integral-looking floats get an explicit ".0".
+		s := strconv.FormatFloat(e.Val.F, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
 	}
 	return e.Val.String()
 }

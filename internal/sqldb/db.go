@@ -25,6 +25,18 @@ type DB struct {
 	// executor on its uninstrumented fast path.
 	Tracer *obs.Tracer
 
+	// Parallelism caps the morsel-driven executor's per-operator worker
+	// count: 0 means the process default (runtime.NumCPU(), adjustable via
+	// par.SetDefaultDegree), 1 forces serial execution, N > 1 uses up to N
+	// workers. Parallel execution preserves serial result order and, except
+	// for the usual floating-point summation reordering in parallel
+	// aggregates, serial results exactly.
+	Parallelism int
+
+	// Metrics, when non-nil, receives executor counters (parallel operator
+	// and morsel totals). A nil registry costs nothing.
+	Metrics *obs.Registry
+
 	leftJoinSeq int // composite-relation alias counter
 }
 
@@ -211,7 +223,7 @@ func (db *DB) execStmt(st Stmt, hints *QueryHints) (*Result, error) {
 			// EXPLAIN ANALYZE executes the plan with a per-node stats
 			// collector and renders actual rows/calls/time next to the
 			// optimizer's estimates.
-			ec := &execCtx{prof: db.Profile, nodes: map[Plan]*NodeStats{}}
+			ec := &execCtx{prof: db.Profile, nodes: map[Plan]*NodeStats{}, par: db.parDegree()}
 			if _, err := db.execPlan(plan, ec); err != nil {
 				return nil, err
 			}
@@ -233,7 +245,7 @@ func (db *DB) runSelect(sel *SelectStmt, hints *QueryHints) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ec := &execCtx{prof: db.Profile}
+	ec := &execCtx{prof: db.Profile, par: db.parDegree()}
 	if db.Tracer.Enabled() {
 		root := db.Tracer.StartSpan("query")
 		defer root.Finish()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 // Profile accumulates per-operator execution statistics for one query (or a
@@ -131,21 +132,48 @@ const (
 
 // NodeStats is the per-plan-node actual-execution record EXPLAIN ANALYZE
 // reports. Times are inclusive of children (Postgres-style actuals).
+// Workers/Morsels/WorkerRows describe the node's morsel-driven fan-out;
+// they stay zero when every operator of the node executed serially.
 type NodeStats struct {
 	Calls int
 	Rows  int
 	Nanos int64
+
+	Workers    int
+	Morsels    int
+	WorkerRows []int
+}
+
+// ParSkew is the ratio of the busiest worker's row count to the ideal even
+// share (1.0 = perfectly balanced), or 0 when the node ran serially.
+func (ns *NodeStats) ParSkew() float64 {
+	total, max := 0, 0
+	for _, v := range ns.WorkerRows {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 || ns.Workers == 0 {
+		return 0
+	}
+	return float64(max) / (float64(total) / float64(ns.Workers))
 }
 
 // execCtx threads the per-query execution context through the plan tree:
 // the session profile, the per-node stats collector (non-nil only under
-// EXPLAIN ANALYZE), and the parent trace span (non-nil only when the DB has
-// a tracer attached). The common case — both nil — costs a single branch
-// per plan node on top of the uninstrumented executor.
+// EXPLAIN ANALYZE), the parent trace span (non-nil only when the DB has a
+// tracer attached), the query's parallelism degree, and the plan node
+// being executed (set only while collecting per-node stats, so parallel
+// operators can attribute their morsel counts). The common case — nodes
+// and span both nil — costs a single branch per plan node on top of the
+// uninstrumented executor.
 type execCtx struct {
 	prof  *Profile
 	nodes map[Plan]*NodeStats
 	span  *obs.Span
+	par   int
+	node  Plan
 }
 
 // execPlan evaluates a plan tree to a materialized result, recording
@@ -158,6 +186,7 @@ func (db *DB) execPlan(p Plan, ec *execCtx) (*Result, error) {
 	sp := ec.span.StartChild(planNodeName(p))
 	child := *ec
 	child.span = sp
+	child.node = p
 	start := time.Now()
 	res, err := db.execPlanNode(p, &child)
 	elapsed := time.Since(start)
@@ -208,13 +237,13 @@ func (db *DB) execPlanNode(p Plan, ec *execCtx) (*Result, error) {
 	prof := ec.prof
 	switch t := p.(type) {
 	case *LScan:
-		return db.execScan(t, prof)
+		return db.execScan(t, ec)
 	case *LFilter:
 		child, err := db.execPlan(t.Child, ec)
 		if err != nil {
 			return nil, err
 		}
-		return db.execFilter(child, t.Conds, prof, OpFilter)
+		return db.execFilter(child, t.Conds, ec, OpFilter)
 	case *LJoin:
 		return db.execJoin(t, ec)
 	case *LProject:
@@ -232,7 +261,7 @@ func (db *DB) execPlanNode(p Plan, ec *execCtx) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return db.execSort(child, t.Keys, prof)
+		return db.execSort(child, t.Keys, ec)
 	case *LLimit:
 		child, err := db.execPlan(t.Child, ec)
 		if err != nil {
@@ -249,7 +278,7 @@ func (db *DB) execPlanNode(p Plan, ec *execCtx) (*Result, error) {
 	return nil, fmt.Errorf("sqldb: cannot execute plan node %T", p)
 }
 
-func (db *DB) execScan(s *LScan, prof *Profile) (*Result, error) {
+func (db *DB) execScan(s *LScan, ec *execCtx) (*Result, error) {
 	t := db.lookupTable(s.Table)
 	if t == nil {
 		return nil, fmt.Errorf("sqldb: table %q disappeared during execution", s.Table)
@@ -260,9 +289,9 @@ func (db *DB) execScan(s *LScan, prof *Profile) (*Result, error) {
 	// lengths (appends write at indices beyond every snapshot's length;
 	// in-place UPDATEs still require external coordination).
 	res := &Result{Schema: s.schema, Cols: t.SnapshotCols()}
-	prof.add(OpScan, res.NumRows(), time.Since(start))
+	ec.prof.add(OpScan, res.NumRows(), time.Since(start))
 	if len(s.Filters) > 0 {
-		return db.execFilter(res, s.Filters, prof, OpFilter)
+		return db.execFilter(res, s.Filters, ec, OpFilter)
 	}
 	return res, nil
 }
@@ -273,7 +302,7 @@ func (db *DB) execScan(s *LScan, prof *Profile) (*Result, error) {
 // — UDF calls, multi-column predicates — fall back to row-at-a-time
 // evaluation over the surviving rows only, preserving the optimizer's
 // expensive-predicate ordering among them.
-func (db *DB) execFilter(in *Result, conds []Expr, prof *Profile, opName string) (*Result, error) {
+func (db *DB) execFilter(in *Result, conds []Expr, ec *execCtx, opName string) (*Result, error) {
 	start := time.Now()
 	var vecs []vectorPred
 	var generic []Expr
@@ -294,20 +323,66 @@ func (db *DB) execFilter(in *Result, conds []Expr, prof *Profile, opName string)
 	}
 	n := in.NumRows()
 
+	deg := ec.parDegreeFor(n)
+	if deg > 1 && !db.exprsParallelSafe(generic) {
+		deg = 1
+	}
+	var keep []int
+	if deg <= 1 {
+		var err error
+		keep, err = filterRange(in, vecs, preds, 0, n)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Fan the row range out as morsels; each morsel produces its
+		// qualifying indices in ascending order, and concatenating the
+		// per-morsel slices in morsel order reproduces the serial keep list
+		// exactly.
+		keeps := make([][]int, (n+morselRows-1)/morselRows)
+		stats, err := par.RunErr(deg, n, morselRows, func(_, lo, hi int) error {
+			k, err := filterRange(in, vecs, preds, lo, hi)
+			keeps[lo/morselRows] = k
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		db.notePar(ec, stats)
+		total := 0
+		for _, k := range keeps {
+			total += len(k)
+		}
+		keep = make([]int, 0, total)
+		for _, k := range keeps {
+			keep = append(keep, k...)
+		}
+	}
+	out := &Result{Schema: in.Schema, Cols: make([]*Column, len(in.Cols))}
+	for i, c := range in.Cols {
+		out.Cols[i] = c.Gather(keep)
+	}
+	ec.prof.add(opName, n, time.Since(start))
+	return out, nil
+}
+
+// filterRange evaluates the compiled vectorized and generic predicates
+// over rows [lo, hi), returning the qualifying indices in ascending order.
+func filterRange(in *Result, vecs []vectorPred, preds []evalFn, lo, hi int) ([]int, error) {
 	var keep []int
 	if len(vecs) > 0 {
-		keep = vecs[0](in, make([]int, 0, n/4+1))
+		keep = vecs[0](in, lo, hi, make([]int, 0, (hi-lo)/4+1))
 		for _, vp := range vecs[1:] {
 			if len(keep) == 0 {
 				break
 			}
-			other := vp(in, make([]int, 0, len(keep)))
+			other := vp(in, lo, hi, make([]int, 0, len(keep)))
 			keep = intersectSorted(keep, other)
 		}
 	} else {
-		keep = make([]int, n)
+		keep = make([]int, hi-lo)
 		for i := range keep {
-			keep[i] = i
+			keep[i] = lo + i
 		}
 	}
 	if len(preds) > 0 {
@@ -328,12 +403,7 @@ func (db *DB) execFilter(in *Result, conds []Expr, prof *Profile, opName string)
 		}
 		keep = filtered
 	}
-	out := &Result{Schema: in.Schema, Cols: make([]*Column, len(in.Cols))}
-	for i, c := range in.Cols {
-		out.Cols[i] = c.Gather(keep)
-	}
-	prof.add(opName, n, time.Since(start))
-	return out, nil
+	return keep, nil
 }
 
 func (db *DB) execProject(p *LProject, ec *execCtx) (*Result, error) {
@@ -356,8 +426,9 @@ func (db *DB) execProject(p *LProject, ec *execCtx) (*Result, error) {
 	out := &Result{}
 	// Expand stars and compile items.
 	type proj struct {
-		fn  evalFn
-		col int // >=0 for direct column pass-through
+		fn   evalFn
+		col  int  // >=0 for direct column pass-through
+		expr Expr // source expression for computed items
 	}
 	var projs []proj
 	for _, it := range p.Items {
@@ -387,7 +458,25 @@ func (db *DB) execProject(p *LProject, ec *execCtx) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		projs = append(projs, proj{fn: fn, col: -1})
+		projs = append(projs, proj{fn: fn, col: -1, expr: it.Expr})
+	}
+	// Computed items are evaluated column-at-a-time into datum slices —
+	// fanned out as row-range morsels when the input is large and every
+	// referenced UDF is parallel-safe (this is where nUDF inference calls
+	// spread across cores) — then appended through the serial
+	// type-inference path so parallel and serial projections build
+	// identical columns.
+	deg := ec.parDegreeFor(n)
+	if deg > 1 {
+		var exprs []Expr
+		for _, pr := range projs {
+			if pr.col < 0 {
+				exprs = append(exprs, pr.expr)
+			}
+		}
+		if !db.exprsParallelSafe(exprs) {
+			deg = 1
+		}
 	}
 	for pi, pr := range projs {
 		if pr.col >= 0 {
@@ -396,22 +485,29 @@ func (db *DB) execProject(p *LProject, ec *execCtx) (*Result, error) {
 			out.Schema[pi].Type = child.Schema[pr.col].Type
 			continue
 		}
+		data := make([]Datum, n)
+		stats, err := par.RunErr(deg, n, morselRows, func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				v, err := pr.fn(child, i)
+				if err != nil {
+					return err
+				}
+				data[i] = v
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		db.notePar(ec, stats)
 		col := &Column{Type: TNull}
 		first := true
 		for i := 0; i < n; i++ {
-			v, err := pr.fn(child, i)
-			if err != nil {
-				return nil, err
-			}
+			v := data[i]
 			if first && !v.IsNull() {
 				col.Type = v.T
 				first = false
 				// backfill earlier nulls
-				for j := 0; j < i; j++ {
-					if err := col.Append(Null()); err != nil {
-						return nil, err
-					}
-				}
 				col2 := NewColumn(v.T)
 				for j := 0; j < i; j++ {
 					if err := col2.Append(Null()); err != nil {
@@ -431,6 +527,12 @@ func (db *DB) execProject(p *LProject, ec *execCtx) (*Result, error) {
 	return out, nil
 }
 
+// execDistinct keeps the FIRST occurrence of each duplicate row, in input
+// order. This is a documented contract (pinned by TestOrderingContracts):
+// DISTINCT output order is the input order of first occurrences, so
+// upstream operators must produce deterministic row order — which the
+// parallel operators guarantee by concatenating morsel outputs in morsel
+// order.
 func (db *DB) execDistinct(in *Result, prof *Profile) (*Result, error) {
 	start := time.Now()
 	n := in.NumRows()
@@ -456,32 +558,53 @@ func (db *DB) execDistinct(in *Result, prof *Profile) (*Result, error) {
 	return out, nil
 }
 
-func (db *DB) execSort(in *Result, keys []OrderItem, prof *Profile) (*Result, error) {
+// execSort is a STABLE sort: rows comparing equal on every key keep their
+// input order. Combined with the parallel operators' morsel-order output
+// this makes ORDER BY (and any LIMIT above it) fully deterministic at any
+// parallelism degree (pinned by TestOrderingContracts). The comparison
+// loop itself stays serial; only key pre-evaluation fans out.
+func (db *DB) execSort(in *Result, keys []OrderItem, ec *execCtx) (*Result, error) {
+	prof := ec.prof
 	start := time.Now()
 	fns := make([]evalFn, len(keys))
+	keyExprs := make([]Expr, len(keys))
 	for i, k := range keys {
 		f, err := db.compileExpr(k.Expr, in.Schema)
 		if err != nil {
 			return nil, err
 		}
 		fns[i] = f
+		keyExprs[i] = k.Expr
 	}
 	n := in.NumRows()
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
+	deg := ec.parDegreeFor(n)
+	if deg > 1 && !db.exprsParallelSafe(keyExprs) {
+		deg = 1
+	}
 	// Pre-evaluate keys to avoid O(n log n) expression evaluations.
 	keyVals := make([][]Datum, len(keys))
 	for ki, f := range fns {
-		keyVals[ki] = make([]Datum, n)
-		for i := 0; i < n; i++ {
-			v, err := f(in, i)
-			if err != nil {
-				return nil, err
+		f := f
+		vals := make([]Datum, n)
+		stats, err := par.RunErr(deg, n, morselRows, func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				v, err := f(in, i)
+				if err != nil {
+					return err
+				}
+				vals[i] = v
 			}
-			keyVals[ki][i] = v
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		db.notePar(ec, stats)
+		keyVals[ki] = vals
 	}
 	var sortErr error
 	sort.SliceStable(idx, func(a, b int) bool {
@@ -511,6 +634,10 @@ func (db *DB) execSort(in *Result, keys []OrderItem, prof *Profile) (*Result, er
 	return out, nil
 }
 
+// execLimit slices rows [offset, offset+limit) of the input IN INPUT
+// ORDER. Like Distinct it relies on deterministic upstream order (pinned
+// by TestOrderingContracts); the parallel operators provide it by
+// concatenating morsel outputs in morsel order.
 func (db *DB) execLimit(in *Result, limit, offset int, prof *Profile) (*Result, error) {
 	start := time.Now()
 	n := in.NumRows()

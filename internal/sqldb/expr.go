@@ -81,6 +81,13 @@ type ScalarUDF struct {
 	Fn                  func(args []Datum) (Datum, error)
 	Cost                float64
 	EstimateSelectivity func(equalsTo Datum) float64
+
+	// ParallelSafe declares that Fn may be invoked concurrently from
+	// multiple executor workers. It defaults to false: expressions calling
+	// a non-parallel-safe UDF are evaluated serially even when the rest of
+	// the query runs parallel, so closures with unsynchronized state stay
+	// correct by default.
+	ParallelSafe bool
 }
 
 // compileExpr binds an AST expression to a result schema, producing an

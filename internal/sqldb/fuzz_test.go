@@ -2,9 +2,19 @@ package sqldb
 
 import "testing"
 
-// FuzzParse asserts the lexer/parser never panic on arbitrary input — they
-// must either produce a statement or return an error. Run the corpus with
-// `go test`, or explore with `go test -fuzz=FuzzParse ./internal/sqldb`.
+// FuzzParse asserts two properties over arbitrary input:
+//
+//  1. the lexer/parser never panic — they either produce a statement or
+//     return an error;
+//  2. parse→String→parse round-trips: every statement the parser accepts
+//     renders (via String()) to SQL the parser accepts again, and the
+//     second rendering is identical to the first, i.e. rendering reaches a
+//     fixpoint after one trip.
+//
+// Run the corpus with `go test`, or explore with
+// `go test -fuzz=FuzzParse ./internal/sqldb`. Beyond the inline seeds, a
+// checked-in corpus generated from the paper's collaborative-query
+// templates lives in testdata/fuzz/FuzzParse (see cmd/genfuzzcorpus).
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"SELECT 1",
@@ -25,7 +35,23 @@ func FuzzParse(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, sql string) {
 		// Must never panic.
-		_, _ = ParseMulti(sql)
+		stmts, err := ParseMulti(sql)
+		if err != nil {
+			return
+		}
+		for _, st := range stmts {
+			if st == nil {
+				continue
+			}
+			first := st.String()
+			re, err := Parse(first)
+			if err != nil {
+				t.Fatalf("re-parse failed: %v\n  input:    %q\n  rendered: %q", err, sql, first)
+			}
+			if second := re.String(); second != first {
+				t.Fatalf("String() not a fixpoint:\n  input:  %q\n  first:  %q\n  second: %q", sql, first, second)
+			}
+		}
 	})
 }
 

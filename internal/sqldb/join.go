@@ -2,11 +2,12 @@ package sqldb
 
 import (
 	"time"
+
+	"repro/internal/par"
 )
 
 // execJoin dispatches to the hash, symmetric-hash, or nested-loop join.
 func (db *DB) execJoin(j *LJoin, ec *execCtx) (*Result, error) {
-	prof := ec.prof
 	left, err := db.execPlan(j.L, ec)
 	if err != nil {
 		return nil, err
@@ -17,19 +18,21 @@ func (db *DB) execJoin(j *LJoin, ec *execCtx) (*Result, error) {
 	}
 	switch {
 	case j.LeftOuter:
-		return db.leftOuterHashJoin(left, right, j, prof)
+		return db.leftOuterHashJoin(left, right, j, ec)
 	case len(j.EquiL) == 0:
-		return db.nestedLoopJoin(left, right, j.Residual, prof)
+		return db.nestedLoopJoin(left, right, j.Residual, ec)
 	case j.Symmetric:
-		return db.symmetricHashJoin(left, right, j, prof)
+		return db.symmetricHashJoin(left, right, j, ec)
 	default:
-		return db.hashJoin(left, right, j, prof)
+		return db.hashJoin(left, right, j, ec)
 	}
 }
 
 // joinKeys evaluates the key expressions for every row of a side,
-// concatenating multi-key values into one string key.
-func (db *DB) joinKeys(in *Result, exprs []Expr) ([]string, error) {
+// concatenating multi-key values into one string key. Rows are fanned out
+// as morsels when the side is large; each worker writes disjoint slots of
+// the keys slice.
+func (db *DB) joinKeys(in *Result, exprs []Expr, ec *execCtx) ([]string, error) {
 	fns := make([]evalFn, len(exprs))
 	for i, e := range exprs {
 		f, err := db.compileExpr(e, in.Schema)
@@ -40,39 +43,165 @@ func (db *DB) joinKeys(in *Result, exprs []Expr) ([]string, error) {
 	}
 	n := in.NumRows()
 	keys := make([]string, n)
-	buf := make([]byte, 0, 64)
-	for i := 0; i < n; i++ {
-		buf = buf[:0]
-		null := false
-		for _, f := range fns {
-			v, err := f(in, i)
-			if err != nil {
-				return nil, err
+	deg := ec.parDegreeFor(n)
+	if deg > 1 && !db.exprsParallelSafe(exprs) {
+		deg = 1
+	}
+	_, err := par.RunErr(deg, n, morselRows, func(_, lo, hi int) error {
+		buf := make([]byte, 0, 64)
+		for i := lo; i < hi; i++ {
+			buf = buf[:0]
+			null := false
+			for _, f := range fns {
+				v, err := f(in, i)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					null = true
+					break
+				}
+				buf = v.AppendKey(buf)
 			}
-			if v.IsNull() {
-				null = true
-				break
+			if null {
+				keys[i] = "" // NULL keys never match
+			} else {
+				keys[i] = string(buf)
 			}
-			buf = v.AppendKey(buf)
 		}
-		if null {
-			keys[i] = "" // NULL keys never match
-		} else {
-			keys[i] = string(buf)
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return keys, nil
 }
 
+// hashKey is FNV-1a over the string key, used to partition the build side
+// so workers can populate disjoint hash maps without locks.
+func hashKey(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// joinTable is the build side of a hash join. With one partition it is the
+// classic single map; with P partitions each key lives in partition
+// hash(key) % P, so a parallel build assigns each worker a set of whole
+// partitions and never takes a lock. Per-key index slices are ascending in
+// either layout (partition builds scan the key slice in row order), which
+// keeps probe output identical to the serial join.
+type joinTable struct {
+	parts []map[string][]int32
+}
+
+func buildJoinTable(keys []string, degree int) *joinTable {
+	if degree <= 1 {
+		m := make(map[string][]int32, len(keys))
+		for i, k := range keys {
+			if k == "" {
+				continue
+			}
+			m[k] = append(m[k], int32(i))
+		}
+		return &joinTable{parts: []map[string][]int32{m}}
+	}
+	p := degree
+	hs := make([]uint32, len(keys))
+	par.Run(degree, len(keys), morselRows, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if keys[i] != "" {
+				hs[i] = hashKey(keys[i])
+			}
+		}
+	})
+	parts := make([]map[string][]int32, p)
+	par.Run(degree, p, 1, func(_, lo, hi int) {
+		for pi := lo; pi < hi; pi++ {
+			m := make(map[string][]int32, len(keys)/p+1)
+			for i, k := range keys {
+				if k == "" || int(hs[i]%uint32(p)) != pi {
+					continue
+				}
+				m[k] = append(m[k], int32(i))
+			}
+			parts[pi] = m
+		}
+	})
+	return &joinTable{parts: parts}
+}
+
+func (t *joinTable) lookup(k string) []int32 {
+	if len(t.parts) == 1 {
+		return t.parts[0][k]
+	}
+	return t.parts[hashKey(k)%uint32(len(t.parts))][k]
+}
+
+// probeJoin probes pKeys against the build table, morsel by morsel. Each
+// morsel collects its matched (probe, build) index pairs locally; the
+// per-morsel buffers are concatenated in morsel order, reproducing the
+// serial probe loop's output order exactly. With outer=true, probe rows
+// with no match emit one pair with build index -1 (NULL padding).
+func probeJoin(ht *joinTable, pKeys []string, deg int, outer bool) ([]int, []int, par.Stats) {
+	n := len(pKeys)
+	type pairs struct{ p, b []int }
+	morsels := (n + morselRows - 1) / morselRows
+	out := make([]pairs, morsels)
+	stats := par.Run(deg, n, morselRows, func(_, lo, hi int) {
+		var pr pairs
+		for pi := lo; pi < hi; pi++ {
+			k := pKeys[pi]
+			if k == "" {
+				if outer {
+					pr.p = append(pr.p, pi)
+					pr.b = append(pr.b, -1)
+				}
+				continue
+			}
+			matches := ht.lookup(k)
+			if len(matches) == 0 {
+				if outer {
+					pr.p = append(pr.p, pi)
+					pr.b = append(pr.b, -1)
+				}
+				continue
+			}
+			for _, bi := range matches {
+				pr.p = append(pr.p, pi)
+				pr.b = append(pr.b, int(bi))
+			}
+		}
+		out[lo/morselRows] = pr
+	})
+	total := 0
+	for _, pr := range out {
+		total += len(pr.p)
+	}
+	pIdx := make([]int, 0, total)
+	bIdx := make([]int, 0, total)
+	for _, pr := range out {
+		pIdx = append(pIdx, pr.p...)
+		bIdx = append(bIdx, pr.b...)
+	}
+	return pIdx, bIdx, stats
+}
+
 // hashJoin is the classic build/probe equi-join: build on the smaller side,
-// probe from the larger.
-func (db *DB) hashJoin(left, right *Result, j *LJoin, prof *Profile) (*Result, error) {
+// probe from the larger. Both phases are morsel-parallel — the build via
+// hash-partitioned sub-tables, the probe via per-morsel match buffers
+// concatenated in morsel order — and produce the same match list as the
+// serial loops.
+func (db *DB) hashJoin(left, right *Result, j *LJoin, ec *execCtx) (*Result, error) {
 	start := time.Now()
-	lKeys, err := db.joinKeys(left, j.EquiL)
+	lKeys, err := db.joinKeys(left, j.EquiL, ec)
 	if err != nil {
 		return nil, err
 	}
-	rKeys, err := db.joinKeys(right, j.EquiR)
+	rKeys, err := db.joinKeys(right, j.EquiR, ec)
 	if err != nil {
 		return nil, err
 	}
@@ -83,72 +212,42 @@ func (db *DB) hashJoin(left, right *Result, j *LJoin, prof *Profile) (*Result, e
 	} else {
 		bKeys, pKeys = rKeys, lKeys
 	}
-	ht := make(map[string][]int32, len(bKeys))
-	for i, k := range bKeys {
-		if k == "" {
-			continue
-		}
-		ht[k] = append(ht[k], int32(i))
-	}
+	ht := buildJoinTable(bKeys, ec.parDegreeFor(len(bKeys)))
+	pIdx, bIdx, stats := probeJoin(ht, pKeys, ec.parDegreeFor(len(pKeys)), false)
+	db.notePar(ec, stats)
 	var lIdx, rIdx []int
-	for pi, k := range pKeys {
-		if k == "" {
-			continue
-		}
-		for _, bi := range ht[k] {
-			if buildLeft {
-				lIdx = append(lIdx, int(bi))
-				rIdx = append(rIdx, pi)
-			} else {
-				lIdx = append(lIdx, pi)
-				rIdx = append(rIdx, int(bi))
-			}
-		}
+	if buildLeft {
+		lIdx, rIdx = bIdx, pIdx
+	} else {
+		lIdx, rIdx = pIdx, bIdx
 	}
 	out := gatherJoin(left, right, lIdx, rIdx)
-	prof.add(OpJoin, out.NumRows(), time.Since(start))
+	ec.prof.add(OpJoin, out.NumRows(), time.Since(start))
 	if len(j.Residual) > 0 {
-		return db.execFilter(out, j.Residual, prof, OpFilter)
+		return db.execFilter(out, j.Residual, ec, OpFilter)
 	}
 	return out, nil
 }
 
 // leftOuterHashJoin builds on the right side and probes from the left;
 // unmatched left rows are emitted once with NULL-padded right columns.
-func (db *DB) leftOuterHashJoin(left, right *Result, j *LJoin, prof *Profile) (*Result, error) {
+func (db *DB) leftOuterHashJoin(left, right *Result, j *LJoin, ec *execCtx) (*Result, error) {
 	start := time.Now()
-	lKeys, err := db.joinKeys(left, j.EquiL)
+	lKeys, err := db.joinKeys(left, j.EquiL, ec)
 	if err != nil {
 		return nil, err
 	}
-	rKeys, err := db.joinKeys(right, j.EquiR)
+	rKeys, err := db.joinKeys(right, j.EquiR, ec)
 	if err != nil {
 		return nil, err
 	}
-	ht := make(map[string][]int32, len(rKeys))
-	for i, k := range rKeys {
-		if k == "" {
-			continue
-		}
-		ht[k] = append(ht[k], int32(i))
-	}
-	var lIdx, rIdx []int
-	for li, k := range lKeys {
-		matches := ht[k]
-		if k == "" || len(matches) == 0 {
-			lIdx = append(lIdx, li)
-			rIdx = append(rIdx, -1)
-			continue
-		}
-		for _, ri := range matches {
-			lIdx = append(lIdx, li)
-			rIdx = append(rIdx, int(ri))
-		}
-	}
+	ht := buildJoinTable(rKeys, ec.parDegreeFor(len(rKeys)))
+	lIdx, rIdx, stats := probeJoin(ht, lKeys, ec.parDegreeFor(len(lKeys)), true)
+	db.notePar(ec, stats)
 	out := gatherJoin(left, right, lIdx, rIdx)
-	prof.add(OpJoin, out.NumRows(), time.Since(start))
+	ec.prof.add(OpJoin, out.NumRows(), time.Since(start))
 	if len(j.Residual) > 0 {
-		return db.execFilter(out, j.Residual, prof, OpFilter)
+		return db.execFilter(out, j.Residual, ec, OpFilter)
 	}
 	return out, nil
 }
@@ -159,13 +258,15 @@ func (db *DB) leftOuterHashJoin(left, right *Result, j *LJoin, prof *Profile) (*
 // table. With one side being nUDF outputs arriving in batches, this starts
 // producing joined tuples before either side is complete. The LRU bucket
 // behaviour of the paper is modelled by processing in bucket-grouped order.
-func (db *DB) symmetricHashJoin(left, right *Result, j *LJoin, prof *Profile) (*Result, error) {
+// The alternating insert/probe schedule is inherently sequential, so this
+// join always runs serially (its key evaluation still parallelizes).
+func (db *DB) symmetricHashJoin(left, right *Result, j *LJoin, ec *execCtx) (*Result, error) {
 	start := time.Now()
-	lKeys, err := db.joinKeys(left, j.EquiL)
+	lKeys, err := db.joinKeys(left, j.EquiL, ec)
 	if err != nil {
 		return nil, err
 	}
-	rKeys, err := db.joinKeys(right, j.EquiR)
+	rKeys, err := db.joinKeys(right, j.EquiR, ec)
 	if err != nil {
 		return nil, err
 	}
@@ -197,30 +298,46 @@ func (db *DB) symmetricHashJoin(left, right *Result, j *LJoin, prof *Profile) (*
 		}
 	}
 	out := gatherJoin(left, right, lIdx, rIdx)
-	prof.add(OpJoin, out.NumRows(), time.Since(start))
+	ec.prof.add(OpJoin, out.NumRows(), time.Since(start))
 	if len(j.Residual) > 0 {
-		return db.execFilter(out, j.Residual, prof, OpFilter)
+		return db.execFilter(out, j.Residual, ec, OpFilter)
 	}
 	return out, nil
 }
 
 // nestedLoopJoin handles joins without equi conditions (cross joins and
 // non-equi predicates such as the paper's Type 4
-// `F.patternID != nUDF_recog(V.keyframe)`).
-func (db *DB) nestedLoopJoin(left, right *Result, residual []Expr, prof *Profile) (*Result, error) {
+// `F.patternID != nUDF_recog(V.keyframe)`). The cross product is fanned
+// out over left-row morsels; each morsel's pair block is a contiguous,
+// position-computable slice of the full product, so workers write disjoint
+// regions of the final index slices directly.
+func (db *DB) nestedLoopJoin(left, right *Result, residual []Expr, ec *execCtx) (*Result, error) {
 	start := time.Now()
 	ln, rn := left.NumRows(), right.NumRows()
-	var lIdx, rIdx []int
-	for i := 0; i < ln; i++ {
-		for k := 0; k < rn; k++ {
-			lIdx = append(lIdx, i)
-			rIdx = append(rIdx, k)
-		}
+	lIdx := make([]int, ln*rn)
+	rIdx := make([]int, ln*rn)
+	deg := 1
+	if rn > 0 {
+		deg = ec.parDegreeFor(ln * rn)
 	}
+	morsel := morselRows / (rn + 1)
+	if morsel < 1 {
+		morsel = 1
+	}
+	stats := par.Run(deg, ln, morsel, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := i * rn
+			for k := 0; k < rn; k++ {
+				lIdx[base+k] = i
+				rIdx[base+k] = k
+			}
+		}
+	})
+	db.notePar(ec, stats)
 	out := gatherJoin(left, right, lIdx, rIdx)
-	prof.add(OpJoin, out.NumRows(), time.Since(start))
+	ec.prof.add(OpJoin, out.NumRows(), time.Since(start))
 	if len(residual) > 0 {
-		return db.execFilter(out, residual, prof, OpFilter)
+		return db.execFilter(out, residual, ec, OpFilter)
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // tokKind enumerates lexical token kinds.
@@ -81,6 +82,18 @@ func (l *lexer) next() (token, error) {
 scan:
 	start := l.pos
 	c := l.src[l.pos]
+	// Identifiers may contain multi-byte letters, so decode a full rune
+	// here rather than treating each byte as a Latin-1 character (found by
+	// FuzzParse: the byte 0xC9 would lex as the letter 'É' and survive into
+	// an identifier that is not valid UTF-8, which ToLower then mangles).
+	// Invalid UTF-8 is rejected outright.
+	r, rsize := rune(c), 1
+	if c >= utf8.RuneSelf {
+		r, rsize = utf8.DecodeRuneInString(l.src[l.pos:])
+		if r == utf8.RuneError && rsize == 1 {
+			return token{}, fmt.Errorf("sqldb: invalid UTF-8 byte 0x%02x at %d", c, l.pos)
+		}
+	}
 	switch {
 	case c == '\'' || c == '"':
 		quote := c
@@ -132,9 +145,14 @@ scan:
 			}
 		}
 		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
-	case isIdentStart(rune(c)):
-		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
-			l.pos++
+	case isIdentStart(r):
+		l.pos += rsize
+		for l.pos < len(l.src) {
+			pr, psize := utf8.DecodeRuneInString(l.src[l.pos:])
+			if (pr == utf8.RuneError && psize == 1) || !isIdentPart(pr) {
+				break // an invalid byte errors on the next scan
+			}
+			l.pos += psize
 		}
 		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
 	case c == '?':

@@ -483,6 +483,10 @@ func explainNode(sb *strings.Builder, p Plan, depth int, stats map[Plan]*NodeSta
 			if ns := stats[p]; ns != nil {
 				fmt.Fprintf(sb, " (actual rows=%d calls=%d time=%s)",
 					ns.Rows, ns.Calls, time.Duration(ns.Nanos).Round(time.Microsecond))
+				if ns.Workers > 1 {
+					fmt.Fprintf(sb, " (parallel workers=%d morsels=%d skew=%.2f)",
+						ns.Workers, ns.Morsels, ns.ParSkew())
+				}
 			} else {
 				sb.WriteString(" (never executed)")
 			}

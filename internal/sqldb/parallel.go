@@ -1,0 +1,134 @@
+package sqldb
+
+import (
+	"strings"
+
+	"repro/internal/par"
+)
+
+// Morsel-driven parallelism knobs. Operators split their input into
+// fixed-size row-range morsels and fan them across a worker pool (see
+// internal/par); below parallelRowThreshold rows the fan-out overhead
+// exceeds the work and operators stay on the serial path.
+const (
+	parallelRowThreshold = 4096
+	morselRows           = 2048
+)
+
+// parDegree resolves the DB's Parallelism knob to an effective worker
+// count: 0 means the process default (par.DefaultDegree(), i.e.
+// runtime.NumCPU()), 1 forces serial execution, N > 1 caps workers at N.
+func (db *DB) parDegree() int {
+	if db.Parallelism > 0 {
+		return db.Parallelism
+	}
+	return par.DefaultDegree()
+}
+
+// parDegreeFor returns the worker count an operator should use over n
+// input rows: 1 (serial) when the query runs serially or the input is
+// below the fan-out threshold, the query degree otherwise.
+func (ec *execCtx) parDegreeFor(n int) int {
+	if ec.par <= 1 || n < parallelRowThreshold {
+		return 1
+	}
+	return ec.par
+}
+
+// exprsParallelSafe reports whether every expression in every list can be
+// evaluated concurrently from multiple workers. Built-in functions and the
+// expression interpreter itself are stateless; the only hazard is a
+// registered UDF whose closure mutates shared state, so an expression
+// tree is unsafe iff it calls a UDF not marked ParallelSafe.
+func (db *DB) exprsParallelSafe(lists ...[]Expr) bool {
+	for _, list := range lists {
+		for _, e := range list {
+			if !db.exprParallelSafe(e) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (db *DB) exprParallelSafe(e Expr) bool {
+	safe := true
+	walkExpr(e, func(x Expr) {
+		fc, ok := x.(*FuncCall)
+		if !ok {
+			return
+		}
+		if udf := db.lookupUDF(strings.ToLower(fc.Name)); udf != nil && !udf.ParallelSafe {
+			safe = false
+		}
+	})
+	return safe
+}
+
+// walkExpr invokes fn on e and every sub-expression of e.
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch t := e.(type) {
+	case *UnaryExpr:
+		walkExpr(t.E, fn)
+	case *BinExpr:
+		walkExpr(t.L, fn)
+		walkExpr(t.R, fn)
+	case *FuncCall:
+		for _, a := range t.Args {
+			walkExpr(a, fn)
+		}
+	case *CaseExpr:
+		for _, w := range t.Whens {
+			walkExpr(w.Cond, fn)
+			walkExpr(w.Then, fn)
+		}
+		walkExpr(t.Else, fn)
+	case *InExpr:
+		walkExpr(t.E, fn)
+		for _, x := range t.List {
+			walkExpr(x, fn)
+		}
+	case *BetweenExpr:
+		walkExpr(t.E, fn)
+		walkExpr(t.Lo, fn)
+		walkExpr(t.Hi, fn)
+	case *IsNullExpr:
+		walkExpr(t.E, fn)
+	}
+}
+
+// notePar records a parallel operator run: per-plan-node worker/morsel
+// actuals when EXPLAIN ANALYZE is collecting, and executor-wide counters
+// when a metrics registry is attached. Serial runs (one worker) are not
+// recorded — the annotation marks genuine fan-out.
+func (db *DB) notePar(ec *execCtx, s par.Stats) {
+	if s.Workers <= 1 {
+		return
+	}
+	if m := db.Metrics; m != nil {
+		m.Counter("sqldb.parallel.ops").Add(1)
+		m.Counter("sqldb.parallel.morsels").Add(int64(s.Morsels))
+	}
+	if ec.nodes == nil || ec.node == nil {
+		return
+	}
+	ns := ec.nodes[ec.node]
+	if ns == nil {
+		ns = &NodeStats{}
+		ec.nodes[ec.node] = ns
+	}
+	if s.Workers > ns.Workers {
+		ns.Workers = s.Workers
+	}
+	ns.Morsels += s.Morsels
+	for w, items := range s.WorkerItems {
+		if w >= len(ns.WorkerRows) {
+			ns.WorkerRows = append(ns.WorkerRows, make([]int, w+1-len(ns.WorkerRows))...)
+		}
+		ns.WorkerRows[w] += items
+	}
+}

@@ -907,6 +907,13 @@ func (p *parser) parsePrimary() (Expr, error) {
 		}
 		return nil, p.errf("unexpected token %q", t)
 	case tokIdent:
+		// SELECT cannot serve as a column, table, or function name: after
+		// "(" the parser dispatches on the keyword to the subquery path, so
+		// an identifier "select" would render to SQL that re-parses
+		// differently (found by FuzzParse).
+		if strings.EqualFold(t.text, "select") {
+			return nil, p.errf("unexpected keyword %q in expression", t.text)
+		}
 		switch {
 		case strings.EqualFold(t.text, "true"):
 			p.pos++

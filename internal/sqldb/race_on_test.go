@@ -1,0 +1,6 @@
+//go:build race
+
+package sqldb
+
+// raceEnabled mirrors race_off_test.go with the race detector active.
+const raceEnabled = true

@@ -9,8 +9,11 @@ import "strings"
 // engine's analogue of ClickHouse's compiled filter primitives. The
 // planner-visible semantics are identical; only the inner loop changes.
 
-// vectorPred appends the indices of qualifying rows to keep.
-type vectorPred func(in *Result, keep []int) []int
+// vectorPred appends the indices of qualifying rows in [lo, hi) to keep,
+// in ascending order. The row range makes the kernels morsel-addressable:
+// the parallel filter hands each worker a disjoint range of the same
+// column vectors.
+type vectorPred func(in *Result, lo, hi int, keep []int) []int
 
 // compileVectorPred recognizes `ColRef op Lit` (or the mirrored
 // literal-first form) over a concretely-typed column and returns a
@@ -64,14 +67,14 @@ func compileVectorPred(e Expr, schema []OutCol) vectorPred {
 		if !ok {
 			return nil
 		}
-		return func(in *Result, keep []int) []int {
+		return func(in *Result, lo, hi int, keep []int) []int {
 			c := in.Cols[ci]
 			nulls := c.Nulls
-			for i, v := range c.Ints {
+			for i := lo; i < hi; i++ {
 				if nulls != nil && nulls[i] {
 					continue
 				}
-				if cmpFloat(op, float64(v), want) {
+				if cmpFloat(op, float64(c.Ints[i]), want) {
 					keep = append(keep, i)
 				}
 			}
@@ -82,14 +85,14 @@ func compileVectorPred(e Expr, schema []OutCol) vectorPred {
 		if !ok {
 			return nil
 		}
-		return func(in *Result, keep []int) []int {
+		return func(in *Result, lo, hi int, keep []int) []int {
 			c := in.Cols[ci]
 			nulls := c.Nulls
-			for i, v := range c.Floats {
+			for i := lo; i < hi; i++ {
 				if nulls != nil && nulls[i] {
 					continue
 				}
-				if cmpFloat(op, v, want) {
+				if cmpFloat(op, c.Floats[i], want) {
 					keep = append(keep, i)
 				}
 			}
@@ -100,14 +103,14 @@ func compileVectorPred(e Expr, schema []OutCol) vectorPred {
 			return nil
 		}
 		want := val.S
-		return func(in *Result, keep []int) []int {
+		return func(in *Result, lo, hi int, keep []int) []int {
 			c := in.Cols[ci]
 			nulls := c.Nulls
-			for i, v := range c.Strs {
+			for i := lo; i < hi; i++ {
 				if nulls != nil && nulls[i] {
 					continue
 				}
-				if cmpString(op, v, want) {
+				if cmpString(op, c.Strs[i], want) {
 					keep = append(keep, i)
 				}
 			}
@@ -122,15 +125,15 @@ func compileVectorPred(e Expr, schema []OutCol) vectorPred {
 		if want {
 			wf = 1
 		}
-		return func(in *Result, keep []int) []int {
+		return func(in *Result, lo, hi int, keep []int) []int {
 			c := in.Cols[ci]
 			nulls := c.Nulls
-			for i, v := range c.Bools {
+			for i := lo; i < hi; i++ {
 				if nulls != nil && nulls[i] {
 					continue
 				}
 				vf := 0.0
-				if v {
+				if c.Bools[i] {
 					vf = 1
 				}
 				if cmpFloat(op, vf, wf) {

@@ -2,6 +2,7 @@ package strategies
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/colquery"
@@ -54,9 +55,14 @@ func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBre
 	// Register the UDFs. Each call decodes the keyframe and runs native
 	// inference; inference time accumulates separately from the enclosing
 	// relational execution. querySpan is assigned before the query runs so
-	// the per-call inference spans created inside each UDF nest under it
-	// (UDF evaluation is single-threaded inside the engine).
+	// the per-call inference spans created inside each UDF nest under it.
+	// The UDFs are ParallelSafe: the morsel-driven executor may invoke them
+	// from several workers at once, so the shared accounting counters sit
+	// behind a mutex and each call runs a shallow per-call copy of the
+	// model (layers/weights are read-only during Forward; only the Trace
+	// attachment point is per-call state).
 	var querySpan *obs.Span
+	var mu sync.Mutex
 	var inferSecs float64
 	var calls int
 	var keyframeBytes int64
@@ -65,8 +71,9 @@ func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBre
 		b := ctx.Bindings[name]
 		m := models[name]
 		db.RegisterUDF(&sqldb.ScalarUDF{
-			Name:  name,
-			Arity: 1,
+			Name:         name,
+			Arity:        1,
+			ParallelSafe: true,
 			Fn: func(args []sqldb.Datum) (sqldb.Datum, error) {
 				if args[0].T != sqldb.TBlob {
 					return sqldb.Null(), fmt.Errorf("%s expects a keyframe blob", name)
@@ -76,14 +83,17 @@ func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBre
 					return sqldb.Null(), err
 				}
 				callSpan := querySpan.StartChild("inference:" + name)
-				m.Trace = callSpan
+				mc := *m
+				mc.Trace = callSpan
 				start := time.Now()
-				idx, _, err := m.Predict(in)
-				inferSecs += time.Since(start).Seconds()
-				m.Trace = nil
+				idx, _, err := mc.Predict(in)
+				elapsed := time.Since(start).Seconds()
 				callSpan.Finish()
+				mu.Lock()
+				inferSecs += elapsed
 				calls++
 				keyframeBytes += int64(len(args[0].B))
+				mu.Unlock()
 				if err != nil {
 					return sqldb.Null(), err
 				}

@@ -1,8 +1,21 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
 
-// MatMul multiplies two rank-2 tensors: (m×k) · (k×n) → (m×n).
+	"repro/internal/par"
+)
+
+// parFlopThreshold is the approximate floating-point-op count below which
+// MatMul/MatVec stay serial: small multiplies (the per-row inference calls
+// of tiny models) would lose more to goroutine fan-out than they gain.
+const parFlopThreshold = 1 << 17
+
+// MatMul multiplies two rank-2 tensors: (m×k) · (k×n) → (m×n). Large
+// multiplies fan the output rows across the shared worker pool (for the
+// conv2d lowering the rows are the output channels); every output row is
+// computed wholly by one worker, so the parallel product is bit-identical
+// to the serial one.
 func MatMul(a, b *Tensor) (*Tensor, error) {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		return nil, fmt.Errorf("%w: MatMul needs rank-2 tensors, got %v and %v", ErrShape, a.shape, b.shape)
@@ -13,26 +26,38 @@ func MatMul(a, b *Tensor) (*Tensor, error) {
 		return nil, fmt.Errorf("%w: inner dimensions %d and %d differ", ErrShape, k, k2)
 	}
 	out := New(m, n)
-	// ikj loop order keeps the inner loop streaming over contiguous memory.
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[kk*n : (kk+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
+	degree := 1
+	if m*k*n >= parFlopThreshold {
+		degree = par.DefaultDegree()
+	}
+	rowsPerMorsel := parFlopThreshold / (k*n + 1)
+	if rowsPerMorsel < 1 {
+		rowsPerMorsel = 1
+	}
+	par.Run(degree, m, rowsPerMorsel, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			orow := out.data[i*n : (i+1)*n]
+			// ikj order keeps the inner loop streaming over contiguous memory.
+			for kk := 0; kk < k; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				brow := b.data[kk*n : (kk+1)*n]
+				for j := 0; j < n; j++ {
+					orow[j] += av * brow[j]
+				}
 			}
 		}
-	}
+	})
 	return out, nil
 }
 
 // MatVec multiplies a rank-2 tensor (m×k) by a length-k vector, producing a
-// length-m vector.
+// length-m vector. Rows (a linear layer's output channels) fan across the
+// worker pool above the FLOP threshold; each output element is one worker's
+// dot product, so results are bit-identical to serial execution.
 func MatVec(a *Tensor, x []float64) ([]float64, error) {
 	if a.Dims() != 2 {
 		return nil, fmt.Errorf("%w: MatVec needs a rank-2 tensor, got %v", ErrShape, a.shape)
@@ -42,14 +67,24 @@ func MatVec(a *Tensor, x []float64) ([]float64, error) {
 		return nil, fmt.Errorf("%w: vector length %d does not match %d columns", ErrShape, len(x), k)
 	}
 	out := make([]float64, m)
-	for i := 0; i < m; i++ {
-		row := a.data[i*k : (i+1)*k]
-		s := 0.0
-		for j, v := range row {
-			s += v * x[j]
-		}
-		out[i] = s
+	degree := 1
+	if m*k >= parFlopThreshold {
+		degree = par.DefaultDegree()
 	}
+	rowsPerMorsel := parFlopThreshold / (k + 1)
+	if rowsPerMorsel < 1 {
+		rowsPerMorsel = 1
+	}
+	par.Run(degree, m, rowsPerMorsel, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.data[i*k : (i+1)*k]
+			s := 0.0
+			for j, v := range row {
+				s += v * x[j]
+			}
+			out[i] = s
+		}
+	})
 	return out, nil
 }
 
