@@ -1,0 +1,175 @@
+// Command cachebench measures the repeated-query workload used for
+// BENCH_cache.json: each Table I template type is executed several times
+// against the same dataset, once with all caches disabled and once with
+// the plan/statement cache and inference memoization enabled. The cached
+// column reports the steady-state iteration time (every repeat after the
+// first, which warms the caches).
+//
+//	cachebench -scale 2 -repeats 4
+//	cachebench -scale 2 -repeats 4 -strategy DB-UDF -json > BENCH_cache.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/colquery"
+	"repro/internal/iotdata"
+	"repro/internal/modelrepo"
+	"repro/internal/strategies"
+)
+
+func main() {
+	scale := flag.Int("scale", 2, "dataset scale factor")
+	side := flag.Int("side", 8, "keyframe side length")
+	repeats := flag.Int("repeats", 4, "times each query is re-issued")
+	capacity := flag.Int("capacity", 4096, "cache capacity (entries per LRU)")
+	sel := flag.Float64("selectivity", 0.05, "template predicate selectivity")
+	strat := flag.String("strategy", "DB-UDF", "strategy to drive (DB-UDF, DB-PyTorch, DL2SQL, DL2SQL-OP)")
+	asJSON := flag.Bool("json", false, "emit the BENCH_cache.json document on stdout")
+	flag.Parse()
+
+	types := []struct {
+		name string
+		typ  colquery.QueryType
+	}{
+		{"Type1", colquery.Type1},
+		{"Type2", colquery.Type2},
+		{"Type3", colquery.Type3},
+		{"Type4", colquery.Type4},
+	}
+
+	var rows []map[string]any
+	for _, tc := range types {
+		q, err := colquery.GenerateAnalyzed(tc.typ, colquery.TemplateParams{Selectivity: *sel})
+		if err != nil {
+			fatalf("generating %s: %v", tc.name, err)
+		}
+		uncachedMean, _, _ := runWorkload(*scale, *side, *strat, q, *repeats, 0)
+		cachedMean, firstMs, counters := runWorkload(*scale, *side, *strat, q, *repeats, *capacity)
+		speedup := 0.0
+		if cachedMean > 0 {
+			speedup = uncachedMean / cachedMean
+		}
+		row := map[string]any{
+			"type":           tc.name,
+			"uncached_ms":    round2(uncachedMean),
+			"cached_ms":      round2(cachedMean),
+			"cached_warm_ms": round2(firstMs),
+			"speedup":        round2(speedup),
+		}
+		for k, v := range counters {
+			row[k] = v
+		}
+		rows = append(rows, row)
+		if !*asJSON {
+			fmt.Printf("%-6s uncached=%8.2fms cached=%8.2fms (warm-up %8.2fms) speedup=%.2fx\n",
+				tc.name, uncachedMean, cachedMean, firstMs, speedup)
+		}
+	}
+
+	if *asJSON {
+		doc := map[string]any{
+			"benchmark":   "repeated collaborative queries, per-iteration mean",
+			"strategy":    *strat,
+			"scale":       *scale,
+			"side":        *side,
+			"repeats":     *repeats,
+			"capacity":    *capacity,
+			"selectivity": *sel,
+			"go":          runtime.Version(),
+			"gomaxprocs":  runtime.GOMAXPROCS(0),
+			"results":     rows,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatalf("encoding: %v", err)
+		}
+	}
+}
+
+// runWorkload re-issues one query `repeats` times on a fresh dataset.
+// capacity == 0 runs fully uncached; otherwise the statement/plan cache
+// and inference memoization are enabled. Returns the steady-state mean
+// (iterations after the first), the first-iteration time, and the cache
+// counters after the run.
+func runWorkload(scale, side int, strat string, q *colquery.Query, repeats, capacity int) (steadyMs, firstMs float64, counters map[string]any) {
+	ds, err := iotdata.Generate(iotdata.Config{Scale: scale, KeyframeSide: side, Seed: 7, PatternCount: 6})
+	if err != nil {
+		fatalf("generating dataset: %v", err)
+	}
+	ctx := strategies.NewContext(ds)
+	repo := modelrepo.NewRepository(side, 99)
+	if err := ctx.BindDefaults(repo, 20); err != nil {
+		fatalf("binding models: %v", err)
+	}
+	if capacity > 0 {
+		ds.DB.EnableCache(capacity)
+		ctx.EnableInferCache(capacity)
+	}
+	s := pickStrategy(strat)
+	var firstRows int
+	var steady time.Duration
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		res, _, err := s.Execute(ctx, q)
+		if err != nil {
+			fatalf("%s iteration %d: %v", s.Name(), i, err)
+		}
+		el := time.Since(start)
+		if i == 0 {
+			firstMs = ms(el)
+			firstRows = res.NumRows()
+		} else {
+			steady += el
+			if res.NumRows() != firstRows {
+				fatalf("%s iteration %d: row count drifted (%d vs %d)", s.Name(), i, res.NumRows(), firstRows)
+			}
+		}
+	}
+	if repeats > 1 {
+		steadyMs = ms(steady) / float64(repeats-1)
+	} else {
+		steadyMs = firstMs
+	}
+	counters = map[string]any{}
+	if capacity > 0 {
+		cs := ds.DB.CacheStats()
+		counters["plan_hits"] = cs.Plan.Hits
+		counters["plan_misses"] = cs.Plan.Misses
+		counters["stmt_hits"] = cs.Stmt.Hits
+		is := ctx.InferCacheStats()
+		counters["infer_hits"] = is.Hits
+		counters["infer_misses"] = is.Misses
+		if ctx.SQLCache != nil {
+			results, steps := ctx.SQLCache.Stats()
+			counters["sql_result_hits"] = results.Hits
+			counters["sql_step_hits"] = steps.Hits
+		}
+	}
+	return steadyMs, firstMs, counters
+}
+
+func pickStrategy(name string) strategies.Strategy {
+	for _, s := range strategies.All() {
+		if s.Name() == name {
+			return s
+		}
+	}
+	fatalf("unknown strategy %q (want DB-UDF, DB-PyTorch, DL2SQL, or DL2SQL-OP)", name)
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000.0 }
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100.0 }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cachebench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command doccheck is the CI documentation gate. It enforces two
+// invariants and exits non-zero if either fails:
+//
+//  1. Every Go package under internal/ and cmd/ carries a package comment
+//     (a doc comment on the package clause in at least one file).
+//  2. Every relative link in the repository's top-level *.md files points
+//     at a file or directory that exists.
+//
+// Usage (from the repository root):
+//
+//	go run ./cmd/doccheck
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	bad := 0
+	bad += checkPackageComments(".")
+	bad += checkMarkdownLinks(".")
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: ok")
+}
+
+// checkPackageComments walks internal/ and cmd/ and reports packages
+// whose files all lack a package doc comment.
+func checkPackageComments(root string) int {
+	bad := 0
+	for _, top := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(filepath.Join(root, top), func(path string, d os.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return err
+			}
+			entries, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			hasGo := false
+			documented := false
+			fset := token.NewFileSet()
+			for _, e := range entries {
+				name := e.Name()
+				if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+					continue
+				}
+				hasGo = true
+				f, err := parser.ParseFile(fset, filepath.Join(path, name), nil, parser.PackageClauseOnly|parser.ParseComments)
+				if err != nil {
+					return fmt.Errorf("parsing %s: %w", filepath.Join(path, name), err)
+				}
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if hasGo && !documented {
+				fmt.Fprintf(os.Stderr, "doccheck: package %s has no package comment\n", path)
+				bad++
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: walking %s: %v\n", top, err)
+			bad++
+		}
+	}
+	return bad
+}
+
+// mdLink matches inline markdown links; links starting with a scheme or
+// an in-page anchor are skipped.
+var mdLink = regexp.MustCompile(`\]\(([^)\s#]+)(?:#[^)\s]*)?\)`)
+
+// checkMarkdownLinks verifies relative links in top-level markdown files.
+func checkMarkdownLinks(root string) int {
+	bad := 0
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		return 1
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".md") {
+			continue
+		}
+		// SNIPPETS.md reproduces documentation from external repositories
+		// verbatim; its links target files that only exist upstream.
+		if e.Name() == "SNIPPETS.md" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(root, e.Name()))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			bad++
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(root, target)); err != nil {
+				fmt.Fprintf(os.Stderr, "doccheck: %s links to missing %q\n", e.Name(), target)
+				bad++
+			}
+		}
+	}
+	return bad
+}

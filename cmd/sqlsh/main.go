@@ -8,6 +8,8 @@
 //	\profile        show the per-operator execution profile
 //	\profile reset  zero the profile counters
 //	\parallel N     set the executor's worker degree (0 = NumCPU, 1 = serial)
+//	\cache N        enable the statement/plan cache (N entries per LRU)
+//	\cache stats    show cache hit/miss/eviction counters; \cache off disables
 //	\timing on|off  print each query's wall time
 //	\trace PATH     start tracing; \trace off writes Chrome trace JSON to PATH
 //	\save PATH      snapshot the database to a file
@@ -176,6 +178,32 @@ func (sh *shell) meta(cmd string) bool {
 			fmt.Println("parallelism 1 (serial)")
 		default:
 			fmt.Printf("parallelism %d\n", n)
+		}
+		return true
+	case `\cache`:
+		if len(fields) == 1 || fields[1] == "stats" {
+			if !db.CacheEnabled() {
+				fmt.Println("cache: disabled (enable with \\cache N)")
+				return true
+			}
+			fmt.Println(db.CacheStats().String())
+			return true
+		}
+		if fields[1] == "off" {
+			db.EnableCache(0)
+			fmt.Println("cache disabled")
+			return true
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			fmt.Println("usage: \\cache N | \\cache stats | \\cache off")
+			return true
+		}
+		db.EnableCache(n)
+		if n == 0 {
+			fmt.Println("cache disabled")
+		} else {
+			fmt.Printf("statement/plan cache enabled (%d entries per LRU)\n", n)
 		}
 		return true
 	case `\timing`:

@@ -1,0 +1,205 @@
+package dl2sql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/modelrepo"
+)
+
+func TestPipelineCacheResultMemo(t *testing.T) {
+	m := modelrepo.NewStudentModel(modelrepo.TaskPatternRecog, 8, 400)
+	tr := newTr(t)
+	tr.Cache = NewPipelineCache(32, 256)
+	sm, err := tr.StoreModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randTensor([]int{3, 8, 8}, 500)
+	idx1, score1, err := tr.Infer(sm, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, steps := tr.Cache.Stats()
+	if results.Len != 1 {
+		t.Fatalf("result memo not populated: %+v", results)
+	}
+	if steps.Len == 0 {
+		t.Fatalf("step cache not populated: %+v", steps)
+	}
+	idx2, score2, err := tr.Infer(sm, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx1 != idx2 || score1 != score2 {
+		t.Fatalf("memoized inference diverged: (%d,%v) vs (%d,%v)", idx1, score1, idx2, score2)
+	}
+	results, _ = tr.Cache.Stats()
+	if results.Hits != 1 {
+		t.Fatalf("second Infer should hit the result memo: %+v", results)
+	}
+	// Against the native engine: still the correct class.
+	want, _, err := m.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2 != want {
+		t.Fatalf("cached class %d, native %d", idx2, want)
+	}
+}
+
+// TestPipelineCacheSharedAcrossTranslators pins the semantic-key design:
+// the same model stored under a different prefix (a fresh translator, as
+// every strategies.Execute creates) must reuse the cache.
+func TestPipelineCacheSharedAcrossTranslators(t *testing.T) {
+	m := modelrepo.NewStudentModel(modelrepo.TaskPatternRecog, 8, 401)
+	pc := NewPipelineCache(32, 256)
+	in := randTensor([]int{3, 8, 8}, 501)
+
+	tr1 := newTr(t)
+	tr1.Cache = pc
+	sm1, err := tr1.StoreModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx1, _, err := tr1.Infer(sm1, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr2 := NewTranslator(tr1.DB, "other_prefix")
+	tr2.Cache = pc
+	sm2, err := tr2.StoreModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx2, _, err := tr2.Infer(sm2, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx1 != idx2 {
+		t.Fatalf("cross-translator memo diverged: %d vs %d", idx1, idx2)
+	}
+	results, _ := pc.Stats()
+	if results.Hits == 0 {
+		t.Fatalf("second translator should hit the shared memo: %+v", results)
+	}
+	for _, sm := range []*StoredModel{sm1, sm2} {
+		for _, name := range sm.TableNames() {
+			tr1.DB.DropTable(name)
+		}
+	}
+}
+
+// TestPipelineCacheInvalidatedByKernelMutation: the model stamp mixes the
+// backing tables' live versions, so mutating a kernel table directly must
+// invalidate every derived key and force a recompute.
+func TestPipelineCacheInvalidatedByKernelMutation(t *testing.T) {
+	m := modelrepo.NewStudentModel(modelrepo.TaskDefectDetection, 8, 402)
+	tr := newTr(t)
+	tr.Cache = NewPipelineCache(32, 256)
+	sm, err := tr.StoreModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randTensor([]int{3, 8, 8}, 502)
+	if _, _, err := tr.Infer(sm, in); err != nil {
+		t.Fatal(err)
+	}
+	stampBefore := tr.modelStamp(sm)
+
+	// Zero out a kernel table: the stored model now computes something else.
+	var kernel string
+	for _, name := range sm.TableNames() {
+		if strings.Contains(name, "kernel") {
+			kernel = name
+			break
+		}
+	}
+	if kernel == "" {
+		t.Fatalf("no kernel table among %v", sm.TableNames())
+	}
+	if _, err := tr.DB.Exec(fmt.Sprintf("UPDATE %s SET Value = 0", kernel)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.modelStamp(sm) == stampBefore {
+		t.Fatal("model stamp unchanged after kernel mutation")
+	}
+	results, _ := tr.Cache.Stats()
+	hitsBefore := results.Hits
+	if _, _, err := tr.Infer(sm, in); err != nil {
+		t.Fatal(err)
+	}
+	results, _ = tr.Cache.Stats()
+	if results.Hits != hitsBefore {
+		t.Fatal("mutated model served a stale memoized result")
+	}
+}
+
+// TestPipelineCacheStepReuseSameModelDifferentStore: a second store of
+// the same weights misses the result memo only if the input differs, but
+// identical inputs reuse materialized steps even mid-pipeline. Here we
+// purge the result memo to force the chain to run and verify step hits.
+func TestPipelineCacheStepReuse(t *testing.T) {
+	m := modelrepo.NewStudentModel(modelrepo.TaskPatternRecog, 8, 403)
+	tr := newTr(t)
+	tr.Cache = NewPipelineCache(32, 256)
+	sm, err := tr.StoreModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randTensor([]int{3, 8, 8}, 503)
+	want, _, err := tr.Infer(sm, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop only the result memo; the materialized steps remain.
+	tr.Cache.results.Purge()
+	tr.ResetSteps()
+	got, _, err := tr.Infer(sm, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("step-cached rerun diverged: %d vs %d", got, want)
+	}
+	_, steps := tr.Cache.Stats()
+	if steps.Hits == 0 {
+		t.Fatalf("rerun should hit materialized steps: %+v", steps)
+	}
+	var cachedSteps int
+	for _, s := range tr.Steps {
+		if strings.HasSuffix(s.Label, " [cached]") {
+			cachedSteps++
+		}
+	}
+	if cachedSteps == 0 {
+		t.Fatal("no step recorded as [cached]")
+	}
+}
+
+// TestPipelineCacheTempTablesCleanedUp: rehydrated cache-hit tables are
+// temps and must not leak.
+func TestPipelineCacheTempTablesCleanedUp(t *testing.T) {
+	m := modelrepo.NewStudentModel(modelrepo.TaskDefectDetection, 8, 404)
+	tr := newTr(t)
+	tr.Cache = NewPipelineCache(32, 256)
+	sm, err := tr.StoreModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randTensor([]int{3, 8, 8}, 504)
+	if _, _, err := tr.Infer(sm, in); err != nil {
+		t.Fatal(err)
+	}
+	tr.Cache.results.Purge()
+	if _, _, err := tr.Infer(sm, in); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range tr.DB.TableNames() {
+		if strings.Contains(name, "_tmp_") {
+			t.Fatalf("leaked temp table %s", name)
+		}
+	}
+}

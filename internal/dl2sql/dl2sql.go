@@ -59,6 +59,7 @@ const (
 	PreJoinInput
 )
 
+// String names the strategy as reported in benchmarks and EXPERIMENTS.md.
 func (s PreJoinStrategy) String() string {
 	switch s {
 	case PreJoinNone:
@@ -100,6 +101,11 @@ type Translator struct {
 	// step (Conv1, Reshape1, BN1, Classification, ...), nesting the SQL
 	// inference pipeline under the caller's trace.
 	Span *obs.Span
+	// Cache, when non-nil, memoizes whole inferences and materialized
+	// per-layer intermediates across Infer calls (see PipelineCache).
+	// Cached steps are recorded with a " [cached]" label suffix. Batch
+	// inference (InferBatch) is never cached.
+	Cache *PipelineCache
 
 	seq int // temp-table sequence number
 }

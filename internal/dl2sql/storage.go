@@ -16,6 +16,9 @@ type StoredModel struct {
 	Prefix     string
 	layers     []storedLayer
 	tableNames []string
+	// weightsHash fingerprints the encoded weights at store time; the
+	// pipeline cache mixes it with live table versions (see modelStamp).
+	weightsHash uint64
 }
 
 // storedLayer carries the compile-time info for one executable layer.
@@ -47,6 +50,9 @@ func (t *Translator) StoreModel(m *nn.Model) (*StoredModel, error) {
 		return nil, fmt.Errorf("dl2sql: model %s does not validate: %w", m.ModelName, err)
 	}
 	sm := &StoredModel{Model: m, Prefix: t.Prefix}
+	if blob, err := nn.EncodeBytes(m); err == nil {
+		sm.weightsHash = tensor.HashBytes(blob)
+	}
 	// Metadata table: one row of hyper-parameters per stored layer.
 	metaName := t.tname("meta")
 	t.dropIfExists(metaName)

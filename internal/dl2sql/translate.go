@@ -2,6 +2,7 @@ package dl2sql
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -12,6 +13,16 @@ import (
 // and returns the argmax class index and its score. Step costs are
 // appended to t.Steps.
 func (t *Translator) Infer(sm *StoredModel, input *tensor.Tensor) (int, float64, error) {
+	var chainKey uint64
+	if t.Cache != nil {
+		start := time.Now()
+		chainKey = tensor.HashMix(t.modelStamp(sm), input.Hash(), uint64(t.PreJoin))
+		if r, ok := t.Cache.results.Get(chainKey); ok {
+			t.record("Inference [cached]", 1, time.Since(start))
+			return r.idx, r.score, nil
+		}
+	}
+
 	var temps []string
 	defer func() {
 		for _, name := range temps {
@@ -24,7 +35,11 @@ func (t *Translator) Infer(sm *StoredModel, input *tensor.Tensor) (int, float64,
 		return 0, 0, err
 	}
 	lastConv := 0
-	cur, err = t.runChain(sm.layers, cur, &temps, &lastConv)
+	if t.Cache != nil {
+		cur, err = t.runChainCached(sm.layers, cur, &temps, &lastConv, chainKey)
+	} else {
+		cur, err = t.runChain(sm.layers, cur, &temps, &lastConv)
+	}
 	if err != nil {
 		return 0, 0, err
 	}
@@ -39,6 +54,9 @@ func (t *Translator) Infer(sm *StoredModel, input *tensor.Tensor) (int, float64,
 	}
 	idx, _ := res.Cols[0].Get(0).AsInt()
 	score, _ := res.Cols[1].Get(0).AsFloat()
+	if t.Cache != nil {
+		t.Cache.results.Put(chainKey, cachedResult{idx: int(idx), score: score})
+	}
 	return int(idx), score, nil
 }
 
@@ -56,7 +74,12 @@ func (t *Translator) InferTensor(sm *StoredModel, input *tensor.Tensor) (*tensor
 		return nil, err
 	}
 	lastConv := 0
-	cur, err = t.runChain(sm.layers, cur, &temps, &lastConv)
+	if t.Cache != nil {
+		key := tensor.HashMix(t.modelStamp(sm), input.Hash(), uint64(t.PreJoin))
+		cur, err = t.runChainCached(sm.layers, cur, &temps, &lastConv, key)
+	} else {
+		cur, err = t.runChain(sm.layers, cur, &temps, &lastConv)
+	}
 	if err != nil {
 		return nil, err
 	}

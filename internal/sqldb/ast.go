@@ -23,6 +23,11 @@ type ColRef struct {
 // Lit is a literal constant.
 type Lit struct{ Val Datum }
 
+// Param is a positional `?` placeholder. Idx is the zero-based position in
+// statement order; values are bound at execution time through a Prepared
+// statement, so one cached plan serves every binding.
+type Param struct{ Idx int }
+
 // BinExpr is a binary operation: arithmetic, comparison, AND/OR, string ||.
 type BinExpr struct {
 	Op   string
@@ -82,6 +87,7 @@ type IsNullExpr struct {
 
 func (*ColRef) exprNode()       {}
 func (*Lit) exprNode()          {}
+func (*Param) exprNode()        {}
 func (*BinExpr) exprNode()      {}
 func (*UnaryExpr) exprNode()    {}
 func (*FuncCall) exprNode()     {}
@@ -91,6 +97,7 @@ func (*BetweenExpr) exprNode()  {}
 func (*SubqueryExpr) exprNode() {}
 func (*IsNullExpr) exprNode()   {}
 
+// String renders the ColRef as SQL text (the parser round-trips it).
 func (e *ColRef) String() string {
 	if e.Table != "" {
 		return e.Table + "." + e.Name
@@ -98,6 +105,7 @@ func (e *ColRef) String() string {
 	return e.Name
 }
 
+// String renders the Lit as SQL text (the parser round-trips it).
 func (e *Lit) String() string {
 	if e.Val.T == TString {
 		// Escape backslashes before doubling quotes: the lexer treats \ as
@@ -119,12 +127,18 @@ func (e *Lit) String() string {
 	return e.Val.String()
 }
 
+// String renders the Param as SQL text (the parser round-trips it).
+func (e *Param) String() string { return "?" }
+
+// String renders the BinExpr as SQL text (the parser round-trips it).
 func (e *BinExpr) String() string {
 	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
 }
 
+// String renders the UnaryExpr as SQL text (the parser round-trips it).
 func (e *UnaryExpr) String() string { return e.Op + " " + e.E.String() }
 
+// String renders the FuncCall as SQL text (the parser round-trips it).
 func (e *FuncCall) String() string {
 	if e.Star {
 		return e.Name + "(*)"
@@ -140,6 +154,7 @@ func (e *FuncCall) String() string {
 	return e.Name + "(" + d + strings.Join(args, ", ") + ")"
 }
 
+// String renders the CaseExpr as SQL text (the parser round-trips it).
 func (e *CaseExpr) String() string {
 	var sb strings.Builder
 	sb.WriteString("CASE")
@@ -153,6 +168,7 @@ func (e *CaseExpr) String() string {
 	return sb.String()
 }
 
+// String renders the InExpr as SQL text (the parser round-trips it).
 func (e *InExpr) String() string {
 	not := ""
 	if e.Not {
@@ -168,6 +184,7 @@ func (e *InExpr) String() string {
 	return e.E.String() + not + " IN (" + strings.Join(items, ", ") + ")"
 }
 
+// String renders the BetweenExpr as SQL text (the parser round-trips it).
 func (e *BetweenExpr) String() string {
 	not := ""
 	if e.Not {
@@ -176,8 +193,10 @@ func (e *BetweenExpr) String() string {
 	return e.E.String() + not + " BETWEEN " + e.Lo.String() + " AND " + e.Hi.String()
 }
 
+// String renders the SubqueryExpr as SQL text (the parser round-trips it).
 func (e *SubqueryExpr) String() string { return "(" + e.Query.String() + ")" }
 
+// String renders the IsNullExpr as SQL text (the parser round-trips it).
 func (e *IsNullExpr) String() string {
 	if e.Not {
 		return e.E.String() + " IS NOT NULL"
@@ -306,6 +325,7 @@ func (*DeleteStmt) stmtNode()      {}
 func (*DropStmt) stmtNode()        {}
 func (*ExplainStmt) stmtNode()     {}
 
+// String renders the ExplainStmt as SQL text (the parser round-trips it).
 func (s *ExplainStmt) String() string {
 	if s.Analyze {
 		return "EXPLAIN ANALYZE " + s.Query.String()
@@ -313,6 +333,7 @@ func (s *ExplainStmt) String() string {
 	return "EXPLAIN " + s.Query.String()
 }
 
+// String renders the SelectStmt as SQL text (the parser round-trips it).
 func (s *SelectStmt) String() string {
 	var sb strings.Builder
 	sb.WriteString("SELECT ")
@@ -374,6 +395,7 @@ func (s *SelectStmt) String() string {
 	return sb.String()
 }
 
+// String renders the TableRef as SQL text (the parser round-trips it).
 func (t *TableRef) String() string {
 	switch {
 	case t.Join != nil:
@@ -399,6 +421,7 @@ func (t *TableRef) String() string {
 	}
 }
 
+// String renders the CreateTableStmt as SQL text (the parser round-trips it).
 func (s *CreateTableStmt) String() string {
 	var sb strings.Builder
 	sb.WriteString("CREATE ")
@@ -425,10 +448,12 @@ func (s *CreateTableStmt) String() string {
 	return sb.String()
 }
 
+// String renders the CreateViewStmt as SQL text (the parser round-trips it).
 func (s *CreateViewStmt) String() string {
 	return "CREATE VIEW " + s.Name + " AS " + s.As.String()
 }
 
+// String renders the InsertStmt as SQL text (the parser round-trips it).
 func (s *InsertStmt) String() string {
 	var sb strings.Builder
 	sb.WriteString("INSERT INTO " + s.Table)
@@ -456,6 +481,7 @@ func (s *InsertStmt) String() string {
 	return sb.String()
 }
 
+// String renders the UpdateStmt as SQL text (the parser round-trips it).
 func (s *UpdateStmt) String() string {
 	var sb strings.Builder
 	sb.WriteString("UPDATE " + s.Table + " SET ")
@@ -473,6 +499,7 @@ func (s *UpdateStmt) String() string {
 	return sb.String()
 }
 
+// String renders the DeleteStmt as SQL text (the parser round-trips it).
 func (s *DeleteStmt) String() string {
 	out := "DELETE FROM " + s.Table
 	if s.Where != nil {
@@ -481,6 +508,7 @@ func (s *DeleteStmt) String() string {
 	return out
 }
 
+// String renders the DropStmt as SQL text (the parser round-trips it).
 func (s *DropStmt) String() string {
 	kind := "TABLE"
 	if s.View {

@@ -1,0 +1,468 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func cacheFixture(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatalf("fixture %q: %v", sql, err)
+		}
+	}
+	mustExec("CREATE TABLE t (a Int64, b Float64, s String)")
+	for i := 0; i < 20; i++ {
+		mustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d.5, 'r%d')", i, i, i%3))
+	}
+	mustExec("CREATE TABLE u (a Int64, name String)")
+	mustExec("INSERT INTO u VALUES (1,'one'),(2,'two'),(3,'three')")
+	return db
+}
+
+func queryString(t *testing.T, db *DB, sql string) string {
+	t.Helper()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("%q: %v", sql, err)
+	}
+	var sb strings.Builder
+	for i := 0; i < res.NumRows(); i++ {
+		for _, c := range res.Cols {
+			sb.WriteString(c.Get(i).String())
+			sb.WriteByte('|')
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func TestPlanCacheHitsOnRepeat(t *testing.T) {
+	db := cacheFixture(t)
+	db.Metrics = obs.NewRegistry()
+	db.EnableCache(64)
+	const q = "SELECT s, count(*) c FROM t WHERE a > 3 GROUP BY s ORDER BY s"
+	first := queryString(t, db, q)
+	// Second run: same text (different whitespace) must hit both caches and
+	// return identical rows.
+	second := queryString(t, db, "SELECT s,   count(*) c FROM t\nWHERE a > 3 GROUP BY s ORDER BY s")
+	if first != second {
+		t.Fatalf("cached result differs:\n%s\nvs\n%s", first, second)
+	}
+	st := db.CacheStats()
+	if st.Plan.Hits < 1 {
+		t.Fatalf("expected a plan-cache hit, stats: %+v", st)
+	}
+	if st.Stmt.Hits < 1 {
+		t.Fatalf("expected a statement-cache hit, stats: %+v", st)
+	}
+	// Counters must also surface in the metrics registry.
+	if got := db.Metrics.Counter("sqldb.cache.plan.hits").Value(); got < 1 {
+		t.Fatalf("metrics plan hits = %d", got)
+	}
+}
+
+func TestCacheDisabledByDefault(t *testing.T) {
+	db := cacheFixture(t)
+	q := "SELECT count(*) FROM t"
+	queryString(t, db, q)
+	queryString(t, db, q)
+	if st := db.CacheStats(); st.Plan.Hits+st.Plan.Misses+st.Stmt.Hits+st.Stmt.Misses != 0 {
+		t.Fatalf("caches active without EnableCache: %+v", st)
+	}
+}
+
+// TestInsertInvalidatesPlan pins the correctness-critical half of the
+// invalidation contract: the planner folds uncorrelated subqueries into
+// literals at plan time, so serving a stale plan after an INSERT would
+// return rows filtered against an outdated aggregate.
+func TestInsertInvalidatesPlan(t *testing.T) {
+	db := cacheFixture(t)
+	db.EnableCache(64)
+	const q = "SELECT count(*) c FROM t WHERE a > (SELECT avg(a) FROM t)"
+	cached := queryString(t, db, q)
+
+	fresh := New()
+	freshFixtureCopy(t, db, fresh)
+	if want := queryString(t, fresh, q); cached != want {
+		t.Fatalf("warm-up differs from uncached: %q vs %q", cached, want)
+	}
+
+	// Shift the average: rows 0..19 (avg 9.5) plus five rows of 1000.
+	for i := 0; i < 5; i++ {
+		if _, err := db.Exec("INSERT INTO t VALUES (1000, 0.0, 'x')"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fresh.Exec("INSERT INTO t VALUES (1000, 0.0, 'x')"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := queryString(t, db, q)
+	want := queryString(t, fresh, q)
+	if got != want {
+		t.Fatalf("stale plan served after INSERT: cached %q, uncached %q", got, want)
+	}
+	if st := db.CacheStats(); st.PlanInvalidations < 1 {
+		t.Fatalf("expected a plan invalidation, stats: %+v", st)
+	}
+}
+
+// freshFixtureCopy replays db's table t and u contents into dst.
+func freshFixtureCopy(t *testing.T, src, dst *DB) {
+	t.Helper()
+	for _, name := range []string{"t", "u"} {
+		srcT := src.GetTable(name)
+		schema := append(Schema(nil), srcT.Schema...)
+		dstT, err := dst.CreateTable(name, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := srcT.NumRows()
+		for i := 0; i < n; i++ {
+			if err := dstT.AppendRow(srcT.GetRow(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestDDLInvalidatesPlan(t *testing.T) {
+	db := cacheFixture(t)
+	db.EnableCache(64)
+	const q = "SELECT count(*) c FROM u"
+	if got := queryString(t, db, q); got != "3|\n" {
+		t.Fatalf("warm-up: %q", got)
+	}
+	// Drop and recreate the table with different contents: the cached plan
+	// must not survive the identity change.
+	if _, err := db.Exec("DROP TABLE u"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE u (a Int64, name String)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO u VALUES (9,'nine')"); err != nil {
+		t.Fatal(err)
+	}
+	if got := queryString(t, db, q); got != "1|\n" {
+		t.Fatalf("after DDL: %q", got)
+	}
+}
+
+func TestViewReplacementInvalidatesPlan(t *testing.T) {
+	db := cacheFixture(t)
+	db.EnableCache(64)
+	if _, err := db.Exec("CREATE VIEW v AS SELECT a FROM t WHERE a < 5"); err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT count(*) c FROM v"
+	if got := queryString(t, db, q); got != "5|\n" {
+		t.Fatalf("warm-up: %q", got)
+	}
+	if _, err := db.Exec("CREATE OR REPLACE VIEW v AS SELECT a FROM t WHERE a < 2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := queryString(t, db, q); got != "2|\n" {
+		t.Fatalf("replaced view served stale plan: %q", got)
+	}
+}
+
+func TestUpdateDeleteInvalidate(t *testing.T) {
+	db := cacheFixture(t)
+	db.EnableCache(64)
+	const q = "SELECT count(*) c FROM t WHERE b > (SELECT avg(b) FROM t)"
+	queryString(t, db, q)
+	if _, err := db.Exec("UPDATE t SET b = 0.0 WHERE a < 10"); err != nil {
+		t.Fatal(err)
+	}
+	afterUpdate := queryString(t, db, q)
+	// Rows 10..19 have b in 10.5..19.5, rest 0 → avg 7.5 → 10 rows above.
+	if afterUpdate != "10|\n" {
+		t.Fatalf("after UPDATE: %q", afterUpdate)
+	}
+	if _, err := db.Exec("DELETE FROM t WHERE a >= 15"); err != nil {
+		t.Fatal(err)
+	}
+	afterDelete := queryString(t, db, q)
+	if afterDelete != "5|\n" {
+		t.Fatalf("after DELETE: %q", afterDelete)
+	}
+}
+
+func TestHintedQueriesBypassCache(t *testing.T) {
+	db := cacheFixture(t)
+	db.EnableCache(64)
+	const q = "SELECT count(*) c FROM t WHERE a > 3"
+	queryString(t, db, q) // populate
+	hits := db.CacheStats().Plan.Hits
+	if _, err := db.ExecHinted(q, &QueryHints{}); err != nil {
+		t.Fatal(err)
+	}
+	if db.CacheStats().Plan.Hits != hits {
+		t.Fatal("hinted execution must not be served from the plan cache")
+	}
+}
+
+func TestExplainAnnotatesCacheState(t *testing.T) {
+	db := cacheFixture(t)
+	db.EnableCache(64)
+	firstLine := func(sql string) string {
+		res, err := db.Exec(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		return res.Cols[0].Get(0).String()
+	}
+	const q = "EXPLAIN ANALYZE SELECT count(*) c FROM t WHERE a > 3"
+	if got := firstLine(q); got != "cache: miss" {
+		t.Fatalf("first EXPLAIN ANALYZE: %q, want cache: miss", got)
+	}
+	if got := firstLine(q); got != "cache: hit" {
+		t.Fatalf("second EXPLAIN ANALYZE: %q, want cache: hit", got)
+	}
+	// The executed query itself now also hits.
+	if got := firstLine("EXPLAIN SELECT count(*) c FROM t WHERE a > 3"); got != "cache: hit" {
+		t.Fatalf("EXPLAIN after ANALYZE: %q, want cache: hit", got)
+	}
+}
+
+func TestExplainWithoutCacheHasNoAnnotation(t *testing.T) {
+	db := cacheFixture(t)
+	res, err := db.Exec("EXPLAIN ANALYZE SELECT count(*) c FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line := res.Cols[0].Get(0).String(); strings.HasPrefix(line, "cache:") {
+		t.Fatalf("cache annotation leaked into uncached EXPLAIN: %q", line)
+	}
+}
+
+func TestPreparedStatementBindsParams(t *testing.T) {
+	db := cacheFixture(t)
+	db.EnableCache(64)
+	ps, err := db.Prepare("SELECT a, s FROM t WHERE a > ? AND s = ? ORDER BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.NumParams() != 2 {
+		t.Fatalf("NumParams = %d", ps.NumParams())
+	}
+	res, err := ps.Query(Int(10), Str("r0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rows with a in {12, 15, 18} have s = 'r0' and a > 10
+	if res.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", res.NumRows())
+	}
+	// Different binding, same cached plan.
+	res2, err := ps.Query(Int(0), Str("r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.NumRows() != 7 {
+		t.Fatalf("rebound rows = %d, want 7", res2.NumRows())
+	}
+	st := db.CacheStats()
+	if st.Plan.Hits < 1 {
+		t.Fatalf("rebound execution should reuse the cached plan: %+v", st)
+	}
+	// Binding must not leak into later executions of the shared plan.
+	res3, err := ps.Query(Int(10), Str("r0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.NumRows() != 3 {
+		t.Fatalf("third binding rows = %d, want 3", res3.NumRows())
+	}
+}
+
+func TestPreparedWorksWithoutCache(t *testing.T) {
+	db := cacheFixture(t)
+	ps, err := db.Prepare("SELECT count(*) c FROM t WHERE a > ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ps.Query(Int(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Cols[0].Get(0).I; got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+}
+
+func TestPreparedParamInSubquery(t *testing.T) {
+	db := cacheFixture(t)
+	db.EnableCache(64)
+	ps, err := db.Prepare("SELECT count(*) c FROM t WHERE a > (SELECT avg(a) FROM t WHERE a < ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ps.Query(Int(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// avg(a) over a<20 is 9.5 → 10 rows above.
+	if got := res.Cols[0].Get(0).I; got != 10 {
+		t.Fatalf("count = %d, want 10", got)
+	}
+	res2, err := ps.Query(Int(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// avg over a<11 is 5 → 14 rows above.
+	if got := res2.Cols[0].Get(0).I; got != 14 {
+		t.Fatalf("count = %d, want 14", got)
+	}
+}
+
+func TestPreparedDML(t *testing.T) {
+	db := cacheFixture(t)
+	db.EnableCache(64)
+	ins, err := db.Prepare("INSERT INTO u VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ins.Exec(Int(4), Str("four")); err != nil {
+		t.Fatal(err)
+	}
+	if got := queryString(t, db, "SELECT name FROM u WHERE a = 4"); got != "four|\n" {
+		t.Fatalf("insert missing: %q", got)
+	}
+	del, err := db.Prepare("DELETE FROM u WHERE a = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := del.Exec(Int(4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := queryString(t, db, "SELECT count(*) c FROM u"); got != "3|\n" {
+		t.Fatalf("delete missing: %q", got)
+	}
+}
+
+func TestUnboundParamErrors(t *testing.T) {
+	db := cacheFixture(t)
+	if _, err := db.Query("SELECT a FROM t WHERE a > ?"); err == nil ||
+		!strings.Contains(err.Error(), "unbound parameter") {
+		t.Fatalf("want unbound-parameter error, got %v", err)
+	}
+	ps, err := db.Prepare("SELECT a FROM t WHERE a > ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Query(); err == nil {
+		t.Fatal("want arity error for missing bindings")
+	}
+}
+
+// TestOrdinalOrderByStableUnderCache guards the OrderBy copy-on-write fix:
+// planSelect rewrites ordinal sort keys in place, so replanning from a
+// cached AST (statement-cache hit, plan invalidated in between) must see
+// the pristine ordinal, not the previous plan's substituted expression.
+func TestOrdinalOrderByStableUnderCache(t *testing.T) {
+	db := cacheFixture(t)
+	db.EnableCache(64)
+	const q = "SELECT s, a FROM t WHERE a < 6 ORDER BY 1 DESC, 2"
+	first := queryString(t, db, q)
+	second := queryString(t, db, q)
+	// Invalidate the plan so the next run replans from the cached statement.
+	if _, err := db.Exec("INSERT INTO t VALUES (500, 0.0, 'zz')"); err != nil {
+		t.Fatal(err)
+	}
+	third := queryString(t, db, q)
+	if first != second || second != third {
+		t.Fatalf("ordinal ORDER BY drifted across cached runs:\n%s\n%s\n%s", first, second, third)
+	}
+	if st := db.CacheStats(); st.Stmt.Hits < 2 {
+		t.Fatalf("expected statement-cache hits, stats: %+v", st)
+	}
+}
+
+func TestCachedResultsMatchUncachedDifferential(t *testing.T) {
+	queries := []string{
+		"SELECT a, b FROM t WHERE a > 4 ORDER BY a",
+		"SELECT s, sum(b) x FROM t GROUP BY s ORDER BY s",
+		"SELECT t.a, u.name FROM t, u WHERE t.a = u.a ORDER BY t.a",
+		"SELECT a FROM t WHERE a IN (SELECT a FROM u) ORDER BY a",
+		"SELECT count(*) c FROM t WHERE b > (SELECT avg(b) FROM t)",
+		"SELECT DISTINCT s FROM t ORDER BY s",
+	}
+	cached := cacheFixture(t)
+	cached.EnableCache(64)
+	uncached := cacheFixture(t)
+	for _, q := range queries {
+		// Run twice on the cached DB so the second pass is served hot.
+		queryString(t, cached, q)
+		got := queryString(t, cached, q)
+		want := queryString(t, uncached, q)
+		if got != want {
+			t.Fatalf("query %q: cached %q, uncached %q", q, got, want)
+		}
+	}
+	if st := cached.CacheStats(); st.Plan.Hits < int64(len(queries)) {
+		t.Fatalf("expected ≥%d plan hits, stats: %+v", len(queries), st)
+	}
+}
+
+// TestConcurrentCachedQueries runs the same cached plan from many
+// goroutines while a writer invalidates it; meaningful under -race.
+func TestConcurrentCachedQueries(t *testing.T) {
+	db := cacheFixture(t)
+	db.EnableCache(64)
+	const q = "SELECT s, count(*) c FROM t WHERE a >= 0 GROUP BY s ORDER BY s"
+	queryString(t, db, q) // warm
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				if _, err := db.Query(q); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, 1.0, 'w')", 100+i)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeSQL(t *testing.T) {
+	cases := map[string]string{
+		"SELECT  1":                        "SELECT 1",
+		"\n\tSELECT\n1 ;":                  "SELECT 1",
+		"SELECT ' a  b '":                  "SELECT ' a  b '",
+		"SELECT 'it''s  ok',  2":           "SELECT 'it''s  ok', 2",
+		`SELECT 'esc\' x  ', 1`:            `SELECT 'esc\' x  ', 1`,
+		"SELECT a FROM t WHERE s = 'x;y';": "SELECT a FROM t WHERE s = 'x;y'",
+	}
+	for in, want := range cases {
+		if got := normalizeSQL(in); got != want {
+			t.Fatalf("normalizeSQL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/obs"
 )
 
@@ -36,6 +38,17 @@ type DB struct {
 	// Metrics, when non-nil, receives executor counters (parallel operator
 	// and morsel totals). A nil registry costs nothing.
 	Metrics *obs.Registry
+
+	// stmtCache maps normalized SQL text to its parsed statement and
+	// planCache maps canonical SELECT text to an optimized plan plus the
+	// table/view dependencies it was planned against. Both are nil until
+	// EnableCache; see cache.go for the invalidation contract.
+	stmtCache *cache.LRU[string, Stmt]
+	planCache *cache.LRU[string, *planEntry]
+	// planInvalidations counts cached plans discarded because a dependency's
+	// version moved (DDL or DML on a referenced table, or a replaced view).
+	planInvalidations atomic.Int64
+	planInvalidCtr    *obs.Counter
 
 	leftJoinSeq int // composite-relation alias counter
 }
@@ -147,7 +160,7 @@ func (db *DB) Exec(sql string) (*Result, error) {
 
 // Query is Exec restricted to a single SELECT.
 func (db *DB) Query(sql string) (*Result, error) {
-	stmt, err := Parse(sql)
+	stmt, err := db.parseOne(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -161,9 +174,24 @@ func (db *DB) Query(sql string) (*Result, error) {
 // ExecHinted executes statements with optimizer hints applied (the
 // DL2SQL-OP pathway).
 func (db *DB) ExecHinted(sql string, hints *QueryHints) (*Result, error) {
+	db.mu.RLock()
+	sc := db.stmtCache
+	db.mu.RUnlock()
+	if sc != nil {
+		// Single cached statements skip the lexer and parser entirely;
+		// multi-statement scripts fall through to ParseMulti.
+		if st, ok := sc.Get(normalizeSQL(sql)); ok {
+			return db.execStmt(st, hints)
+		}
+	}
 	stmts, err := ParseMulti(sql)
 	if err != nil {
 		return nil, err
+	}
+	if sc != nil && len(stmts) == 1 {
+		if _, isSel := stmts[0].(*SelectStmt); isSel {
+			sc.Put(normalizeSQL(sql), stmts[0])
+		}
 	}
 	var last *Result
 	for _, st := range stmts {
@@ -214,7 +242,7 @@ func (db *DB) execStmt(st Stmt, hints *QueryHints) (*Result, error) {
 		}
 		return nil, nil
 	case *ExplainStmt:
-		plan, err := db.planSelect(t.Query, hints)
+		plan, hit, cacheable, err := db.planSelectCached(t.Query, hints)
 		if err != nil {
 			return nil, err
 		}
@@ -229,6 +257,19 @@ func (db *DB) execStmt(st Stmt, hints *QueryHints) (*Result, error) {
 			}
 			text = ExplainAnalyze(plan, ec.nodes)
 		}
+		if db.CacheEnabled() {
+			// With caching on, the first line reports whether the plan came
+			// from the cache. "bypass" marks plans the cache never serves
+			// (hinted or UNION ALL queries).
+			state := "miss"
+			switch {
+			case hit:
+				state = "hit"
+			case !cacheable:
+				state = "bypass"
+			}
+			text = "cache: " + state + "\n" + text
+		}
 		out := &Result{Schema: []OutCol{{Name: "plan", Type: TString}}, Cols: []*Column{NewColumn(TString)}}
 		for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 			if err := out.Cols[0].Append(Str(line)); err != nil {
@@ -241,17 +282,11 @@ func (db *DB) execStmt(st Stmt, hints *QueryHints) (*Result, error) {
 }
 
 func (db *DB) runSelect(sel *SelectStmt, hints *QueryHints) (*Result, error) {
-	plan, err := db.planSelect(sel, hints)
+	plan, _, _, err := db.planSelectCached(sel, hints)
 	if err != nil {
 		return nil, err
 	}
-	ec := &execCtx{prof: db.Profile, par: db.parDegree()}
-	if db.Tracer.Enabled() {
-		root := db.Tracer.StartSpan("query")
-		defer root.Finish()
-		ec.span = root
-	}
-	res, err := db.execPlan(plan, ec)
+	res, err := db.execPlanTraced(plan)
 	if err != nil || len(sel.UnionAll) == 0 {
 		return res, err
 	}
@@ -275,6 +310,19 @@ func (db *DB) runSelect(sel *SelectStmt, hints *QueryHints) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// execPlanTraced executes a plan with a fresh execution context and, when
+// tracing is on, a root query span (the exec half of runSelect; Prepared
+// statements call it directly with a parameter-bound plan).
+func (db *DB) execPlanTraced(plan Plan) (*Result, error) {
+	ec := &execCtx{prof: db.Profile, par: db.parDegree()}
+	if db.Tracer.Enabled() {
+		root := db.Tracer.StartSpan("query")
+		defer root.Finish()
+		ec.span = root
+	}
+	return db.execPlan(plan, ec)
 }
 
 // appendColumn concatenates b's rows onto a copy of a (type-coerced).

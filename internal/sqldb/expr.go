@@ -99,6 +99,8 @@ func (db *DB) compileExpr(e Expr, schema []OutCol) (evalFn, error) {
 	case *Lit:
 		v := t.Val
 		return func(*Result, int) (Datum, error) { return v, nil }, nil
+	case *Param:
+		return nil, fmt.Errorf("sqldb: unbound parameter ?%d — execute through Prepare and bind arguments", t.Idx+1)
 	case *ColRef:
 		idx := -1
 		for i, c := range schema {

@@ -25,6 +25,7 @@ type token struct {
 	pos  int
 }
 
+// String renders the token for error messages.
 func (t token) String() string {
 	if t.kind == tokEOF {
 		return "<eof>"

@@ -8,9 +8,10 @@ import (
 
 // parser is a recursive-descent parser over the token stream.
 type parser struct {
-	toks []token
-	pos  int
-	src  string
+	toks    []token
+	pos     int
+	src     string
+	nparams int // `?` placeholders seen so far, in statement order
 }
 
 // Parse parses a single SQL statement.
@@ -883,6 +884,11 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case tokString:
 		p.pos++
 		return &Lit{Val: Str(t.text)}, nil
+	case tokParam:
+		p.pos++
+		e := &Param{Idx: p.nparams}
+		p.nparams++
+		return e, nil
 	case tokOp:
 		if t.text == "(" {
 			p.pos++

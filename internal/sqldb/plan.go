@@ -91,6 +91,7 @@ func (*LDistinct) planNode() {}
 func (*LSort) planNode()     {}
 func (*LLimit) planNode()    {}
 
+// OutSchema implementations: each node's statically-known output columns.
 func (p *LScan) OutSchema() []OutCol     { return p.schema }
 func (p *LFilter) OutSchema() []OutCol   { return p.Child.OutSchema() }
 func (p *LProject) OutSchema() []OutCol  { return p.schema }
@@ -525,6 +526,10 @@ func (db *DB) resolveSubqueries(st *SelectStmt, hints *QueryHints) (*SelectStmt,
 	rewrite := func(e Expr) (Expr, error) { return db.rewriteSubqueries(e, hints) }
 	out := *st
 	out.Items = append([]SelectItem(nil), st.Items...)
+	// Copy OrderBy too: planSelect rewrites ordinal keys in place, and with
+	// cached statements the original AST is shared across executions — the
+	// rewrite must land on this private copy, not the shared backing array.
+	out.OrderBy = append([]OrderItem(nil), st.OrderBy...)
 	for i := range out.Items {
 		if out.Items[i].Star {
 			continue

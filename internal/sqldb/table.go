@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ColumnDef describes one column of a table schema.
@@ -134,6 +135,36 @@ func (c *Column) ensureNulls() {
 	}
 }
 
+// Clone deep-copies the column: the result shares no backing arrays with
+// the receiver, so in-place writes (UPDATE, e.g. DL2SQL's ReLU) to either
+// side cannot be observed through the other. The cache layers use it to
+// materialize and rehydrate intermediate results safely.
+func (c *Column) Clone() *Column {
+	out := &Column{Type: c.Type}
+	if c.Ints != nil {
+		out.Ints = append([]int64(nil), c.Ints...)
+	}
+	if c.Floats != nil {
+		out.Floats = append([]float64(nil), c.Floats...)
+	}
+	if c.Strs != nil {
+		out.Strs = append([]string(nil), c.Strs...)
+	}
+	if c.Bools != nil {
+		out.Bools = append([]bool(nil), c.Bools...)
+	}
+	if c.Blobs != nil {
+		out.Blobs = make([][]byte, len(c.Blobs))
+		for i, b := range c.Blobs {
+			out.Blobs[i] = append([]byte(nil), b...)
+		}
+	}
+	if c.Nulls != nil {
+		out.Nulls = append([]bool(nil), c.Nulls...)
+	}
+	return out
+}
+
 // Gather builds a new column holding rows[i] = c[idx[i]]. A negative index
 // produces a NULL row (used by outer joins to pad unmatched sides).
 func (c *Column) Gather(idx []int) *Column {
@@ -224,7 +255,17 @@ type Table struct {
 	mu      sync.RWMutex
 	stats   *TableStats
 	indexes map[string]*HashIndex
+	// version counts writes (append/update/delete/truncate). The plan cache
+	// records it per dependency and replans when it moves — the
+	// "invalidated on DDL/INSERT" half of the cache contract.
+	version atomic.Int64
 }
+
+// Version returns the table's write-version counter. It increases on every
+// mutation (row appends, UPDATE, DELETE, TRUNCATE); cached plans record the
+// versions of every table they depend on and are invalidated when any
+// recorded version moves.
+func (t *Table) Version() int64 { return t.version.Load() }
 
 // NewTable creates an empty table with the given schema.
 func NewTable(name string, schema Schema) *Table {
@@ -288,12 +329,36 @@ func (t *Table) GetRow(i int) []Datum {
 	return row
 }
 
-// invalidateDerivedLocked drops cached statistics and indexes after a write.
+// invalidateDerivedLocked drops cached statistics and indexes after a write
+// and advances the version counter the plan cache validates against.
 func (t *Table) invalidateDerivedLocked() {
 	t.stats = nil
 	for k := range t.indexes {
 		delete(t.indexes, k)
 	}
+	t.version.Add(1)
+}
+
+// ReplaceData swaps in fully-built columns wholesale (a bulk load). The
+// column count and types must match the schema. Like any other write it
+// bumps the version and drops derived statistics and indexes; dl2sql's
+// intermediate cache uses it to rehydrate a materialized FeatureMap table
+// without row-at-a-time SQL.
+func (t *Table) ReplaceData(cols []*Column) error {
+	if len(cols) != len(t.Schema) {
+		return fmt.Errorf("sqldb: ReplaceData on %s: %d columns, schema has %d", t.Name, len(cols), len(t.Schema))
+	}
+	for i, c := range cols {
+		if c.Type != t.Schema[i].Type {
+			return fmt.Errorf("sqldb: ReplaceData on %s: column %s is %s, schema wants %s",
+				t.Name, t.Schema[i].Name, c.Type, t.Schema[i].Type)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Cols = cols
+	t.invalidateDerivedLocked()
+	return nil
 }
 
 // Truncate removes all rows, keeping the schema.

@@ -31,6 +31,7 @@ const (
 	TBlob
 )
 
+// String names the type as it appears in CREATE TABLE.
 func (t Type) String() string {
 	switch t {
 	case TNull:
@@ -76,13 +77,22 @@ type Datum struct {
 	B []byte
 }
 
-// Convenience constructors.
-func Null() Datum           { return Datum{T: TNull} }
-func Int(v int64) Datum     { return Datum{T: TInt, I: v} }
-func Float(v float64) Datum { return Datum{T: TFloat, F: v} }
-func Str(v string) Datum    { return Datum{T: TString, S: v} }
-func Blob(v []byte) Datum   { return Datum{T: TBlob, B: v} }
+// Null returns the SQL NULL datum.
+func Null() Datum { return Datum{T: TNull} }
 
+// Int wraps an int64 as an Int64 datum.
+func Int(v int64) Datum { return Datum{T: TInt, I: v} }
+
+// Float wraps a float64 as a Float64 datum.
+func Float(v float64) Datum { return Datum{T: TFloat, F: v} }
+
+// Str wraps a string as a String datum.
+func Str(v string) Datum { return Datum{T: TString, S: v} }
+
+// Blob wraps a byte slice as a Blob datum (the slice is not copied).
+func Blob(v []byte) Datum { return Datum{T: TBlob, B: v} }
+
+// Bool wraps a bool as a Bool datum.
 func Bool(v bool) Datum {
 	if v {
 		return Datum{T: TBool, I: 1}

@@ -72,6 +72,7 @@ func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBr
 		tr := dl2sql.NewTranslator(db, fmt.Sprintf("dl2sql_%s_%d", sanitize(name), dl2sqlSeq.Add(1)))
 		tr.PreJoin = s.PreJoin
 		tr.Hints = h
+		tr.Cache = ctx.SQLCache
 		sm, err := tr.StoreModel(b.Entry.Model)
 		if err != nil {
 			return nil, bd, fmt.Errorf("strategies: storing model for %s: %w", name, err)

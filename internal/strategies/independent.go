@@ -12,6 +12,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/sqldb"
+	"repro/internal/tensor"
 )
 
 // DBPyTorch is the independent-processing strategy: the database and the DL
@@ -63,9 +64,31 @@ func (s *DBPyTorch) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, Cos
 		if b == nil {
 			return nil, bd, fmt.Errorf("strategies: no model bound for %s", name)
 		}
+		// Memoization: candidates whose (model, keyframe) pair is cached
+		// never cross the serving boundary — no serialization, no
+		// transfer, no forward pass. Only the misses are batched out.
+		serve := cands
+		var keys []InferKey
+		if ctx.InferCache != nil {
+			serve = make([]candidate, 0, len(cands))
+			keys = make([]InferKey, 0, len(cands))
+			for _, c := range cands {
+				key := InferKey{Model: b.artifactHash, Input: tensor.HashBytes(c.blob)}
+				if idx, ok := ctx.InferCache.Get(key); ok {
+					preds[c.videoID][name] = b.predictionDatum(idx)
+					continue
+				}
+				serve = append(serve, c)
+				keys = append(keys, key)
+			}
+		}
+		if len(serve) == 0 {
+			continue
+		}
 		serveSpan := root.StartChild("serving:" + name)
+		serveSpan.SetAttr("candidates", len(serve))
 		xferStart := time.Now()
-		results, stats, err := serveBatch(b.Artifact, cands, serveSpan)
+		results, stats, err := serveBatch(b.Artifact, serve, serveSpan)
 		serveSpan.Finish()
 		if err != nil {
 			return nil, bd, fmt.Errorf("strategies: serving %s: %w", name, err)
@@ -74,15 +97,22 @@ func (s *DBPyTorch) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, Cos
 		// The serving pathway pays per-call framework dispatch overhead and
 		// the heavier DL-framework model deserialization (see hwprofile).
 		bd.Inference += ctx.Profile.ScaleInference(stats.inferSecs) +
-			ctx.Profile.DLCallOverhead(len(cands))
+			ctx.Profile.DLCallOverhead(len(serve))
 		// Everything that is not a forward pass is cross-system overhead.
 		bd.Loading += wall - stats.inferSecs +
 			ctx.Profile.DLLoadCost(stats.decodeSecs) - stats.decodeSecs
 		for id, classIdx := range results {
 			preds[id][name] = b.predictionDatum(classIdx)
 		}
+		if ctx.InferCache != nil {
+			for i, c := range serve {
+				if idx, ok := results[c.videoID]; ok {
+					ctx.InferCache.Put(keys[i], idx)
+				}
+			}
+		}
 		totalBytes += int64(len(b.Artifact))
-		for _, c := range cands {
+		for _, c := range serve {
 			totalBytes += int64(len(c.blob))
 		}
 	}

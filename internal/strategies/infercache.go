@@ -1,0 +1,53 @@
+package strategies
+
+// Inference memoization for the UDF-shaped strategies.
+//
+// DB-UDF and DB-PyTorch both end up running the same forward pass for the
+// same (model, keyframe) pair whenever a collaborative query repeats —
+// exactly the workload of a monitoring dashboard re-issuing Table I
+// templates. An InferCache short-circuits those calls: keys combine the
+// compiled artifact's hash with the raw keyframe blob's hash, so the two
+// strategies share hits (the decoded tensor is a pure function of the
+// blob, and predictions are deterministic).
+//
+// The DL2SQL strategies memoize one level lower, inside the SQL pipeline
+// itself (see dl2sql.PipelineCache wired through Context.SQLCache),
+// because their unit of reuse is a materialized intermediate relation
+// rather than a class index.
+
+import (
+	"repro/internal/cache"
+	"repro/internal/dl2sql"
+)
+
+// InferKey identifies one memoizable inference: the hash of the compiled
+// model artifact and the hash of the raw keyframe blob.
+type InferKey struct {
+	Model uint64
+	Input uint64
+}
+
+// EnableInferCache switches on inference memoization for all four
+// strategies: an LRU of class predictions for DB-UDF / DB-PyTorch
+// (capacity entries) and a dl2sql PipelineCache for the DL2SQL pair
+// (capacity memoized inferences + capacity materialized intermediates).
+// capacity <= 0 disables both. When ctx.Metrics is set, hit/miss/eviction
+// counters appear under "strategies.infercache.*" and "dl2sql.cache.*";
+// set Metrics before calling EnableInferCache.
+func (ctx *Context) EnableInferCache(capacity int) {
+	if capacity <= 0 {
+		ctx.InferCache = nil
+		ctx.SQLCache = nil
+		return
+	}
+	ctx.InferCache = cache.New[InferKey, int](capacity)
+	ctx.InferCache.Instrument(ctx.Metrics, "strategies.infercache")
+	ctx.SQLCache = dl2sql.NewPipelineCache(capacity, capacity)
+	ctx.SQLCache.Instrument(ctx.Metrics)
+}
+
+// InferCacheStats reports the prediction-LRU counters (zero value when
+// memoization is disabled).
+func (ctx *Context) InferCacheStats() cache.Stats {
+	return ctx.InferCache.Stats()
+}

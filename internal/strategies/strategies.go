@@ -23,7 +23,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/colquery"
+	"repro/internal/dl2sql"
 	"repro/internal/hints"
 	"repro/internal/hwprofile"
 	"repro/internal/iotdata"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/sqldb"
+	"repro/internal/tensor"
 )
 
 // CostBreakdown is the paper's three-bucket cost accounting (seconds).
@@ -75,6 +78,8 @@ type UDFBinding struct {
 	Kind  UDFKind
 	// Artifact is the compiled model (built once, offline).
 	Artifact []byte
+	// artifactHash fingerprints Artifact for inference-memoization keys.
+	artifactHash uint64
 }
 
 // Context carries the shared experimental fixtures.
@@ -92,6 +97,14 @@ type Context struct {
 	// Metrics, when non-nil, accumulates per-strategy phase latency
 	// histograms and query counters across Execute calls.
 	Metrics *obs.Registry
+	// InferCache, when non-nil, memoizes (model, keyframe) → class index
+	// for the DB-UDF and DB-PyTorch strategies. Enable with
+	// EnableInferCache; nil disables memoization at zero cost.
+	InferCache *cache.LRU[InferKey, int]
+	// SQLCache, when non-nil, is attached to every DL2SQL translator so
+	// repeated SQL inferences reuse memoized results and materialized
+	// intermediates. Enabled together with InferCache.
+	SQLCache *dl2sql.PipelineCache
 }
 
 // recordBreakdown folds one Execute's cost breakdown into the metrics
@@ -125,6 +138,7 @@ func (ctx *Context) Bind(name string, entry *modelrepo.Entry, kind UDFKind) erro
 	}
 	ctx.Bindings[strings.ToLower(name)] = &UDFBinding{
 		Name: strings.ToLower(name), Entry: entry, Kind: kind, Artifact: blob,
+		artifactHash: tensor.HashBytes(blob),
 	}
 	return nil
 }

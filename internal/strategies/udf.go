@@ -10,6 +10,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/sqldb"
+	"repro/internal/tensor"
 )
 
 // DBUDF is the loose-integration strategy: the compiled model artifact is
@@ -78,6 +79,17 @@ func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBre
 				if args[0].T != sqldb.TBlob {
 					return sqldb.Null(), fmt.Errorf("%s expects a keyframe blob", name)
 				}
+				// Memoized call: identical (model, keyframe) pairs skip
+				// the forward pass — and its inference-time accounting —
+				// entirely. The key hashes the raw blob, so hits are
+				// shared with DB-PyTorch runs over the same candidates.
+				var key InferKey
+				if ctx.InferCache != nil {
+					key = InferKey{Model: b.artifactHash, Input: tensor.HashBytes(args[0].B)}
+					if idx, ok := ctx.InferCache.Get(key); ok {
+						return b.predictionDatum(idx), nil
+					}
+				}
 				in, err := iotdata.KeyframeTensor(args[0].B)
 				if err != nil {
 					return sqldb.Null(), err
@@ -96,6 +108,9 @@ func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBre
 				mu.Unlock()
 				if err != nil {
 					return sqldb.Null(), err
+				}
+				if ctx.InferCache != nil {
+					ctx.InferCache.Put(key, idx)
 				}
 				return b.predictionDatum(idx), nil
 			},

@@ -1,0 +1,72 @@
+package tensor
+
+import "math"
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash returns a stable FNV-1a digest over the tensor's shape and exact
+// element bit patterns. Two tensors hash equal iff they have the same shape
+// and bit-identical float64 data (NaN payloads and signed zeros included),
+// which is what the inference memoization layer keys on: a repeated
+// keyframe must hit, a perturbed one must miss.
+func (t *Tensor) Hash() uint64 {
+	h := uint64(fnvOffset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime
+			v >>= 8
+		}
+	}
+	for _, d := range t.shape {
+		mix(uint64(d))
+	}
+	for _, v := range t.data {
+		mix(math.Float64bits(v))
+	}
+	return h
+}
+
+// HashBytes returns the FNV-1a digest of a byte slice. The strategies layer
+// uses it as the stable model id of a compiled artifact.
+func HashBytes(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// HashMix folds additional words into an existing digest; dl2sql chains it
+// over (model stamp, input hash, pipeline step) to key intermediate
+// FeatureMap tables.
+func HashMix(h uint64, words ...uint64) uint64 {
+	if h == 0 {
+		h = fnvOffset
+	}
+	for _, w := range words {
+		for i := 0; i < 8; i++ {
+			h ^= w & 0xff
+			h *= fnvPrime
+			w >>= 8
+		}
+	}
+	return h
+}
+
+// HashString folds a string into an existing digest.
+func HashString(h uint64, s string) uint64 {
+	if h == 0 {
+		h = fnvOffset
+	}
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
