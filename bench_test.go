@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -185,7 +186,7 @@ func benchStrategy(b *testing.B, strat strategies.Strategy) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := strat.Execute(s.Ctx, q); err != nil {
+		if _, _, err := strat.Execute(context.Background(), s.Ctx, q); err != nil {
 			b.Fatal(err)
 		}
 	}

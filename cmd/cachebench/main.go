@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -117,7 +118,7 @@ func runWorkload(scale, side int, strat string, q *colquery.Query, repeats, capa
 	var steady time.Duration
 	for i := 0; i < repeats; i++ {
 		start := time.Now()
-		res, _, err := s.Execute(ctx, q)
+		res, _, err := s.Execute(context.Background(), ctx, q)
 		if err != nil {
 			fatalf("%s iteration %d: %v", s.Name(), i, err)
 		}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -106,7 +107,7 @@ func main() {
 	}
 
 	for _, s := range strats {
-		res, bd, err := s.Execute(ctx, q)
+		res, bd, err := s.Execute(context.Background(), ctx, q)
 		if err != nil {
 			fatalf("%s: %v", s.Name(), err)
 		}

@@ -1,0 +1,272 @@
+// Command faultbench measures the cost of the query-lifecycle layer on the
+// hot relational path (for BENCH_faults.json):
+//
+//   - exec_plain          — Exec without context (nil-context fast path)
+//   - ctx_background      — ExecContext(context.Background()) (normalized
+//     to the same nil-context path; should be indistinguishable)
+//   - ctx_cancellable     — ExecContext with a live cancellable context
+//     (cooperative checks at every morsel boundary)
+//   - injector_armed      — cancellable context plus an armed-but-inert
+//     fault injector (a morsel.delay rule gated to effectively never
+//     fire), the worst production-off configuration
+//
+// plus the graceful-degradation latency: a Type-3 collaborative query via
+// DB-UDF directly versus ExecuteWithFallback with a dead serving pipe
+// (DB-PyTorch → DB-UDF), isolating what a failover costs end to end.
+//
+//	faultbench -rows 200000 -iters 7
+//	faultbench -json > BENCH_faults.json   # after editing cpu/date fields
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/colquery"
+	"repro/internal/faults"
+	"repro/internal/iotdata"
+	"repro/internal/modelrepo"
+	"repro/internal/sqldb"
+	"repro/internal/strategies"
+)
+
+func main() {
+	rows := flag.Int("rows", 200000, "fact table rows for the relational benchmark")
+	iters := flag.Int("iters", 7, "timed iterations per variant")
+	fbIters := flag.Int("fbiters", 5, "timed iterations for the fallback-latency benchmark")
+	asJSON := flag.Bool("json", false, "emit the BENCH_faults.json document on stdout")
+	flag.Parse()
+
+	db := buildRelationalDB(*rows)
+	const q = `SELECT d.name, count(*) AS n, sum(b.b) AS s, avg(b.a) AS m
+	           FROM big b INNER JOIN dim d ON b.g = d.g
+	           WHERE b.a > 250 AND b.b < 75.0
+	           GROUP BY d.name ORDER BY name`
+
+	// An armed injector whose rule is gated to (effectively) never fire:
+	// the per-morsel cost is one Active lookup plus one gated Hit.
+	inert := faults.New(1, faults.Rule{Point: faults.PointMorselDelay,
+		Delay: time.Millisecond, Every: 1 << 30})
+
+	variants := []struct {
+		name string
+		run  func() error
+	}{
+		{"exec_plain", func() error { _, err := db.Query(q); return err }},
+		{"ctx_background", func() error {
+			_, err := db.QueryContext(context.Background(), q)
+			return err
+		}},
+		{"ctx_cancellable", func() error {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			_, err := db.QueryContext(ctx, q)
+			return err
+		}},
+		{"injector_armed", func() error {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			db.Faults = inert
+			_, err := db.QueryContext(ctx, q)
+			db.Faults = nil
+			return err
+		}},
+	}
+
+	samples := map[string][]int64{}
+	for _, v := range variants { // warmup
+		if err := v.run(); err != nil {
+			fatalf("%s: %v", v.name, err)
+		}
+	}
+	// Interleave the variants round-robin so slow drift (allocator state,
+	// container neighbours) spreads evenly instead of biasing whichever
+	// block ran last.
+	for i := 0; i < *iters; i++ {
+		for _, v := range variants {
+			start := time.Now()
+			if err := v.run(); err != nil {
+				fatalf("%s: %v", v.name, err)
+			}
+			samples[v.name] = append(samples[v.name], time.Since(start).Nanoseconds())
+		}
+	}
+	if !*asJSON {
+		for _, v := range variants {
+			fmt.Printf("%-16s mean %s\n", v.name, time.Duration(mean(samples[v.name])))
+		}
+	}
+
+	directNs, fallbackNs := benchFallback(*fbIters, *asJSON)
+
+	base := mean(samples["exec_plain"])
+	overhead := func(name string) float64 {
+		return round2(100 * (float64(mean(samples[name]))/float64(base) - 1))
+	}
+	doc := map[string]any{
+		"description": "Cost of the query-lifecycle layer on the hot relational path: the parbench filter+join+aggregate query (200k rows) under the nil-context fast path, a Background context (normalized to the same path), a live cancellable context (per-morsel cooperative checks), and an armed-but-inert fault injector. fallback_latency compares a Type-3 collaborative query answered by DB-UDF directly vs via ExecuteWithFallback with a dead serving pipe (DB-PyTorch retries, breaker, then degrades to DB-UDF).",
+		"benchmark":   "go run ./cmd/faultbench -json",
+		"cpu":         "Intel(R) Xeon(R) Processor @ 2.10GHz",
+		"date":        time.Now().Format("2006-01-02"),
+		"results_ns_per_op": map[string]any{
+			"exec_plain":      samples["exec_plain"],
+			"ctx_background":  samples["ctx_background"],
+			"ctx_cancellable": samples["ctx_cancellable"],
+			"injector_armed":  samples["injector_armed"],
+		},
+		"fallback_latency_ns": map[string]any{
+			"dbudf_direct":          directNs,
+			"fallback_via_pytorch":  fallbackNs,
+			"failover_overhead_pct": round2(100 * (float64(mean(fallbackNs))/float64(mean(directNs)) - 1)),
+		},
+		"summary": map[string]any{
+			"plain_mean_ns":         base,
+			"ctx_background_pct":    overhead("ctx_background"),
+			"ctx_cancellable_pct":   overhead("ctx_cancellable"),
+			"injector_armed_pct":    overhead("injector_armed"),
+			"disabled_overhead_pct": overhead("ctx_background"),
+			"budget_pct":            2.0,
+			"verdict":               "",
+		},
+	}
+	within := "within"
+	if overhead("ctx_background") > 2.0 {
+		within = "OVER"
+	}
+	verdict := fmt.Sprintf("disabled lifecycle layer costs %+.2f%% (Background ctx, %s the 2%% budget); a live cancellable ctx %+.2f%%, an armed-but-inert injector %+.2f%%; failover to DB-UDF adds %+.1f%% over calling DB-UDF directly (retry+breaker attempts on the dead pipe)",
+		overhead("ctx_background"), within, overhead("ctx_cancellable"), overhead("injector_armed"),
+		100*(float64(mean(fallbackNs))/float64(mean(directNs))-1))
+	doc["summary"].(map[string]any)["verdict"] = verdict
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	fmt.Println(verdict)
+}
+
+// buildRelationalDB replicates parbench's fixture so numbers are
+// comparable across the BENCH_*.json files.
+func buildRelationalDB(rows int) *sqldb.DB {
+	db := sqldb.New()
+	db.Profile = sqldb.NewProfile()
+	db.Parallelism = 1
+	mustExec(db, `CREATE TABLE big (a Int64, b Float64, g Int64)`)
+	mustExec(db, `CREATE TABLE dim (g Int64, name String)`)
+	big := db.GetTable("big")
+	state := uint64(12345)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := 0; i < rows; i++ {
+		row := []sqldb.Datum{
+			sqldb.Int(int64(next() % 1000)),
+			sqldb.Float(float64(next()%10000) / 100.0),
+			sqldb.Int(int64(next() % 500)),
+		}
+		if err := big.AppendRow(row); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	dim := db.GetTable("dim")
+	for g := 0; g < 500; g++ {
+		if err := dim.AppendRow([]sqldb.Datum{sqldb.Int(int64(g)), sqldb.Str(fmt.Sprintf("grp_%03d", g%37))}); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	return db
+}
+
+// benchFallback times a Type-3 collaborative query via DB-UDF directly and
+// via the degradation ladder with a permanently dead serving pipe.
+func benchFallback(iters int, quiet bool) (direct, fallback []int64) {
+	ds, err := iotdata.Generate(iotdata.Config{Scale: 2, KeyframeSide: 8, Seed: 7, PatternCount: 6})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	env := strategies.NewContext(ds)
+	repo := modelrepo.NewRepository(8, 99)
+	if err := env.BindDefaults(repo, 20); err != nil {
+		fatalf("%v", err)
+	}
+	env.Retry = strategies.RetryPolicy{MaxAttempts: 3, BaseDelay: 2 * time.Millisecond, JitterSeed: 3}
+	q, err := colquery.GenerateAnalyzed(colquery.Type3, colquery.TemplateParams{Selectivity: 0.05})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	dead := faults.New(1, faults.Rule{Point: faults.PointServingError})
+
+	for i := 0; i < iters+1; i++ { // first iteration of each loop is warmup
+		start := time.Now()
+		if _, _, err := (&strategies.DBUDF{}).Execute(context.Background(), env, q); err != nil {
+			fatalf("direct DB-UDF: %v", err)
+		}
+		if i > 0 {
+			direct = append(direct, time.Since(start).Nanoseconds())
+		}
+	}
+	for i := 0; i < iters+1; i++ {
+		env.Faults = dead
+		env.Breaker = &strategies.Breaker{} // fresh breaker per run
+		start := time.Now()
+		_, bd, err := strategies.ExecuteWithFallback(context.Background(), env, &strategies.DBPyTorch{}, q)
+		if err != nil {
+			fatalf("fallback run: %v", err)
+		}
+		if len(bd.FallbackPath) == 0 {
+			fatalf("fallback did not engage")
+		}
+		if i > 0 {
+			fallback = append(fallback, time.Since(start).Nanoseconds())
+		}
+		env.Faults = nil
+	}
+	if !quiet {
+		fmt.Printf("%-16s mean %s\n", "dbudf_direct", time.Duration(mean(direct)))
+		fmt.Printf("%-16s mean %s\n", "fallback_path", time.Duration(mean(fallback)))
+	}
+	return direct, fallback
+}
+
+func mean(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Trim one outlier from each end when there are enough samples: these
+	// runs share a container with other work.
+	if len(sorted) > 4 {
+		sorted = sorted[1 : len(sorted)-1]
+	}
+	var sum int64
+	for _, x := range sorted {
+		sum += x
+	}
+	return sum / int64(len(sorted))
+}
+
+func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }
+
+func mustExec(db *sqldb.DB, sql string) {
+	if _, err := db.Exec(sql); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "faultbench: "+format+"\n", args...)
+	os.Exit(1)
+}

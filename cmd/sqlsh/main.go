@@ -11,9 +11,16 @@
 //	\cache N        enable the statement/plan cache (N entries per LRU)
 //	\cache stats    show cache hit/miss/eviction counters; \cache off disables
 //	\timing on|off  print each query's wall time
+//	\timeout DUR    per-query deadline (e.g. 500ms, 2s); \timeout off clears
+//	\faults SPEC    install a fault injector (see internal/faults spec
+//	                grammar, e.g. "morsel.delay:d=5ms;seed=1"); \faults stats
+//	                shows fire counts, \faults off removes it
 //	\trace PATH     start tracing; \trace off writes Chrome trace JSON to PATH
 //	\save PATH      snapshot the database to a file
 //	\q              quit (flushes an active trace first)
+//
+// Ctrl-C cancels the in-flight query (which returns a typed "query
+// cancelled" error) instead of killing the shell.
 //
 // Usage:
 //
@@ -25,14 +32,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/iotdata"
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -43,7 +54,25 @@ import (
 type shell struct {
 	db        *sqldb.DB
 	timing    bool
-	traceFile string // destination for the active trace; "" when off
+	traceFile string        // destination for the active trace; "" when off
+	timeout   time.Duration // per-query deadline; 0 = none
+
+	mu     sync.Mutex
+	cancel context.CancelFunc // cancels the in-flight query; nil when idle
+}
+
+// interrupt routes SIGINT to the in-flight query's cancel function. At an
+// idle prompt the signal is swallowed with a hint, so Ctrl-C never kills
+// the shell itself.
+func (sh *shell) interrupt() {
+	sh.mu.Lock()
+	c := sh.cancel
+	sh.mu.Unlock()
+	if c != nil {
+		c()
+		return
+	}
+	fmt.Println("^C (use \\q to quit)")
 }
 
 func main() {
@@ -78,6 +107,14 @@ func main() {
 		db.Profile = sqldb.NewProfile()
 	}
 	sh := &shell{db: db}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		for range sig {
+			sh.interrupt()
+		}
+	}()
 
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -220,6 +257,49 @@ func (sh *shell) meta(cmd string) bool {
 		}
 		fmt.Printf("timing %s\n", onOff(sh.timing))
 		return true
+	case `\timeout`:
+		switch {
+		case len(fields) == 1:
+			if sh.timeout == 0 {
+				fmt.Println("timeout: off")
+			} else {
+				fmt.Printf("timeout: %s\n", sh.timeout)
+			}
+		case fields[1] == "off" || fields[1] == "0":
+			sh.timeout = 0
+			fmt.Println("timeout off")
+		default:
+			d, err := time.ParseDuration(fields[1])
+			if err != nil || d <= 0 {
+				fmt.Println("usage: \\timeout DURATION | \\timeout off   (e.g. \\timeout 500ms)")
+				return true
+			}
+			sh.timeout = d
+			fmt.Printf("timeout %s\n", d)
+		}
+		return true
+	case `\faults`:
+		switch {
+		case len(fields) == 1 || fields[1] == "stats":
+			if db.Faults == nil {
+				fmt.Println("faults: off (install with \\faults SPEC)")
+			} else {
+				fmt.Println(db.Faults.String())
+			}
+		case fields[1] == "off":
+			db.Faults = nil
+			fmt.Println("faults off")
+		default:
+			inj, err := faults.Parse(strings.Join(fields[1:], " "))
+			if err != nil {
+				fmt.Printf("bad fault spec: %v\n", err)
+				fmt.Println(`usage: \faults point[:p=P,every=N,after=N,count=N,d=DUR,bytes=B][;...][;seed=S]`)
+				return true
+			}
+			db.Faults = inj
+			fmt.Printf("faults installed: %s\n", inj.String())
+		}
+		return true
 	case `\trace`:
 		if len(fields) != 2 {
 			fmt.Println("usage: \\trace PATH | \\trace off")
@@ -279,9 +359,20 @@ func (sh *shell) run(sql string) {
 	if strings.TrimSpace(sql) == "" {
 		return
 	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if sh.timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), sh.timeout)
+	}
+	sh.mu.Lock()
+	sh.cancel = cancel
+	sh.mu.Unlock()
 	start := time.Now()
-	res, err := sh.db.Exec(sql)
+	res, err := sh.db.ExecContext(ctx, sql)
 	elapsed := time.Since(start)
+	sh.mu.Lock()
+	sh.cancel = nil
+	sh.mu.Unlock()
+	cancel()
 	if err != nil {
 		fmt.Printf("error: %v\n", err)
 		return

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,7 +48,7 @@ func main() {
 	fmt.Printf("collaborative query classified as %s (%s)\n\n", q.Type, q.Type.Difficulty())
 
 	for _, s := range strategies.All() {
-		res, bd, err := s.Execute(ctx, q)
+		res, bd, err := s.Execute(context.Background(), ctx, q)
 		if err != nil {
 			log.Fatalf("%s: %v", s.Name(), err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -71,7 +72,7 @@ func main() {
 		&strategies.DL2SQL{Optimized: false},
 		&strategies.DL2SQL{Optimized: true},
 	} {
-		res, bd, err := s.Execute(ctx, q)
+		res, bd, err := s.Execute(context.Background(), ctx, q)
 		if err != nil {
 			log.Fatalf("%s: %v", s.Name(), err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -34,7 +35,7 @@ func (s *Suite) AblationBatching() (*Table, error) {
 	for _, batched := range []bool{false, true} {
 		strat := &strategies.DL2SQL{Optimized: false, Batched: batched}
 		start := time.Now()
-		_, bd, err := strat.Execute(s.Ctx, q)
+		_, bd, err := strat.Execute(context.Background(), s.Ctx, q)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -66,7 +67,7 @@ func TestDifferentialStrategiesAndParallelism(t *testing.T) {
 		for _, deg := range []int{1, 4} {
 			ds.DB.Parallelism = deg
 			for _, s := range strategies.All() {
-				res, _, err := s.Execute(ctx, q)
+				res, _, err := s.Execute(context.Background(), ctx, q)
 				if err != nil {
 					t.Fatalf("%s at parallelism %d on %v: %v", s.Name(), deg, typ, err)
 				}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -141,7 +142,7 @@ func (s *Suite) runMix(strat strategies.Strategy, profile hwprofile.Profile, nPe
 	}
 	var total strategies.CostBreakdown
 	for _, q := range queries {
-		_, bd, err := strat.Execute(s.Ctx, q)
+		_, bd, err := strat.Execute(context.Background(), s.Ctx, q)
 		if err != nil {
 			return total, fmt.Errorf("bench: %s on %v: %w", strat.Name(), q.Type, err)
 		}
@@ -159,7 +160,7 @@ func (s *Suite) runType(strat strategies.Strategy, typ colquery.QueryType, n int
 		if err != nil {
 			return total, err
 		}
-		_, bd, err := strat.Execute(s.Ctx, q)
+		_, bd, err := strat.Execute(context.Background(), s.Ctx, q)
 		if err != nil {
 			return total, fmt.Errorf("bench: %s on %v: %w", strat.Name(), typ, err)
 		}

@@ -199,7 +199,9 @@ func (t *Translator) runChainCached(layers []storedLayer, cur relForm, temps *[]
 		if err != nil {
 			return cur, err
 		}
-		if snap := t.snapshotRel(cur); snap != nil {
+		// Skip the Put once the query's context is done — a cancelled run
+		// must not leave per-layer snapshots behind for other queries.
+		if snap := t.snapshotRel(cur); snap != nil && t.ctx().Err() == nil {
 			t.Cache.steps.Put(key, snap)
 		}
 	}

@@ -27,6 +27,7 @@
 package dl2sql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -106,8 +107,20 @@ type Translator struct {
 	// Cached steps are recorded with a " [cached]" label suffix. Batch
 	// inference (InferBatch) is never cached.
 	Cache *PipelineCache
+	// Ctx, when non-nil, is threaded to every generated SQL statement, so
+	// a caller's cancellation or deadline aborts the pipeline between (and,
+	// at morsel granularity, inside) steps.
+	Ctx context.Context
 
 	seq int // temp-table sequence number
+}
+
+// ctx resolves the translator's context for generated statements.
+func (t *Translator) ctx() context.Context {
+	if t.Ctx != nil {
+		return t.Ctx
+	}
+	return context.Background()
 }
 
 // NewTranslator creates a translator writing tables under the given prefix.
@@ -161,7 +174,7 @@ func (t *Translator) exec(label, sql string) (*sqldb.Result, error) {
 		t.TraceSQL = append(t.TraceSQL, sql)
 	}
 	start := time.Now()
-	res, err := t.DB.ExecHinted(sql, t.Hints)
+	res, err := t.DB.ExecHintedContext(t.ctx(), sql, t.Hints)
 	if err != nil {
 		return nil, fmt.Errorf("dl2sql: step %s: %w\nSQL: %s", label, err, sql)
 	}
@@ -180,7 +193,7 @@ func (t *Translator) execToTable(label, table, sql string) error {
 		t.TraceSQL = append(t.TraceSQL, sql)
 	}
 	start := time.Now()
-	if _, err := t.DB.ExecHinted(sql, t.Hints); err != nil {
+	if _, err := t.DB.ExecHintedContext(t.ctx(), sql, t.Hints); err != nil {
 		return fmt.Errorf("dl2sql: step %s: %w\nSQL: %s", label, err, sql)
 	}
 	rows := 0
@@ -223,7 +236,7 @@ func Supported(l nn.Layer) bool {
 // tensorFromFlat reads a flat-form table back into a tensor (used by tests
 // to verify numerical equivalence and by Infer for final extraction).
 func (t *Translator) tensorFromFlat(table string, c, h, w int) (*tensor.Tensor, error) {
-	res, err := t.DB.Query(fmt.Sprintf(`SELECT TupleID, Value FROM %s ORDER BY TupleID`, table))
+	res, err := t.DB.QueryContext(t.ctx(), fmt.Sprintf(`SELECT TupleID, Value FROM %s ORDER BY TupleID`, table))
 	if err != nil {
 		return nil, err
 	}

@@ -54,7 +54,10 @@ func (t *Translator) Infer(sm *StoredModel, input *tensor.Tensor) (int, float64,
 	}
 	idx, _ := res.Cols[0].Get(0).AsInt()
 	score, _ := res.Cols[1].Get(0).AsFloat()
-	if t.Cache != nil {
+	// A query on a dying context must not publish into the shared cache:
+	// later queries would otherwise observe state from a run that was
+	// abandoned partway through.
+	if t.Cache != nil && t.ctx().Err() == nil {
 		t.Cache.results.Put(chainKey, cachedResult{idx: int(idx), score: score})
 	}
 	return int(idx), score, nil

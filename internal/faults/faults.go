@@ -1,0 +1,319 @@
+// Package faults is a deterministic, seedable fault-injection framework
+// for exercising the query-lifecycle layer: serving-pipe errors, hangs and
+// partial responses, slow-morsel delays in the SQL executor, and
+// allocation-budget pressure.
+//
+// An *Injector holds a set of rules keyed by fault point (a dotted string
+// such as "serving.error"). Production code asks the injector at each
+// point via Hit; a nil injector is the production configuration and every
+// method on it is a cheap no-op, so the disabled overhead is one nil check
+// per point. Rules fire deterministically from a seeded PRNG plus per-point
+// hit counters, so a given (seed, spec, workload) triple replays the same
+// fault schedule.
+//
+// Rules are described either programmatically (New) or by a compact spec
+// string (Parse) of the form
+//
+//	point[:opt,...][;point[:opt,...]]...
+//
+// with options p=<prob>, every=<n>, after=<n>, count=<n>, d=<duration>,
+// bytes=<n>, and a pseudo-entry seed=<n> to set the PRNG seed. Examples:
+//
+//	serving.error:p=1                 every serving call fails
+//	serving.hang:after=2              hang from the 2nd serving call on
+//	morsel.delay:d=1ms,every=4        delay every 4th morsel by 1ms
+//	mem.pressure:bytes=1048576        cap query materialization at 1 MiB
+package faults
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/qerr"
+)
+
+// Canonical fault points wired into the engine and strategies.
+const (
+	// PointServingError fails the DB↔PyTorch serving pipe outright.
+	PointServingError = "serving.error"
+	// PointServingHang blocks the serving loop until the attempt's context
+	// expires (default) or for an explicit d= duration.
+	PointServingHang = "serving.hang"
+	// PointServingPartial truncates the serving response stream mid-batch.
+	PointServingPartial = "serving.partial"
+	// PointUDFDecode fails the DB-UDF strategy's model decode step.
+	PointUDFDecode = "udf.decode"
+	// PointDL2SQLTranslate fails the DL2SQL translator pipeline.
+	PointDL2SQLTranslate = "dl2sql.translate"
+	// PointMorselDelay delays SQL executor morsels (slow-query simulation).
+	PointMorselDelay = "morsel.delay"
+	// PointMemPressure imposes an artificial per-query materialization
+	// budget of bytes= bytes on the SQL executor.
+	PointMemPressure = "mem.pressure"
+)
+
+// hangDefault is how long a hang-class fault blocks when no explicit d= is
+// given: effectively "until the attempt context gives up".
+const hangDefault = time.Hour
+
+// Rule describes when one fault point fires and what it does.
+type Rule struct {
+	// Point is the fault-point name the rule arms.
+	Point string
+	// Prob is the per-hit firing probability in (0, 1]; 0 means 1 (always).
+	Prob float64
+	// Every fires the rule on every Nth hit only (0/1 = every hit).
+	Every int
+	// After arms the rule from the Nth hit onward (0/1 = immediately).
+	After int
+	// Count caps the total number of firings (0 = unlimited).
+	Count int
+	// Delay, when non-zero, sleeps (context-interruptibly) when firing.
+	Delay time.Duration
+	// Bytes carries a byte budget for pressure-class points.
+	Bytes int64
+	// Err is returned when firing; nil error-class rules default to a
+	// qerr.ErrServingUnavailable wrap naming the point.
+	Err error
+}
+
+// ruleState is a Rule plus its runtime counters.
+type ruleState struct {
+	Rule
+	hits  int64
+	fired int64
+}
+
+// Injector evaluates fault rules at named points. The zero value of
+// *Injector (nil) is the production no-op.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	seed  int64
+	rules map[string]*ruleState
+}
+
+// New builds an injector with the given seed and rules.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{rng: rand.New(rand.NewSource(seed)), seed: seed, rules: map[string]*ruleState{}}
+	for _, r := range rules {
+		in.rules[r.Point] = &ruleState{Rule: r}
+	}
+	return in
+}
+
+// Parse builds an injector from a spec string (see package comment).
+func Parse(spec string) (*Injector, error) {
+	seed := int64(1)
+	var rules []Rule
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(entry, "seed="); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q", v)
+			}
+			seed = n
+			continue
+		}
+		point, opts, _ := strings.Cut(entry, ":")
+		point = strings.TrimSpace(point)
+		if point == "" {
+			return nil, fmt.Errorf("faults: empty fault point in %q", entry)
+		}
+		r := Rule{Point: point}
+		if opts != "" {
+			for _, opt := range strings.Split(opts, ",") {
+				k, v, ok := strings.Cut(strings.TrimSpace(opt), "=")
+				if !ok {
+					return nil, fmt.Errorf("faults: bad option %q in %q", opt, entry)
+				}
+				var err error
+				switch k {
+				case "p":
+					r.Prob, err = strconv.ParseFloat(v, 64)
+					if err == nil && (r.Prob < 0 || r.Prob > 1) {
+						err = fmt.Errorf("out of range")
+					}
+				case "every":
+					r.Every, err = strconv.Atoi(v)
+				case "after":
+					r.After, err = strconv.Atoi(v)
+				case "count":
+					r.Count, err = strconv.Atoi(v)
+				case "d":
+					r.Delay, err = time.ParseDuration(v)
+				case "bytes":
+					r.Bytes, err = strconv.ParseInt(v, 10, 64)
+				default:
+					err = fmt.Errorf("unknown option")
+				}
+				if err != nil {
+					return nil, fmt.Errorf("faults: option %q in %q: %v", opt, entry, err)
+				}
+			}
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faults: spec %q defines no fault points", spec)
+	}
+	return New(seed, rules...), nil
+}
+
+// Active reports whether a rule is registered for the point. Callers on hot
+// paths use it (or a plain nil check on the injector) to skip per-row work.
+func (in *Injector) Active(point string) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rules[point] != nil
+}
+
+// Hit evaluates the point: it counts the hit, decides whether the rule
+// fires (after/every/prob/count gating, seeded PRNG), applies the rule's
+// delay (interruptible by ctx), and returns the rule's error when firing.
+// A nil injector, unknown point, or non-firing hit returns nil.
+func (in *Injector) Hit(ctx context.Context, point string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	r := in.rules[point]
+	if r == nil || !in.shouldFireLocked(r) {
+		in.mu.Unlock()
+		return nil
+	}
+	r.fired++
+	delay, injErr := r.Delay, r.Err
+	in.mu.Unlock()
+
+	if delay == 0 && injErr == nil && point == PointServingHang {
+		delay = hangDefault
+	}
+	if delay > 0 {
+		if err := sleepCtx(ctx, delay); err != nil {
+			return err
+		}
+	}
+	if injErr == nil && delay == 0 && r.Bytes == 0 {
+		injErr = fmt.Errorf("%w: injected fault at %s", qerr.ErrServingUnavailable, point)
+	}
+	return injErr
+}
+
+// shouldFireLocked applies the rule's gating. Caller holds in.mu.
+func (in *Injector) shouldFireLocked(r *ruleState) bool {
+	r.hits++
+	if r.After > 1 && r.hits < int64(r.After) {
+		return false
+	}
+	if r.Count > 0 && r.fired >= int64(r.Count) {
+		return false
+	}
+	if r.Every > 1 && r.hits%int64(r.Every) != 0 {
+		return false
+	}
+	if r.Prob > 0 && r.Prob < 1 && in.rng.Float64() >= r.Prob {
+		return false
+	}
+	return true
+}
+
+// Bytes returns the byte budget attached to the point's rule (for
+// mem.pressure-class faults), or 0 when the point is not armed.
+func (in *Injector) Bytes(point string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if r := in.rules[point]; r != nil {
+		return r.Bytes
+	}
+	return 0
+}
+
+// Fired reports how many times the point's rule has fired.
+func (in *Injector) Fired(point string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if r := in.rules[point]; r != nil {
+		return r.fired
+	}
+	return 0
+}
+
+// String renders the armed rules in spec form (stable order), for \faults.
+func (in *Injector) String() string {
+	if in == nil {
+		return "off"
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	points := make([]string, 0, len(in.rules))
+	for p := range in.rules {
+		points = append(points, p)
+	}
+	sort.Strings(points)
+	parts := []string{fmt.Sprintf("seed=%d", in.seed)}
+	for _, p := range points {
+		r := in.rules[p]
+		var opts []string
+		if r.Prob > 0 && r.Prob < 1 {
+			opts = append(opts, fmt.Sprintf("p=%g", r.Prob))
+		}
+		if r.Every > 1 {
+			opts = append(opts, fmt.Sprintf("every=%d", r.Every))
+		}
+		if r.After > 1 {
+			opts = append(opts, fmt.Sprintf("after=%d", r.After))
+		}
+		if r.Count > 0 {
+			opts = append(opts, fmt.Sprintf("count=%d", r.Count))
+		}
+		if r.Delay > 0 {
+			opts = append(opts, fmt.Sprintf("d=%s", r.Delay))
+		}
+		if r.Bytes > 0 {
+			opts = append(opts, fmt.Sprintf("bytes=%d", r.Bytes))
+		}
+		entry := p
+		if len(opts) > 0 {
+			entry += ":" + strings.Join(opts, ",")
+		}
+		parts = append(parts, entry)
+	}
+	return strings.Join(parts, ";")
+}
+
+// sleepCtx sleeps for d or until ctx is done, returning the classified
+// context error in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return qerr.FromContext(ctx.Err())
+	}
+}

@@ -1,0 +1,191 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/qerr"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if in.Active(PointServingError) {
+		t.Fatal("nil injector reports active point")
+	}
+	if err := in.Hit(context.Background(), PointServingError); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if in.Bytes(PointMemPressure) != 0 || in.Fired(PointServingError) != 0 {
+		t.Fatal("nil injector reports non-zero state")
+	}
+	if in.String() != "off" {
+		t.Fatalf("nil injector String() = %q", in.String())
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "seed=7;morsel.delay:d=1ms,every=4;serving.error:p=0.5;mem.pressure:bytes=1048576"
+	in, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// String renders rules sorted by point with seed first.
+	want := "seed=7;mem.pressure:bytes=1048576;morsel.delay:every=4,d=1ms;serving.error:p=0.5"
+	if got := in.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	// Re-parsing the rendering yields the same rendering (fixed point).
+	in2, err := Parse(in.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2.String() != want {
+		t.Fatalf("re-parse String() = %q, want %q", in2.String(), want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                     // no points
+		"seed=2",               // seed only
+		"serving.error:p=2",    // prob out of range
+		"serving.error:p=x",    // bad float
+		"serving.error:zap=1",  // unknown option
+		"serving.error:noval",  // option without =
+		":p=1",                 // empty point
+		"seed=notanint;x.y",    // bad seed
+		"morsel.delay:d=fast",  // bad duration
+		"mem.pressure:bytes=x", // bad int
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestDefaultErrorIsServingUnavailable(t *testing.T) {
+	in := New(1, Rule{Point: PointServingError})
+	err := in.Hit(context.Background(), PointServingError)
+	if !errors.Is(err, qerr.ErrServingUnavailable) {
+		t.Fatalf("default firing error = %v, want ErrServingUnavailable", err)
+	}
+	if in.Fired(PointServingError) != 1 {
+		t.Fatalf("Fired = %d, want 1", in.Fired(PointServingError))
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(1, Rule{Point: PointUDFDecode, Err: boom})
+	if err := in.Hit(context.Background(), PointUDFDecode); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want custom error", err)
+	}
+}
+
+func TestEveryAfterCountGating(t *testing.T) {
+	in := New(1, Rule{Point: PointServingError, Every: 3, After: 4, Count: 2})
+	var fired []int
+	for i := 1; i <= 15; i++ {
+		if err := in.Hit(context.Background(), PointServingError); err != nil {
+			fired = append(fired, i)
+		}
+	}
+	// Armed from hit 4, fires on multiples of 3, capped at 2 firings: 6, 9.
+	if len(fired) != 2 || fired[0] != 6 || fired[1] != 9 {
+		t.Fatalf("fired on hits %v, want [6 9]", fired)
+	}
+}
+
+func TestProbabilityIsDeterministicPerSeed(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		in := New(seed, Rule{Point: PointServingError, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Hit(context.Background(), PointServingError) != nil
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	var fires int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times; gating looks broken", fires, len(a))
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestDelayInterruptibleByContext(t *testing.T) {
+	in := New(1, Rule{Point: PointMorselDelay, Delay: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Hit(ctx, PointMorselDelay)
+	if !errors.Is(err, qerr.ErrTimeout) {
+		t.Fatalf("interrupted delay returned %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("delay was not interrupted by context")
+	}
+}
+
+func TestHangDefaultsToLongDelay(t *testing.T) {
+	// serving.hang with no d= must block until the context gives up, not
+	// return an immediate error.
+	in := New(1, Rule{Point: PointServingHang})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- in.Hit(ctx, PointServingHang) }()
+	select {
+	case err := <-done:
+		t.Fatalf("hang returned immediately: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, qerr.ErrCancelled) {
+		t.Fatalf("cancelled hang returned %v, want ErrCancelled", err)
+	}
+}
+
+func TestBytesBudget(t *testing.T) {
+	in := New(1, Rule{Point: PointMemPressure, Bytes: 4096})
+	if got := in.Bytes(PointMemPressure); got != 4096 {
+		t.Fatalf("Bytes = %d, want 4096", got)
+	}
+	// A pure bytes rule carries a budget; Hit must not synthesize an error.
+	if err := in.Hit(context.Background(), PointMemPressure); err != nil {
+		t.Fatalf("bytes-only rule fired an error: %v", err)
+	}
+	if got := in.Bytes(PointServingError); got != 0 {
+		t.Fatalf("unarmed point Bytes = %d, want 0", got)
+	}
+}
+
+func TestDelayOnlyRuleReturnsNilAfterSleeping(t *testing.T) {
+	in := New(1, Rule{Point: PointMorselDelay, Delay: time.Millisecond})
+	start := time.Now()
+	if err := in.Hit(context.Background(), PointMorselDelay); err != nil {
+		t.Fatalf("delay-only rule returned %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("delay-only rule did not sleep")
+	}
+}

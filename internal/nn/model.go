@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/qerr"
 	"repro/internal/tensor"
 )
 
@@ -52,10 +53,17 @@ func (m *Model) Validate() ([]int, error) {
 	return cur, nil
 }
 
-// Forward runs the full chain on one input tensor.
-func (m *Model) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+// Forward runs the full chain on one input tensor. A panic inside a layer
+// kernel (shape mismatch, out-of-range index from a corrupt artifact) is
+// recovered and returned as a typed qerr.ErrInternal instead of crossing
+// goroutine boundaries and killing the process.
+func (m *Model) Forward(in *tensor.Tensor) (out *tensor.Tensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, qerr.Recovered("nn model "+m.ModelName, r)
+		}
+	}()
 	cur := in
-	var err error
 	for _, l := range m.Layers {
 		sp := m.Trace.StartChild(l.Kind() + ":" + l.Name())
 		cur, err = l.Forward(cur)

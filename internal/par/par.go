@@ -11,9 +11,12 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/qerr"
 )
 
 // defaultDegree is the process-wide default worker count, used when a
@@ -77,7 +80,23 @@ func (s Stats) Skew() float64 {
 // fn is invoked as fn(worker, lo, hi) for each morsel and must be safe for
 // concurrent invocation on disjoint ranges. With degree <= 1, or when only
 // one morsel exists, everything runs inline on the caller.
+//
+// A panic inside fn on any worker is captured, the remaining morsels are
+// drained without running, and the panic is re-raised on the calling
+// goroutine once every worker has parked — so recover-at-boundary handlers
+// in the caller see worker panics exactly like inline ones, and no worker
+// goroutine is left running.
 func Run(degree, n, morsel int, fn func(worker, lo, hi int)) Stats {
+	return RunCtx(nil, degree, n, morsel, fn)
+}
+
+// RunCtx is Run with cooperative cancellation: before pulling each morsel,
+// every worker checks ctx and drains cleanly (stops pulling, parks) once it
+// is done, so cancellation is observed within one morsel boundary. It does
+// not report the cancellation — pair it with a caller-side ctx check, or
+// use RunErrCtx which surfaces the classified context error directly. A nil
+// ctx disables the checks.
+func RunCtx(ctx context.Context, degree, n, morsel int, fn func(worker, lo, hi int)) Stats {
 	if n <= 0 {
 		return Stats{}
 	}
@@ -90,13 +109,35 @@ func Run(degree, n, morsel int, fn func(worker, lo, hi int)) Stats {
 		workers = morsels
 	}
 	if workers <= 1 {
-		fn(0, 0, n)
-		return Stats{Workers: 1, Morsels: morsels, WorkerItems: []int{n}}
+		// Serial path: still iterate morsel-by-morsel when a context is
+		// present, so cancellation latency is one morsel here too.
+		if ctx == nil {
+			fn(0, 0, n)
+			return Stats{Workers: 1, Morsels: morsels, WorkerItems: []int{n}}
+		}
+		done := 0
+		for lo := 0; lo < n; lo += morsel {
+			if ctx.Err() != nil {
+				break
+			}
+			hi := lo + morsel
+			if hi > n {
+				hi = n
+			}
+			fn(0, lo, hi)
+			done += hi - lo
+		}
+		return Stats{Workers: 1, Morsels: morsels, WorkerItems: []int{done}}
 	}
 	stats := Stats{Workers: workers, Morsels: morsels, WorkerItems: make([]int, workers)}
 	var next atomic.Int64
+	var panicked atomic.Bool
+	panicMorsel := make([]any, morsels)
 	work := func(w int) {
 		for {
+			if panicked.Load() || (ctx != nil && ctx.Err() != nil) {
+				return
+			}
 			m := int(next.Add(1)) - 1
 			if m >= morsels {
 				return
@@ -106,7 +147,15 @@ func Run(degree, n, morsel int, fn func(worker, lo, hi int)) Stats {
 			if hi > n {
 				hi = n
 			}
-			fn(w, lo, hi)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panicMorsel[m] = r
+						panicked.Store(true)
+					}
+				}()
+				fn(w, lo, hi)
+			}()
 			stats.WorkerItems[w] += hi - lo
 		}
 	}
@@ -120,6 +169,15 @@ func Run(degree, n, morsel int, fn func(worker, lo, hi int)) Stats {
 	}
 	work(0)
 	wg.Wait()
+	if panicked.Load() {
+		// Re-raise the lowest-morsel panic on the caller: the same failure
+		// serial row-order execution would have hit first.
+		for _, r := range panicMorsel {
+			if r != nil {
+				panic(r)
+			}
+		}
+	}
 	return stats
 }
 
@@ -129,6 +187,17 @@ func Run(degree, n, morsel int, fn func(worker, lo, hi int)) Stats {
 // row-order execution would have surfaced first, keeping error identity
 // deterministic under parallelism.
 func RunErr(degree, n, morsel int, fn func(worker, lo, hi int) error) (Stats, error) {
+	return RunErrCtx(nil, degree, n, morsel, fn)
+}
+
+// RunErrCtx is RunErr with cooperative cancellation: workers check ctx
+// before pulling each morsel and drain cleanly once it is done, so
+// cancellation latency is bounded by one morsel. When the context is done
+// it returns the classified lifecycle error (qerr.ErrCancelled or
+// qerr.ErrTimeout) unless a completed morsel already failed — morsel-order
+// error identity still wins, keeping errors deterministic. A nil ctx
+// behaves exactly like RunErr.
+func RunErrCtx(ctx context.Context, degree, n, morsel int, fn func(worker, lo, hi int) error) (Stats, error) {
 	if n <= 0 {
 		return Stats{}, nil
 	}
@@ -137,13 +206,16 @@ func RunErr(degree, n, morsel int, fn func(worker, lo, hi int) error) (Stats, er
 	}
 	morsels := (n + morsel - 1) / morsel
 	errs := make([]error, morsels)
-	stats := Run(degree, n, morsel, func(w, lo, hi int) {
+	stats := RunCtx(ctx, degree, n, morsel, func(w, lo, hi int) {
 		errs[lo/morsel] = fn(w, lo, hi)
 	})
 	for _, err := range errs {
 		if err != nil {
 			return stats, err
 		}
+	}
+	if ctx != nil {
+		return stats, qerr.FromContext(ctx.Err())
 	}
 	return stats, nil
 }

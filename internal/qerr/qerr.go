@@ -1,0 +1,83 @@
+// Package qerr defines the typed query-lifecycle errors shared by the SQL
+// engine, the neural-network runtime, and the strategy layer.
+//
+// Every recoverable failure mode of a query maps onto one of a small set of
+// sentinel errors so that callers can classify outcomes with errors.Is
+// without string matching:
+//
+//   - ErrCancelled          — the caller cancelled the query's context;
+//   - ErrTimeout            — the query's deadline expired;
+//   - ErrMemoryBudget       — a per-query row/bytes materialization budget
+//     was exceeded (the query fails cleanly instead of OOMing the process);
+//   - ErrServingUnavailable — the DL serving backend (the DB↔PyTorch pipe,
+//     or a model-decode step standing in for it) failed or its circuit
+//     breaker is open;
+//   - ErrInternal           — a panic recovered at an execution boundary
+//     (shape mismatches in tensor kernels, malformed model artifacts, ...).
+//
+// Wrapped errors produced by this package keep the original cause in the
+// chain, so errors.Is works against both the sentinel and the underlying
+// error (e.g. context.Canceled).
+package qerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel lifecycle errors. Match with errors.Is.
+var (
+	// ErrCancelled marks a query terminated by caller cancellation.
+	ErrCancelled = errors.New("query cancelled")
+	// ErrTimeout marks a query terminated by deadline expiry.
+	ErrTimeout = errors.New("query timeout")
+	// ErrMemoryBudget marks a query that exceeded its materialization
+	// budget and was stopped before it could OOM the process.
+	ErrMemoryBudget = errors.New("query memory budget exceeded")
+	// ErrServingUnavailable marks a failure of the DL serving backend —
+	// the cross-system pipe errored, hung past its per-attempt timeout, or
+	// the circuit breaker is open.
+	ErrServingUnavailable = errors.New("serving unavailable")
+	// ErrInternal marks a panic converted to an error at an execution
+	// boundary.
+	ErrInternal = errors.New("internal query error")
+)
+
+// FromContext classifies a context error as ErrCancelled or ErrTimeout,
+// keeping the original error in the wrap chain. Non-context errors and nil
+// pass through unchanged.
+func FromContext(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %w", ErrCancelled, err)
+	default:
+		return err
+	}
+}
+
+// Lifecycle reports whether err is one of the lifecycle sentinels (directly
+// or wrapped). Chaos tests use this as the "typed error" contract: under
+// fault injection a query must either succeed or fail with a lifecycle
+// error, never crash or return a wrong result.
+func Lifecycle(err error) bool {
+	return errors.Is(err, ErrCancelled) ||
+		errors.Is(err, ErrTimeout) ||
+		errors.Is(err, ErrMemoryBudget) ||
+		errors.Is(err, ErrServingUnavailable) ||
+		errors.Is(err, ErrInternal)
+}
+
+// Recovered converts a recovered panic value into an ErrInternal-wrapped
+// error, tagged with the boundary that caught it. If the panic value is
+// itself an error already carrying a lifecycle sentinel, it is preserved.
+func Recovered(boundary string, r any) error {
+	if err, ok := r.(error); ok && Lifecycle(err) {
+		return err
+	}
+	return fmt.Errorf("%w: %s: panic: %v", ErrInternal, boundary, r)
+}

@@ -1,0 +1,66 @@
+package qerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestFromContextClassification(t *testing.T) {
+	if FromContext(nil) != nil {
+		t.Fatal("nil must pass through")
+	}
+	plain := errors.New("disk on fire")
+	if FromContext(plain) != plain {
+		t.Fatal("non-context error must pass through unchanged")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := FromContext(ctx.Err())
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx classified as %v", err)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	<-dctx.Done()
+	err = FromContext(dctx.Err())
+	if !errors.Is(err, ErrTimeout) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired ctx classified as %v", err)
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	for _, s := range []error{ErrCancelled, ErrTimeout, ErrMemoryBudget, ErrServingUnavailable, ErrInternal} {
+		if !Lifecycle(s) {
+			t.Errorf("Lifecycle(%v) = false", s)
+		}
+		if !Lifecycle(fmt.Errorf("outer: %w", s)) {
+			t.Errorf("Lifecycle(wrapped %v) = false", s)
+		}
+	}
+	if Lifecycle(nil) || Lifecycle(errors.New("syntax error")) {
+		t.Fatal("Lifecycle matched a non-lifecycle error")
+	}
+}
+
+func TestRecovered(t *testing.T) {
+	err := Recovered("test boundary", "index out of range")
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("plain panic value gave %v, want ErrInternal", err)
+	}
+	// A panic value that is already a lifecycle error passes through so the
+	// original classification (e.g. a cancellation surfacing as a panic in
+	// a worker) is not laundered into ErrInternal.
+	inner := fmt.Errorf("%w: worker gave up", ErrTimeout)
+	if got := Recovered("b", inner); got != inner {
+		t.Fatalf("lifecycle panic value rewrapped: %v", got)
+	}
+	// Non-lifecycle error panic values become ErrInternal like any value.
+	if got := Recovered("b", errors.New("nil map write")); !errors.Is(got, ErrInternal) {
+		t.Fatalf("error panic value gave %v, want ErrInternal", got)
+	}
+}

@@ -414,6 +414,14 @@ func (db *DB) execAgg(a *LAgg, ec *execCtx) (*Result, error) {
 		keyBuf := make([]Datum, len(grpFns))
 		valBuf := make([]Datum, 0, 4)
 		for row := lo; row < hi; row++ {
+			if (row-lo)%morselRows == 0 {
+				// Cancellation point: chunks can exceed morselRows (and the
+				// serial path is one full-range chunk), so the row loop
+				// checks the query context every morsel's worth of rows.
+				if err := ec.check(); err != nil {
+					return nil, err
+				}
+			}
 			buf = buf[:0]
 			for i, f := range grpFns {
 				v, err := f(child, row)
@@ -480,7 +488,7 @@ func (db *DB) execAgg(a *LAgg, ec *execCtx) (*Result, error) {
 			chunk = morselRows
 		}
 		partials := make([]map[string]*group, (n+chunk-1)/chunk)
-		stats, err := par.RunErr(deg, n, chunk, func(_, lo, hi int) error {
+		stats, err := par.RunErrCtx(ec.ctx, deg, n, chunk, func(_, lo, hi int) error {
 			p, err := aggregateRange(lo, hi)
 			partials[lo/chunk] = p
 			return err

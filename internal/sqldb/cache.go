@@ -30,10 +30,12 @@ package sqldb
 // (see Prepared).
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/qerr"
 )
 
 // planEntry is one plan-cache value: the optimized plan and the catalog
@@ -184,18 +186,25 @@ func (db *DB) parseOne(sql string) (Stmt, error) {
 // query is eligible (cache enabled, no hints, single branch). hit reports
 // whether a validated cached plan was served; cacheable reports whether
 // the cache was consulted at all (EXPLAIN renders this distinction).
-func (db *DB) planSelectCached(sel *SelectStmt, hints *QueryHints) (plan Plan, hit, cacheable bool, err error) {
+//
+// A fresh plan is NOT inserted into the cache here: the returned commit
+// closure performs the insertion, and callers invoke it only after the
+// plan executed successfully — so a query that is cancelled, times out,
+// or fails mid-execution never populates the cache (commit is a no-op for
+// hits and uncacheable statements).
+func (db *DB) planSelectCached(sel *SelectStmt, hints *QueryHints) (plan Plan, hit, cacheable bool, commit func(), err error) {
+	noCommit := func() {}
 	db.mu.RLock()
 	pc := db.planCache
 	db.mu.RUnlock()
 	if pc == nil || hints != nil || len(sel.UnionAll) > 0 {
 		p, err := db.planSelect(sel, hints)
-		return p, false, false, err
+		return p, false, false, noCommit, err
 	}
 	key := sel.String()
 	if e, ok := pc.Get(key); ok {
 		if db.depsValid(e.deps) {
-			return e.plan, true, true, nil
+			return e.plan, true, true, noCommit, nil
 		}
 		pc.Delete(key)
 		db.planInvalidations.Add(1)
@@ -208,12 +217,12 @@ func (db *DB) planSelectCached(sel *SelectStmt, hints *QueryHints) (plan Plan, h
 	deps, depsOK := db.collectSelectDeps(sel)
 	p, err := db.planSelect(sel, hints)
 	if err != nil {
-		return nil, false, true, err
+		return nil, false, true, noCommit, err
 	}
-	if depsOK {
-		pc.Put(key, &planEntry{plan: p, deps: deps})
+	if !depsOK {
+		return p, false, true, noCommit, nil
 	}
-	return p, false, true, nil
+	return p, false, true, func() { pc.Put(key, &planEntry{plan: p, deps: deps}) }, nil
 }
 
 // depsValid reports whether every recorded dependency still resolves to
@@ -377,16 +386,34 @@ func (p *Prepared) NumParams() int { return p.n }
 // Query executes the prepared statement with the given arguments bound to
 // its `?` placeholders, in order.
 func (p *Prepared) Query(args ...Datum) (*Result, error) {
+	return p.QueryContext(context.Background(), args...)
+}
+
+// QueryContext is Query with cancellation and deadline support.
+func (p *Prepared) QueryContext(ctx context.Context, args ...Datum) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, qerr.Recovered("sqldb prepared query", r)
+		}
+	}()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if len(args) != p.n {
 		return nil, fmt.Errorf("sqldb: prepared statement wants %d arguments, got %d", p.n, len(args))
 	}
 	if sel, isSel := p.stmt.(*SelectStmt); isSel && !p.paramsInSub && len(sel.UnionAll) == 0 {
-		plan, _, _, err := p.db.planSelectCached(sel, nil)
+		plan, _, _, commit, err := p.db.planSelectCached(sel, nil)
 		if err != nil {
 			return nil, err
 		}
 		bound, _ := bindPlanParams(plan, args)
-		return p.db.execPlanTraced(bound)
+		res, err := p.db.execPlanTraced(ctx, bound)
+		if err != nil {
+			return nil, err
+		}
+		commit()
+		return res, nil
 	}
 	// Parameters inside subqueries (or non-SELECT statements): substitute
 	// into a copy of the AST and run the normal path.
@@ -394,23 +421,36 @@ func (p *Prepared) Query(args ...Datum) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.db.execStmt(st, nil)
+	return p.db.execStmt(ctx, st, nil)
 }
 
 // Exec is Query for statements that may not return rows (INSERT, UPDATE,
 // DELETE, ...).
 func (p *Prepared) Exec(args ...Datum) (*Result, error) {
+	return p.ExecContext(context.Background(), args...)
+}
+
+// ExecContext is Exec with cancellation and deadline support.
+func (p *Prepared) ExecContext(ctx context.Context, args ...Datum) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, qerr.Recovered("sqldb prepared exec", r)
+		}
+	}()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if len(args) != p.n {
 		return nil, fmt.Errorf("sqldb: prepared statement wants %d arguments, got %d", p.n, len(args))
 	}
 	if _, isSel := p.stmt.(*SelectStmt); isSel {
-		return p.Query(args...)
+		return p.QueryContext(ctx, args...)
 	}
 	st, err := bindStmtParams(p.stmt, args)
 	if err != nil {
 		return nil, err
 	}
-	return p.db.execStmt(st, nil)
+	return p.db.execStmt(ctx, st, nil)
 }
 
 // countStmtParams counts `?` placeholders and reports whether any sit

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -38,6 +40,18 @@ type DB struct {
 	// Metrics, when non-nil, receives executor counters (parallel operator
 	// and morsel totals). A nil registry costs nothing.
 	Metrics *obs.Registry
+
+	// MemoryBudget caps the approximate bytes one query may materialize
+	// across operator outputs; a query exceeding it fails with an error
+	// matching qerr.ErrMemoryBudget instead of OOMing the process. 0 (the
+	// default) disables the guard at the cost of one branch per plan node.
+	MemoryBudget int64
+
+	// Faults, when non-nil, is the fault-injection hook for chaos testing:
+	// the executor consults it at morsel boundaries ("morsel.delay") and
+	// for budget pressure ("mem.pressure"). Nil in production; see
+	// internal/faults.
+	Faults *faults.Injector
 
 	// stmtCache maps normalized SQL text to its parsed statement and
 	// planCache maps canonical SELECT text to an optimized plan plus the
@@ -155,57 +169,23 @@ func (db *DB) TableNames() []string {
 // Exec parses and executes one or more semicolon-separated SQL statements,
 // returning the result of the last one (nil for DDL/DML statements).
 func (db *DB) Exec(sql string) (*Result, error) {
-	return db.ExecHinted(sql, nil)
+	return db.ExecHintedContext(context.Background(), sql, nil)
 }
 
 // Query is Exec restricted to a single SELECT.
 func (db *DB) Query(sql string) (*Result, error) {
-	stmt, err := db.parseOne(sql)
-	if err != nil {
-		return nil, err
-	}
-	sel, ok := stmt.(*SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("sqldb: Query expects a SELECT, got %T", stmt)
-	}
-	return db.runSelect(sel, nil)
+	return db.QueryContext(context.Background(), sql)
 }
 
 // ExecHinted executes statements with optimizer hints applied (the
 // DL2SQL-OP pathway).
 func (db *DB) ExecHinted(sql string, hints *QueryHints) (*Result, error) {
-	db.mu.RLock()
-	sc := db.stmtCache
-	db.mu.RUnlock()
-	if sc != nil {
-		// Single cached statements skip the lexer and parser entirely;
-		// multi-statement scripts fall through to ParseMulti.
-		if st, ok := sc.Get(normalizeSQL(sql)); ok {
-			return db.execStmt(st, hints)
-		}
-	}
-	stmts, err := ParseMulti(sql)
-	if err != nil {
-		return nil, err
-	}
-	if sc != nil && len(stmts) == 1 {
-		if _, isSel := stmts[0].(*SelectStmt); isSel {
-			sc.Put(normalizeSQL(sql), stmts[0])
-		}
-	}
-	var last *Result
-	for _, st := range stmts {
-		last, err = db.execStmt(st, hints)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return last, nil
+	return db.ExecHintedContext(context.Background(), sql, hints)
 }
 
 // ExecStmt runs one pre-parsed statement.
 func (db *DB) ExecStmt(st Stmt, hints *QueryHints) (*Result, error) {
-	return db.execStmt(st, hints)
+	return db.ExecStmtContext(context.Background(), st, hints)
 }
 
 // PlanSelect exposes planning without execution (for EXPLAIN-style tests
@@ -222,27 +202,27 @@ func (db *DB) PlanSelect(sql string, hints *QueryHints) (Plan, error) {
 	return db.planSelect(sel, hints)
 }
 
-func (db *DB) execStmt(st Stmt, hints *QueryHints) (*Result, error) {
+func (db *DB) execStmt(ctx context.Context, st Stmt, hints *QueryHints) (*Result, error) {
 	switch t := st.(type) {
 	case *SelectStmt:
-		return db.runSelect(t, hints)
+		return db.runSelect(ctx, t, hints)
 	case *CreateTableStmt:
-		return nil, db.runCreateTable(t, hints)
+		return nil, db.runCreateTable(ctx, t, hints)
 	case *CreateViewStmt:
 		return nil, db.runCreateView(t)
 	case *InsertStmt:
-		return nil, db.runInsert(t, hints)
+		return nil, db.runInsert(ctx, t, hints)
 	case *UpdateStmt:
-		return nil, db.runUpdate(t, hints)
+		return nil, db.runUpdate(ctx, t, hints)
 	case *DeleteStmt:
-		return nil, db.runDelete(t, hints)
+		return nil, db.runDelete(ctx, t, hints)
 	case *DropStmt:
 		if !db.DropTable(t.Name) && !t.IfExists {
 			return nil, fmt.Errorf("sqldb: cannot drop %q: does not exist", t.Name)
 		}
 		return nil, nil
 	case *ExplainStmt:
-		plan, hit, cacheable, err := db.planSelectCached(t.Query, hints)
+		plan, hit, cacheable, commit, err := db.planSelectCached(t.Query, hints)
 		if err != nil {
 			return nil, err
 		}
@@ -251,12 +231,14 @@ func (db *DB) execStmt(st Stmt, hints *QueryHints) (*Result, error) {
 			// EXPLAIN ANALYZE executes the plan with a per-node stats
 			// collector and renders actual rows/calls/time next to the
 			// optimizer's estimates.
-			ec := &execCtx{prof: db.Profile, nodes: map[Plan]*NodeStats{}, par: db.parDegree()}
+			ec := db.newExecCtx(ctx)
+			ec.nodes = map[Plan]*NodeStats{}
 			if _, err := db.execPlan(plan, ec); err != nil {
 				return nil, err
 			}
 			text = ExplainAnalyze(plan, ec.nodes)
 		}
+		commit()
 		if db.CacheEnabled() {
 			// With caching on, the first line reports whether the plan came
 			// from the cache. "bypass" marks plans the cache never serves
@@ -281,20 +263,26 @@ func (db *DB) execStmt(st Stmt, hints *QueryHints) (*Result, error) {
 	return nil, fmt.Errorf("sqldb: cannot execute statement %T", st)
 }
 
-func (db *DB) runSelect(sel *SelectStmt, hints *QueryHints) (*Result, error) {
-	plan, _, _, err := db.planSelectCached(sel, hints)
+func (db *DB) runSelect(ctx context.Context, sel *SelectStmt, hints *QueryHints) (*Result, error) {
+	plan, _, _, commit, err := db.planSelectCached(sel, hints)
 	if err != nil {
 		return nil, err
 	}
-	res, err := db.execPlanTraced(plan)
-	if err != nil || len(sel.UnionAll) == 0 {
+	res, err := db.execPlanTraced(ctx, plan)
+	if err != nil {
 		return res, err
+	}
+	// The plan enters the cache only after a successful execution, so a
+	// cancelled or failed query never leaves an entry behind.
+	commit()
+	if len(sel.UnionAll) == 0 {
+		return res, nil
 	}
 	// UNION ALL: append each branch's rows, matching columns by position.
 	for _, branch := range sel.UnionAll {
 		branch := *branch
 		branch.UnionAll = nil
-		br, err := db.runSelect(&branch, hints)
+		br, err := db.runSelect(ctx, &branch, hints)
 		if err != nil {
 			return nil, err
 		}
@@ -315,8 +303,8 @@ func (db *DB) runSelect(sel *SelectStmt, hints *QueryHints) (*Result, error) {
 // execPlanTraced executes a plan with a fresh execution context and, when
 // tracing is on, a root query span (the exec half of runSelect; Prepared
 // statements call it directly with a parameter-bound plan).
-func (db *DB) execPlanTraced(plan Plan) (*Result, error) {
-	ec := &execCtx{prof: db.Profile, par: db.parDegree()}
+func (db *DB) execPlanTraced(ctx context.Context, plan Plan) (*Result, error) {
+	ec := db.newExecCtx(ctx)
 	if db.Tracer.Enabled() {
 		root := db.Tracer.StartSpan("query")
 		defer root.Finish()
@@ -345,7 +333,7 @@ func appendColumn(a, b *Column) (*Column, error) {
 	return out, nil
 }
 
-func (db *DB) runCreateTable(st *CreateTableStmt, hints *QueryHints) error {
+func (db *DB) runCreateTable(ctx context.Context, st *CreateTableStmt, hints *QueryHints) error {
 	if st.IfNotExists && db.lookupTable(st.Name) != nil {
 		return nil
 	}
@@ -353,7 +341,7 @@ func (db *DB) runCreateTable(st *CreateTableStmt, hints *QueryHints) error {
 		_, err := db.CreateTable(st.Name, Schema(st.Cols))
 		return err
 	}
-	res, err := db.runSelect(st.As, hints)
+	res, err := db.runSelect(ctx, st.As, hints)
 	if err != nil {
 		return err
 	}
@@ -411,7 +399,7 @@ func (db *DB) runCreateView(st *CreateViewStmt) error {
 	return nil
 }
 
-func (db *DB) runInsert(st *InsertStmt, hints *QueryHints) error {
+func (db *DB) runInsert(ctx context.Context, st *InsertStmt, hints *QueryHints) error {
 	t := db.lookupTable(st.Table)
 	if t == nil {
 		return fmt.Errorf("sqldb: no table named %q", st.Table)
@@ -449,7 +437,7 @@ func (db *DB) runInsert(st *InsertStmt, hints *QueryHints) error {
 		return t.AppendRow(row)
 	}
 	if st.Query != nil {
-		res, err := db.runSelect(st.Query, hints)
+		res, err := db.runSelect(ctx, st.Query, hints)
 		if err != nil {
 			return err
 		}
@@ -484,7 +472,7 @@ func (db *DB) runInsert(st *InsertStmt, hints *QueryHints) error {
 	return nil
 }
 
-func (db *DB) runUpdate(st *UpdateStmt, hints *QueryHints) error {
+func (db *DB) runUpdate(ctx context.Context, st *UpdateStmt, hints *QueryHints) error {
 	t := db.lookupTable(st.Table)
 	if t == nil {
 		return fmt.Errorf("sqldb: no table named %q", st.Table)
@@ -600,7 +588,7 @@ func setColumnValue(c *Column, i int, v Datum) error {
 	return nil
 }
 
-func (db *DB) runDelete(st *DeleteStmt, hints *QueryHints) error {
+func (db *DB) runDelete(ctx context.Context, st *DeleteStmt, hints *QueryHints) error {
 	t := db.lookupTable(st.Table)
 	if t == nil {
 		return fmt.Errorf("sqldb: no table named %q", st.Table)

@@ -1,14 +1,16 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
-	"repro/internal/par"
 )
 
 // Profile accumulates per-operator execution statistics for one query (or a
@@ -168,20 +170,42 @@ func (ns *NodeStats) ParSkew() float64 {
 // operators can attribute their morsel counts). The common case — nodes
 // and span both nil — costs a single branch per plan node on top of the
 // uninstrumented executor.
+//
+// The lifecycle fields follow the same zero-cost discipline: ctx is nil
+// unless the caller passed a cancellable context (checked once per plan
+// node and at every morsel boundary), memUsed is nil unless a memory
+// budget is armed, and faults is nil outside chaos tests.
 type execCtx struct {
 	prof  *Profile
 	nodes map[Plan]*NodeStats
 	span  *obs.Span
 	par   int
 	node  Plan
+
+	ctx       context.Context
+	memBudget int64
+	memUsed   *atomic.Int64
+	faults    *faults.Injector
 }
 
 // execPlan evaluates a plan tree to a materialized result, recording
 // per-node actuals and emitting operator spans when the context asks for
-// them.
+// them. It is also the executor's per-node lifecycle gate: the query
+// context is checked before the node runs, and the node's materialized
+// output is charged against the memory budget after it.
 func (db *DB) execPlan(p Plan, ec *execCtx) (*Result, error) {
+	if err := ec.check(); err != nil {
+		return nil, err
+	}
 	if ec.nodes == nil && ec.span == nil {
-		return db.execPlanNode(p, ec)
+		res, err := db.execPlanNode(p, ec)
+		if err != nil {
+			return nil, err
+		}
+		if err := ec.charge(res); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
 	sp := ec.span.StartChild(planNodeName(p))
 	child := *ec
@@ -190,6 +214,9 @@ func (db *DB) execPlan(p Plan, ec *execCtx) (*Result, error) {
 	start := time.Now()
 	res, err := db.execPlanNode(p, &child)
 	elapsed := time.Since(start)
+	if err == nil {
+		err = ec.charge(res)
+	}
 	if err == nil {
 		sp.SetAttr("rows", res.NumRows())
 		if ec.nodes != nil {
@@ -204,7 +231,10 @@ func (db *DB) execPlan(p Plan, ec *execCtx) (*Result, error) {
 		}
 	}
 	sp.Finish()
-	return res, err
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // planNodeName labels a plan node for trace spans.
@@ -327,36 +357,30 @@ func (db *DB) execFilter(in *Result, conds []Expr, ec *execCtx, opName string) (
 	if deg > 1 && !db.exprsParallelSafe(generic) {
 		deg = 1
 	}
-	var keep []int
-	if deg <= 1 {
-		var err error
-		keep, err = filterRange(in, vecs, preds, 0, n)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		// Fan the row range out as morsels; each morsel produces its
-		// qualifying indices in ascending order, and concatenating the
-		// per-morsel slices in morsel order reproduces the serial keep list
-		// exactly.
-		keeps := make([][]int, (n+morselRows-1)/morselRows)
-		stats, err := par.RunErr(deg, n, morselRows, func(_, lo, hi int) error {
-			k, err := filterRange(in, vecs, preds, lo, hi)
-			keeps[lo/morselRows] = k
-			return err
-		})
-		if err != nil {
-			return nil, err
-		}
-		db.notePar(ec, stats)
-		total := 0
-		for _, k := range keeps {
-			total += len(k)
-		}
-		keep = make([]int, 0, total)
-		for _, k := range keeps {
-			keep = append(keep, k...)
-		}
+	// Fan the row range out as morsels; each morsel produces its
+	// qualifying indices in ascending order, and concatenating the
+	// per-morsel slices in morsel order reproduces the serial keep list
+	// exactly. The serial case (deg 1) takes the same path: runMorsels
+	// collapses to a single full-range call when no context is attached,
+	// and to a morsel-by-morsel loop (one-morsel cancellation latency)
+	// when one is.
+	keeps := make([][]int, (n+morselRows-1)/morselRows)
+	stats, err := db.runMorsels(ec, deg, n, func(_, lo, hi int) error {
+		k, err := filterRange(in, vecs, preds, lo, hi)
+		keeps[lo/morselRows] = k
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.notePar(ec, stats)
+	total := 0
+	for _, k := range keeps {
+		total += len(k)
+	}
+	keep := make([]int, 0, total)
+	for _, k := range keeps {
+		keep = append(keep, k...)
 	}
 	out := &Result{Schema: in.Schema, Cols: make([]*Column, len(in.Cols))}
 	for i, c := range in.Cols {
@@ -486,7 +510,7 @@ func (db *DB) execProject(p *LProject, ec *execCtx) (*Result, error) {
 			continue
 		}
 		data := make([]Datum, n)
-		stats, err := par.RunErr(deg, n, morselRows, func(_, lo, hi int) error {
+		stats, err := db.runMorsels(ec, deg, n, func(_, lo, hi int) error {
 			for i := lo; i < hi; i++ {
 				v, err := pr.fn(child, i)
 				if err != nil {
@@ -590,7 +614,7 @@ func (db *DB) execSort(in *Result, keys []OrderItem, ec *execCtx) (*Result, erro
 	for ki, f := range fns {
 		f := f
 		vals := make([]Datum, n)
-		stats, err := par.RunErr(deg, n, morselRows, func(_, lo, hi int) error {
+		stats, err := db.runMorsels(ec, deg, n, func(_, lo, hi int) error {
 			for i := lo; i < hi; i++ {
 				v, err := f(in, i)
 				if err != nil {

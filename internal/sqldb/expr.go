@@ -4,7 +4,22 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/qerr"
 )
+
+// safeUDFCall invokes a user-defined scalar function with a panic fence: a
+// UDF that panics (shape mismatch in a tensor kernel, malformed artifact,
+// out-of-range index) fails just the query with a typed qerr.ErrInternal
+// instead of killing the worker goroutine — and with it, the process.
+func safeUDFCall(name string, fn func([]Datum) (Datum, error), vals []Datum) (d Datum, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			d, err = Null(), qerr.Recovered("udf "+name, r)
+		}
+	}()
+	return fn(vals)
+}
 
 // OutCol names one column of an intermediate result: the producing
 // relation's alias (possibly empty) plus the column name.
@@ -478,7 +493,7 @@ func (db *DB) compileFunc(t *FuncCall, schema []OutCol) (evalFn, error) {
 				return Null(), err
 			}
 			db.noteUDFCall(name)
-			return udf.Fn(vals)
+			return safeUDFCall(name, udf.Fn, vals)
 		}, nil
 	}
 	fn, ok := builtinScalars[name]

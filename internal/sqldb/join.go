@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/par"
@@ -47,7 +48,7 @@ func (db *DB) joinKeys(in *Result, exprs []Expr, ec *execCtx) ([]string, error) 
 	if deg > 1 && !db.exprsParallelSafe(exprs) {
 		deg = 1
 	}
-	_, err := par.RunErr(deg, n, morselRows, func(_, lo, hi int) error {
+	_, err := db.runMorsels(ec, deg, n, func(_, lo, hi int) error {
 		buf := make([]byte, 0, 64)
 		for i := lo; i < hi; i++ {
 			buf = buf[:0]
@@ -98,7 +99,10 @@ type joinTable struct {
 	parts []map[string][]int32
 }
 
-func buildJoinTable(keys []string, degree int) *joinTable {
+// buildJoinTable hashes the build side. A done ctx stops the partition
+// workers early and leaves the table incomplete — callers must check the
+// query context (ec.check) before trusting the result.
+func buildJoinTable(ctx context.Context, keys []string, degree int) *joinTable {
 	if degree <= 1 {
 		m := make(map[string][]int32, len(keys))
 		for i, k := range keys {
@@ -111,7 +115,7 @@ func buildJoinTable(keys []string, degree int) *joinTable {
 	}
 	p := degree
 	hs := make([]uint32, len(keys))
-	par.Run(degree, len(keys), morselRows, func(_, lo, hi int) {
+	par.RunCtx(ctx, degree, len(keys), morselRows, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if keys[i] != "" {
 				hs[i] = hashKey(keys[i])
@@ -119,7 +123,7 @@ func buildJoinTable(keys []string, degree int) *joinTable {
 		}
 	})
 	parts := make([]map[string][]int32, p)
-	par.Run(degree, p, 1, func(_, lo, hi int) {
+	par.RunCtx(ctx, degree, p, 1, func(_, lo, hi int) {
 		for pi := lo; pi < hi; pi++ {
 			m := make(map[string][]int32, len(keys)/p+1)
 			for i, k := range keys {
@@ -145,13 +149,15 @@ func (t *joinTable) lookup(k string) []int32 {
 // morsel collects its matched (probe, build) index pairs locally; the
 // per-morsel buffers are concatenated in morsel order, reproducing the
 // serial probe loop's output order exactly. With outer=true, probe rows
-// with no match emit one pair with build index -1 (NULL padding).
-func probeJoin(ht *joinTable, pKeys []string, deg int, outer bool) ([]int, []int, par.Stats) {
+// with no match emit one pair with build index -1 (NULL padding). A done
+// ctx stops the probe early; callers discard the partial result via their
+// query-context check.
+func probeJoin(ctx context.Context, ht *joinTable, pKeys []string, deg int, outer bool) ([]int, []int, par.Stats) {
 	n := len(pKeys)
 	type pairs struct{ p, b []int }
 	morsels := (n + morselRows - 1) / morselRows
 	out := make([]pairs, morsels)
-	stats := par.Run(deg, n, morselRows, func(_, lo, hi int) {
+	stats := par.RunCtx(ctx, deg, n, morselRows, func(_, lo, hi int) {
 		var pr pairs
 		for pi := lo; pi < hi; pi++ {
 			k := pKeys[pi]
@@ -212,9 +218,12 @@ func (db *DB) hashJoin(left, right *Result, j *LJoin, ec *execCtx) (*Result, err
 	} else {
 		bKeys, pKeys = rKeys, lKeys
 	}
-	ht := buildJoinTable(bKeys, ec.parDegreeFor(len(bKeys)))
-	pIdx, bIdx, stats := probeJoin(ht, pKeys, ec.parDegreeFor(len(pKeys)), false)
+	ht := buildJoinTable(ec.ctx, bKeys, ec.parDegreeFor(len(bKeys)))
+	pIdx, bIdx, stats := probeJoin(ec.ctx, ht, pKeys, ec.parDegreeFor(len(pKeys)), false)
 	db.notePar(ec, stats)
+	if err := ec.check(); err != nil {
+		return nil, err // build/probe may be partial after cancellation
+	}
 	var lIdx, rIdx []int
 	if buildLeft {
 		lIdx, rIdx = bIdx, pIdx
@@ -241,9 +250,12 @@ func (db *DB) leftOuterHashJoin(left, right *Result, j *LJoin, ec *execCtx) (*Re
 	if err != nil {
 		return nil, err
 	}
-	ht := buildJoinTable(rKeys, ec.parDegreeFor(len(rKeys)))
-	lIdx, rIdx, stats := probeJoin(ht, lKeys, ec.parDegreeFor(len(lKeys)), true)
+	ht := buildJoinTable(ec.ctx, rKeys, ec.parDegreeFor(len(rKeys)))
+	lIdx, rIdx, stats := probeJoin(ec.ctx, ht, lKeys, ec.parDegreeFor(len(lKeys)), true)
 	db.notePar(ec, stats)
+	if err := ec.check(); err != nil {
+		return nil, err // build/probe may be partial after cancellation
+	}
 	out := gatherJoin(left, right, lIdx, rIdx)
 	ec.prof.add(OpJoin, out.NumRows(), time.Since(start))
 	if len(j.Residual) > 0 {
@@ -279,7 +291,14 @@ func (db *DB) symmetricHashJoin(left, right *Result, j *LJoin, ec *execCtx) (*Re
 		max = rn
 	}
 	// Alternate consuming one row from each side (the streaming schedule).
+	// The schedule is inherently serial, so the cancellation point is a
+	// ctx check every morselRows iterations.
 	for i := 0; i < max; i++ {
+		if i%morselRows == 0 {
+			if err := ec.check(); err != nil {
+				return nil, err
+			}
+		}
 		if i < ln && lKeys[i] != "" {
 			k := lKeys[i]
 			for _, ri := range rHT[k] {
@@ -324,7 +343,7 @@ func (db *DB) nestedLoopJoin(left, right *Result, residual []Expr, ec *execCtx) 
 	if morsel < 1 {
 		morsel = 1
 	}
-	stats := par.Run(deg, ln, morsel, func(_, lo, hi int) {
+	stats := par.RunCtx(ec.ctx, deg, ln, morsel, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			base := i * rn
 			for k := 0; k < rn; k++ {
@@ -334,6 +353,9 @@ func (db *DB) nestedLoopJoin(left, right *Result, residual []Expr, ec *execCtx) 
 		}
 	})
 	db.notePar(ec, stats)
+	if err := ec.check(); err != nil {
+		return nil, err // the cross-product fill may be partial
+	}
 	out := gatherJoin(left, right, lIdx, rIdx)
 	ec.prof.add(OpJoin, out.NumRows(), time.Since(start))
 	if len(residual) > 0 {

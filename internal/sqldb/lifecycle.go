@@ -1,0 +1,199 @@
+package sqldb
+
+// Query lifecycle control: context threading, typed lifecycle errors,
+// per-query memory budgets, and recover-at-boundary panic conversion.
+//
+// Every public execution entry point has a *Context variant that threads a
+// context.Context to the executor. Cancellation and deadlines are observed
+// cooperatively at morsel boundaries: parallel operators pass the context
+// to par.RunErrCtx (workers stop pulling morsels once it is done and drain
+// cleanly), the plan walker checks it once per plan node, and serial
+// operator loops iterate morsel-sized chunks. A cancelled query returns an
+// error matching qerr.ErrCancelled; an expired deadline returns one
+// matching qerr.ErrTimeout.
+//
+// The memory budget (DB.MemoryBudget, or the faults "mem.pressure" point)
+// bounds the bytes a query may materialize across operator outputs; when
+// the running total exceeds the budget the query fails with
+// qerr.ErrMemoryBudget instead of OOMing the process. Column byte sizes
+// are only computed while a budget is armed, so the disabled path costs a
+// single branch per plan node.
+//
+// Panics escaping the executor or a scalar UDF (shape mismatches in tensor
+// kernels, malformed artifacts, engine bugs) are recovered at the public
+// entry points — and re-raised onto the calling goroutine by par.Run when
+// they happen on a worker — then converted to qerr.ErrInternal-wrapped
+// errors, so a malformed query can no longer crash the process.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/faults"
+	"repro/internal/par"
+	"repro/internal/qerr"
+)
+
+// ctxErr returns the classified context error (qerr.ErrCancelled /
+// qerr.ErrTimeout) when ctx is done, nil otherwise.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return qerr.FromContext(ctx.Err())
+}
+
+// normCtx maps context.Background() (and nil) to nil so the executor's
+// per-node and per-morsel checks stay on their zero-cost path for callers
+// that do not use cancellation.
+func normCtx(ctx context.Context) context.Context {
+	if ctx == context.Background() {
+		return nil
+	}
+	return ctx
+}
+
+// check is the executor's cancellation point: one branch when the query
+// carries no context.
+func (ec *execCtx) check() error {
+	if ec.ctx == nil {
+		return nil
+	}
+	return qerr.FromContext(ec.ctx.Err())
+}
+
+// charge adds a node output's approximate materialized size to the query's
+// running total and fails the query once the budget is exceeded. A zero
+// budget (the default) is one branch.
+func (ec *execCtx) charge(res *Result) error {
+	if ec.memBudget <= 0 || res == nil {
+		return nil
+	}
+	var bytes int64
+	for _, c := range res.Cols {
+		bytes += c.ApproxBytes()
+	}
+	if used := ec.memUsed.Add(bytes); used > ec.memBudget {
+		return fmt.Errorf("%w: materialized ~%d bytes across operators, budget %d",
+			qerr.ErrMemoryBudget, used, ec.memBudget)
+	}
+	return nil
+}
+
+// effectiveBudget resolves the query's byte budget: the DB knob, tightened
+// by an armed "mem.pressure" fault.
+func (db *DB) effectiveBudget() int64 {
+	budget := db.MemoryBudget
+	if p := db.Faults.Bytes(faults.PointMemPressure); p > 0 && (budget <= 0 || p < budget) {
+		budget = p
+	}
+	return budget
+}
+
+// newExecCtx assembles the per-query execution context.
+func (db *DB) newExecCtx(ctx context.Context) *execCtx {
+	ec := &execCtx{prof: db.Profile, par: db.parDegree(), ctx: normCtx(ctx), faults: db.Faults}
+	if b := db.effectiveBudget(); b > 0 {
+		ec.memBudget = b
+		ec.memUsed = new(atomic.Int64)
+	}
+	return ec
+}
+
+// runMorsels fans a morsel loop out through par.RunErrCtx with the query's
+// context, applying the slow-morsel fault point when armed.
+func (db *DB) runMorsels(ec *execCtx, deg, n int, fn func(w, lo, hi int) error) (par.Stats, error) {
+	if ec.faults.Active(faults.PointMorselDelay) {
+		inner := fn
+		fn = func(w, lo, hi int) error {
+			if err := ec.faults.Hit(ec.ctx, faults.PointMorselDelay); err != nil {
+				return err
+			}
+			return inner(w, lo, hi)
+		}
+	}
+	return par.RunErrCtx(ec.ctx, deg, n, morselRows, fn)
+}
+
+// ---- context-threading public API ----
+
+// ExecContext is Exec with cancellation and deadline support: the query
+// observes ctx at morsel boundaries and returns an error matching
+// qerr.ErrCancelled / qerr.ErrTimeout when it fires mid-flight.
+func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
+	return db.ExecHintedContext(ctx, sql, nil)
+}
+
+// QueryContext is Query with cancellation and deadline support.
+func (db *DB) QueryContext(ctx context.Context, sql string) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, qerr.Recovered("sqldb query", r)
+		}
+	}()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	stmt, err := db.parseOne(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query expects a SELECT, got %T", stmt)
+	}
+	return db.runSelect(ctx, sel, nil)
+}
+
+// ExecHintedContext is ExecHinted with cancellation and deadline support.
+func (db *DB) ExecHintedContext(ctx context.Context, sql string, hints *QueryHints) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, qerr.Recovered("sqldb exec", r)
+		}
+	}()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	sc := db.stmtCache
+	db.mu.RUnlock()
+	if sc != nil {
+		// Single cached statements skip the lexer and parser entirely;
+		// multi-statement scripts fall through to ParseMulti.
+		if st, ok := sc.Get(normalizeSQL(sql)); ok {
+			return db.execStmt(ctx, st, hints)
+		}
+	}
+	stmts, err := ParseMulti(sql)
+	if err != nil {
+		return nil, err
+	}
+	if sc != nil && len(stmts) == 1 {
+		if _, isSel := stmts[0].(*SelectStmt); isSel {
+			sc.Put(normalizeSQL(sql), stmts[0])
+		}
+	}
+	var last *Result
+	for _, st := range stmts {
+		last, err = db.execStmt(ctx, st, hints)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// ExecStmtContext is ExecStmt with cancellation and deadline support.
+func (db *DB) ExecStmtContext(ctx context.Context, st Stmt, hints *QueryHints) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, qerr.Recovered("sqldb exec", r)
+		}
+	}()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	return db.execStmt(ctx, st, hints)
+}

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -557,7 +558,7 @@ func (db *DB) resolveSubqueries(st *SelectStmt, hints *QueryHints) (*SelectStmt,
 func (db *DB) rewriteSubqueries(e Expr, hints *QueryHints) (Expr, error) {
 	switch t := e.(type) {
 	case *SubqueryExpr:
-		res, err := db.runSelect(t.Query, hints)
+		res, err := db.runSelect(context.Background(), t.Query, hints)
 		if err != nil {
 			return nil, fmt.Errorf("sqldb: scalar subquery: %w", err)
 		}
@@ -627,7 +628,7 @@ func (db *DB) rewriteSubqueries(e Expr, hints *QueryHints) (Expr, error) {
 		if t.Sub != nil {
 			// Materialize the (uncorrelated) IN-subquery into a literal
 			// list; the expression evaluator then probes it like any IN.
-			res, err := db.runSelect(t.Sub, hints)
+			res, err := db.runSelect(context.Background(), t.Sub, hints)
 			if err != nil {
 				return nil, fmt.Errorf("sqldb: IN subquery: %w", err)
 			}

@@ -126,6 +126,25 @@ func (c *Column) Append(d Datum) error {
 	return nil
 }
 
+// ApproxBytes estimates the column's materialized size for the per-query
+// memory budget: fixed-width slots at their machine width, strings and
+// blobs at header plus payload. It walks the string/blob payloads, so the
+// executor only calls it while a budget is armed.
+func (c *Column) ApproxBytes() int64 {
+	var b int64
+	b += int64(len(c.Ints)) * 8
+	b += int64(len(c.Floats)) * 8
+	b += int64(len(c.Bools))
+	b += int64(len(c.Nulls))
+	for _, s := range c.Strs {
+		b += 16 + int64(len(s))
+	}
+	for _, bl := range c.Blobs {
+		b += 24 + int64(len(bl))
+	}
+	return b
+}
+
 func (c *Column) ensureNulls() {
 	if c.Nulls == nil {
 		c.Nulls = make([]bool, c.Len())

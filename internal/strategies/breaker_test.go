@@ -1,0 +1,137 @@
+package strategies
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/qerr"
+)
+
+func TestBreakerNilIsDisabled(t *testing.T) {
+	var b *Breaker
+	if err := b.Allow(); err != nil {
+		t.Fatalf("nil breaker rejected: %v", err)
+	}
+	b.Record(false) // must not panic
+	if b.Trips() != 0 || b.State() != "disabled" {
+		t.Fatal("nil breaker reports state")
+	}
+}
+
+func TestBreakerOpensAtThresholdAndProbes(t *testing.T) {
+	b := &Breaker{FailThreshold: 3, Cooldown: 10 * time.Millisecond}
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected call %d: %v", i, err)
+		}
+		b.Record(false)
+	}
+	if b.State() != "open" || b.Trips() != 1 {
+		t.Fatalf("after threshold failures: state=%s trips=%d", b.State(), b.Trips())
+	}
+	err := b.Allow()
+	if !errors.Is(err, qerr.ErrServingUnavailable) {
+		t.Fatalf("open breaker error = %v, want ErrServingUnavailable", err)
+	}
+
+	time.Sleep(15 * time.Millisecond)
+	// After the cooldown one probe goes through (half-open); a second
+	// concurrent call is rejected until the probe reports.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected after cooldown: %v", err)
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state after probe admit = %s", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, qerr.ErrServingUnavailable) {
+		t.Fatalf("second call during probe = %v, want fail-fast", err)
+	}
+	// A failed probe re-opens immediately (and counts a new trip).
+	b.Record(false)
+	if b.State() != "open" || b.Trips() != 2 {
+		t.Fatalf("after failed probe: state=%s trips=%d", b.State(), b.Trips())
+	}
+
+	time.Sleep(15 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	b.Record(true)
+	if b.State() != "closed" {
+		t.Fatalf("successful probe left state %s", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed-again breaker rejected: %v", err)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := &Breaker{FailThreshold: 3}
+	b.Record(false)
+	b.Record(false)
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != "closed" {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+	b.Record(false)
+	if b.State() != "open" {
+		t.Fatal("three consecutive failures did not open the breaker")
+	}
+}
+
+func TestBackoffBoundedAndDeterministic(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 2 * time.Millisecond, MaxDelay: 16 * time.Millisecond}.withDefaults()
+	for _, n := range []int{1, 2, 3, 10, 40} {
+		d := p.backoff(n, rand.New(rand.NewSource(9)))
+		ideal := p.BaseDelay << (n - 1)
+		if ideal > p.MaxDelay || ideal <= 0 {
+			ideal = p.MaxDelay
+		}
+		if d < ideal/2 || d > ideal {
+			t.Fatalf("backoff(%d) = %v outside [%v, %v]", n, d, ideal/2, ideal)
+		}
+	}
+	a := p.backoff(3, rand.New(rand.NewSource(5)))
+	b := p.backoff(3, rand.New(rand.NewSource(5)))
+	if a != b {
+		t.Fatalf("same-seed jitter diverged: %v vs %v", a, b)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	bg := context.Background()
+	cancelled, cc := context.WithCancel(bg)
+	cc()
+	expired, ec := context.WithTimeout(bg, time.Nanosecond)
+	defer ec()
+	<-expired.Done()
+
+	serving := fmt.Errorf("wrap: %w", qerr.ErrServingUnavailable)
+	attemptTimeout := qerr.FromContext(expired.Err())
+
+	cases := []struct {
+		name      string
+		err       error
+		attempt   context.Context
+		caller    context.Context
+		wantRetry bool
+	}{
+		{"nil error", nil, nil, bg, false},
+		{"serving failure", serving, nil, bg, true},
+		{"serving failure but caller cancelled", serving, nil, cancelled, false},
+		{"attempt deadline expired", attemptTimeout, expired, bg, true},
+		{"query deadline expired", attemptTimeout, nil, expired, false},
+		{"data error", errors.New("bad keyframe"), nil, bg, false},
+	}
+	for _, c := range cases {
+		if got := retryable(c.err, c.attempt, c.caller); got != c.wantRetry {
+			t.Errorf("%s: retryable = %v, want %v", c.name, got, c.wantRetry)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package strategies
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/colquery"
 	"repro/internal/dl2sql"
+	"repro/internal/faults"
 	"repro/internal/iotdata"
 	"repro/internal/sqldb"
 	"repro/internal/tensor"
@@ -45,18 +47,20 @@ func (s *DL2SQL) Name() string {
 }
 
 // Execute implements Strategy.
-func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBreakdown, error) {
+func (s *DL2SQL) Execute(ctx context.Context, env *Context, q *colquery.Query) (*sqldb.Result, CostBreakdown, error) {
 	var bd CostBreakdown
-	db := ctx.Dataset.DB
-	root := ctx.Tracer.StartSpan("strategy:" + s.Name())
+	ctx, cancel := env.queryCtx(ctx)
+	defer cancel()
+	db := env.Dataset.DB
+	root := env.Tracer.StartSpan("strategy:" + s.Name())
 	defer root.Finish()
 
 	// Build hints (DL2SQL-OP only).
 	var h *sqldb.QueryHints
-	if s.Optimized && ctx.HintProvider != nil {
+	if s.Optimized && env.HintProvider != nil {
 		relRows := float64(db.GetTable("video").NumRows())
-		relSel := estimateRelationalSelectivity(ctx, q)
-		h = ctx.HintProvider.BuildHints(q, relRows, relSel)
+		relSel := estimateRelationalSelectivity(ctx, env, q)
+		h = env.HintProvider.BuildHints(q, relRows, relSel)
 	}
 
 	// Loading: store every referenced model as relational tables.
@@ -65,14 +69,18 @@ func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBr
 	loadSpan := root.StartChild("loading:store-models")
 	loadStart := time.Now()
 	for _, name := range q.UDFNames {
-		b := ctx.Bindings[name]
+		b := env.Bindings[name]
 		if b == nil {
 			return nil, bd, fmt.Errorf("strategies: no model bound for %s", name)
 		}
 		tr := dl2sql.NewTranslator(db, fmt.Sprintf("dl2sql_%s_%d", sanitize(name), dl2sqlSeq.Add(1)))
 		tr.PreJoin = s.PreJoin
 		tr.Hints = h
-		tr.Cache = ctx.SQLCache
+		tr.Cache = env.SQLCache
+		tr.Ctx = ctx
+		if err := env.Faults.Hit(ctx, faults.PointDL2SQLTranslate); err != nil {
+			return nil, bd, fmt.Errorf("strategies: storing model for %s: %w", name, err)
+		}
 		sm, err := tr.StoreModel(b.Entry.Model)
 		if err != nil {
 			return nil, bd, fmt.Errorf("strategies: storing model for %s: %w", name, err)
@@ -100,9 +108,9 @@ func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBr
 	var relDur time.Duration
 	var err error
 	if s.Optimized && h != nil && h.DelayUDFs != nil && *h.DelayUDFs {
-		cands, relDur, err = prunedCandidates(ctx, q, h)
+		cands, relDur, err = prunedCandidates(ctx, env, q, h)
 	} else {
-		cands, relDur, err = videoSideCandidates(ctx, q, db.Profile)
+		cands, relDur, err = videoSideCandidates(ctx, env, q, db.Profile)
 	}
 	candSpan.SetAttr("candidates", len(cands))
 	candSpan.Finish()
@@ -121,7 +129,7 @@ func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBr
 	for _, name := range q.UDFNames {
 		tr := translators[name]
 		sm := stored[name]
-		b := ctx.Bindings[name]
+		b := env.Bindings[name]
 		modelSpan := infSpan.StartChild("model:" + name)
 		tr.Span = modelSpan
 		if s.Batched && len(cands) > 0 {
@@ -141,7 +149,7 @@ func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBr
 				return nil, bd, fmt.Errorf("strategies: batched SQL inference for %s: %w", name, err)
 			}
 			sqlSecs := tr.StepTotal().Seconds()
-			bd.Inference += ctx.Profile.ScaleRelational(sqlSecs)
+			bd.Inference += env.Profile.ScaleRelational(sqlSecs)
 			bd.Loading += wall - sqlSecs
 			s.LastSteps = append(s.LastSteps, tr.Steps...)
 			for i, c := range cands {
@@ -165,7 +173,7 @@ func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBr
 			sqlSecs := tr.StepTotal().Seconds()
 			// The SQL pipeline is the inference; encoding the input into
 			// the feature-map table is data loading.
-			bd.Inference += ctx.Profile.ScaleRelational(sqlSecs)
+			bd.Inference += env.Profile.ScaleRelational(sqlSecs)
 			bd.Loading += wall - sqlSecs
 			s.LastSteps = append(s.LastSteps, tr.Steps...)
 			preds[c.videoID][name] = b.predictionDatum(idx)
@@ -177,21 +185,21 @@ func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBr
 	// Final relational merge.
 	mergeSpan := root.StartChild("relational:final-merge")
 	finStart := time.Now()
-	predTable, err := buildPredictionsTable(ctx, q, preds, "dl2sql")
+	predTable, err := buildPredictionsTable(env, q, preds, "dl2sql")
 	if err != nil {
 		return nil, bd, err
 	}
 	defer db.DropTable(predTable)
 	final := rewriteWithPredictions(q, predTable)
-	res, err := db.ExecStmt(final, h)
+	res, err := db.ExecStmtContext(ctx, final, h)
 	if err != nil {
 		return nil, bd, fmt.Errorf("strategies: DL2SQL final query: %w", err)
 	}
 	bd.Relational += time.Since(finStart).Seconds()
 	mergeSpan.SetAttr("rows", res.NumRows())
 	mergeSpan.Finish()
-	bd.Relational = ctx.Profile.ScaleRelational(bd.Relational)
-	ctx.recordBreakdown(s.Name(), bd)
+	bd.Relational = env.Profile.ScaleRelational(bd.Relational)
+	env.recordBreakdown(s.Name(), bd)
 	return res, bd, nil
 }
 
@@ -199,8 +207,8 @@ func (s *DL2SQL) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBr
 // the non-UDF predicates by cheap sampling: it counts the fabric rows the
 // single-relation fabric predicates keep (the dominant pruning factor in
 // every template).
-func estimateRelationalSelectivity(ctx *Context, q *colquery.Query) float64 {
-	db := ctx.Dataset.DB
+func estimateRelationalSelectivity(ctx context.Context, env *Context, q *colquery.Query) float64 {
+	db := env.Dataset.DB
 	var fabricConds []string
 	for _, c := range whereConjuncts(q.Stmt) {
 		if len(findNUDFs(c)) > 0 {
@@ -218,7 +226,7 @@ func estimateRelationalSelectivity(ctx *Context, q *colquery.Query) float64 {
 	if total == 0 {
 		return 1
 	}
-	res, err := db.Query("SELECT count(*) c FROM fabric F WHERE " + strings.Join(fabricConds, " AND "))
+	res, err := db.QueryContext(ctx, "SELECT count(*) c FROM fabric F WHERE "+strings.Join(fabricConds, " AND "))
 	if err != nil {
 		return 1
 	}

@@ -2,15 +2,18 @@ package strategies
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"time"
 
 	"repro/internal/colquery"
+	"repro/internal/faults"
 	"repro/internal/iotdata"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/qerr"
 	"repro/internal/sqldb"
 	"repro/internal/tensor"
 )
@@ -36,15 +39,17 @@ type servingStats struct {
 }
 
 // Execute implements Strategy.
-func (s *DBPyTorch) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBreakdown, error) {
+func (s *DBPyTorch) Execute(ctx context.Context, env *Context, q *colquery.Query) (*sqldb.Result, CostBreakdown, error) {
 	var bd CostBreakdown
-	db := ctx.Dataset.DB
-	root := ctx.Tracer.StartSpan("strategy:" + s.Name())
+	ctx, cancel := env.queryCtx(ctx)
+	defer cancel()
+	db := env.Dataset.DB
+	root := env.Tracer.StartSpan("strategy:" + s.Name())
 	defer root.Finish()
 
 	// Phase 1 (relational): extract candidates with the database.
 	candSpan := root.StartChild("relational:candidates")
-	cands, relDur, err := videoSideCandidates(ctx, q, db.Profile)
+	cands, relDur, err := videoSideCandidates(ctx, env, q, db.Profile)
 	candSpan.SetAttr("candidates", len(cands))
 	candSpan.Finish()
 	if err != nil {
@@ -60,7 +65,7 @@ func (s *DBPyTorch) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, Cos
 	}
 	var totalBytes int64
 	for _, name := range q.UDFNames {
-		b := ctx.Bindings[name]
+		b := env.Bindings[name]
 		if b == nil {
 			return nil, bd, fmt.Errorf("strategies: no model bound for %s", name)
 		}
@@ -69,12 +74,12 @@ func (s *DBPyTorch) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, Cos
 		// transfer, no forward pass. Only the misses are batched out.
 		serve := cands
 		var keys []InferKey
-		if ctx.InferCache != nil {
+		if env.InferCache != nil {
 			serve = make([]candidate, 0, len(cands))
 			keys = make([]InferKey, 0, len(cands))
 			for _, c := range cands {
 				key := InferKey{Model: b.artifactHash, Input: tensor.HashBytes(c.blob)}
-				if idx, ok := ctx.InferCache.Get(key); ok {
+				if idx, ok := env.InferCache.Get(key); ok {
 					preds[c.videoID][name] = b.predictionDatum(idx)
 					continue
 				}
@@ -88,7 +93,7 @@ func (s *DBPyTorch) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, Cos
 		serveSpan := root.StartChild("serving:" + name)
 		serveSpan.SetAttr("candidates", len(serve))
 		xferStart := time.Now()
-		results, stats, err := serveBatch(b.Artifact, serve, serveSpan)
+		results, stats, err := env.serveWithRetry(ctx, b.Artifact, serve, serveSpan)
 		serveSpan.Finish()
 		if err != nil {
 			return nil, bd, fmt.Errorf("strategies: serving %s: %w", name, err)
@@ -96,18 +101,18 @@ func (s *DBPyTorch) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, Cos
 		wall := time.Since(xferStart).Seconds()
 		// The serving pathway pays per-call framework dispatch overhead and
 		// the heavier DL-framework model deserialization (see hwprofile).
-		bd.Inference += ctx.Profile.ScaleInference(stats.inferSecs) +
-			ctx.Profile.DLCallOverhead(len(serve))
+		bd.Inference += env.Profile.ScaleInference(stats.inferSecs) +
+			env.Profile.DLCallOverhead(len(serve))
 		// Everything that is not a forward pass is cross-system overhead.
 		bd.Loading += wall - stats.inferSecs +
-			ctx.Profile.DLLoadCost(stats.decodeSecs) - stats.decodeSecs
+			env.Profile.DLLoadCost(stats.decodeSecs) - stats.decodeSecs
 		for id, classIdx := range results {
 			preds[id][name] = b.predictionDatum(classIdx)
 		}
-		if ctx.InferCache != nil {
+		if env.InferCache != nil && ctx.Err() == nil {
 			for i, c := range serve {
 				if idx, ok := results[c.videoID]; ok {
-					ctx.InferCache.Put(keys[i], idx)
+					env.InferCache.Put(keys[i], idx)
 				}
 			}
 		}
@@ -117,26 +122,26 @@ func (s *DBPyTorch) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, Cos
 		}
 	}
 	// GPU settings ship the model and the batch across the bus once.
-	bd.Loading += ctx.Profile.TransferCost(totalBytes)
+	bd.Loading += env.Profile.TransferCost(totalBytes)
 
 	// Phase 3 (relational): merge predictions back and run the final query.
 	mergeSpan := root.StartChild("relational:final-merge")
 	finStart := time.Now()
-	predTable, err := buildPredictionsTable(ctx, q, preds, "pt")
+	predTable, err := buildPredictionsTable(env, q, preds, "pt")
 	if err != nil {
 		return nil, bd, err
 	}
 	defer db.DropTable(predTable)
 	final := rewriteWithPredictions(q, predTable)
-	res, err := db.ExecStmt(final, nil)
+	res, err := db.ExecStmtContext(ctx, final, nil)
 	if err != nil {
 		return nil, bd, fmt.Errorf("strategies: DB-PyTorch final query: %w", err)
 	}
 	bd.Relational += time.Since(finStart).Seconds()
 	mergeSpan.SetAttr("rows", res.NumRows())
 	mergeSpan.Finish()
-	bd.Relational = ctx.Profile.ScaleRelational(bd.Relational)
-	ctx.recordBreakdown(s.Name(), bd)
+	bd.Relational = env.Profile.ScaleRelational(bd.Relational)
+	env.recordBreakdown(s.Name(), bd)
 	return res, bd, nil
 }
 
@@ -145,14 +150,38 @@ func (s *DBPyTorch) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, Cos
 // serialized by the application side, deserialized by the serving side, and
 // predictions come back the same way — the paper's serialization /
 // de-serialization overhead is physically incurred.
-func serveBatch(artifact []byte, cands []candidate, span *obs.Span) (map[int64]int, *servingStats, error) {
+//
+// Failures of the pipe itself (truncated responses, a dead serving loop)
+// surface as qerr.ErrServingUnavailable so the retry loop and fallback
+// ladder can tell them from data errors. Cancellation of ctx tears both
+// pipes down, which unblocks every goroutine — nothing leaks.
+func serveBatch(ctx context.Context, inj *faults.Injector, artifact []byte, cands []candidate, span *obs.Span) (map[int64]int, *servingStats, error) {
+	if err := inj.Hit(ctx, faults.PointServingError); err != nil {
+		return nil, nil, fmt.Errorf("serving: %w", err)
+	}
 	reqR, reqW := io.Pipe()
 	respR, respW := io.Pipe()
 	stats := &servingStats{}
 	serveErr := make(chan error, 1)
 
+	// Watchdog: a done context closes both pipes, failing every blocked
+	// read/write with the classified lifecycle error.
+	watchStop := make(chan struct{})
+	defer close(watchStop)
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				cause := qerr.FromContext(ctx.Err())
+				reqR.CloseWithError(cause)
+				respW.CloseWithError(cause)
+			case <-watchStop:
+			}
+		}()
+	}
+
 	go func() {
-		serveErr <- servingLoop(artifact, reqR, respW, stats, span)
+		serveErr <- servingLoop(ctx, inj, artifact, reqR, respW, stats, span)
 	}()
 
 	// Application side: serialize the batch.
@@ -184,24 +213,42 @@ func serveBatch(artifact []byte, cands []candidate, span *obs.Span) (map[int64]i
 		writeErr <- reqW.Close()
 	}()
 
-	// Application side: deserialize predictions.
+	// Application side: deserialize predictions. A short or broken response
+	// stream means the serving component died mid-batch: drain its actual
+	// error if it reported one, else classify the pipe failure itself.
 	out := make(map[int64]int, len(cands))
 	r := bufio.NewReader(respR)
+	readFail := func(i int, err error) error {
+		// Let the serving loop finish so its (more precise) error wins and
+		// no goroutine outlives the call.
+		reqR.CloseWithError(err)
+		<-writeErr
+		if serr := <-serveErr; serr != nil {
+			return serr
+		}
+		if qerr.Lifecycle(err) {
+			return err
+		}
+		return fmt.Errorf("%w: reading prediction %d: %v", qerr.ErrServingUnavailable, i, err)
+	}
 	var cnt [4]byte
 	if _, err := io.ReadFull(r, cnt[:]); err != nil {
-		return nil, nil, fmt.Errorf("reading response count: %w", err)
+		return nil, nil, readFail(-1, err)
 	}
 	n := int(binary.LittleEndian.Uint32(cnt[:]))
 	var rec [12]byte
 	for i := 0; i < n; i++ {
 		if _, err := io.ReadFull(r, rec[:]); err != nil {
-			return nil, nil, fmt.Errorf("reading prediction %d: %w", i, err)
+			return nil, nil, readFail(i, err)
 		}
 		id := int64(binary.LittleEndian.Uint64(rec[:8]))
 		out[id] = int(int32(binary.LittleEndian.Uint32(rec[8:12])))
 	}
 	if err := <-writeErr; err != nil {
-		return nil, nil, err
+		if qerr.Lifecycle(err) {
+			return nil, nil, err
+		}
+		return nil, nil, fmt.Errorf("%w: writing request batch: %v", qerr.ErrServingUnavailable, err)
 	}
 	if err := <-serveErr; err != nil {
 		return nil, nil, err
@@ -211,27 +258,40 @@ func serveBatch(artifact []byte, cands []candidate, span *obs.Span) (map[int64]i
 
 // servingLoop is the DL system: it loads the model artifact, reads
 // serialized keyframes, runs inference, and writes serialized predictions.
-func servingLoop(artifact []byte, req *io.PipeReader, resp *io.PipeWriter, stats *servingStats, span *obs.Span) error {
+// A panic anywhere in the loop (malformed artifact, tensor shape bug) is
+// recovered and reported as a serving failure rather than crashing the
+// process.
+func servingLoop(ctx context.Context, inj *faults.Injector, artifact []byte, req *io.PipeReader, resp *io.PipeWriter, stats *servingStats, span *obs.Span) (err error) {
 	defer resp.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", qerr.ErrServingUnavailable, qerr.Recovered("serving loop", r))
+		}
+	}()
+	// The hang fault blocks here — before the loop answers anything — until
+	// its d= elapses or the attempt context expires.
+	if err := inj.Hit(ctx, faults.PointServingHang); err != nil {
+		return fmt.Errorf("serving: %w", err)
+	}
 	decodeSpan := span.StartChild("loading:decode-model")
 	decodeStart := time.Now()
 	model, err := nn.DecodeBytes(artifact)
 	decodeSpan.Finish()
 	if err != nil {
-		return fmt.Errorf("serving: decoding model: %w", err)
+		return fmt.Errorf("%w: decoding model: %v", qerr.ErrServingUnavailable, err)
 	}
 	stats.decodeSecs = time.Since(decodeStart).Seconds()
 
 	r := bufio.NewReader(req)
 	var cnt [4]byte
 	if _, err := io.ReadFull(r, cnt[:]); err != nil {
-		return fmt.Errorf("serving: reading batch count: %w", err)
+		return servingPipeErr("reading batch count", err)
 	}
 	n := int(binary.LittleEndian.Uint32(cnt[:]))
 	w := bufio.NewWriter(resp)
 	binary.LittleEndian.PutUint32(cnt[:], uint32(n))
 	if _, err := w.Write(cnt[:]); err != nil {
-		return err
+		return servingPipeErr("writing response count", err)
 	}
 	infSpan := span.StartChild("inference")
 	model.Trace = infSpan
@@ -239,13 +299,13 @@ func servingLoop(artifact []byte, req *io.PipeReader, resp *io.PipeWriter, stats
 	var hdr [12]byte
 	for i := 0; i < n; i++ {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return fmt.Errorf("serving: reading request %d: %w", i, err)
+			return servingPipeErr(fmt.Sprintf("reading request %d", i), err)
 		}
 		id := int64(binary.LittleEndian.Uint64(hdr[:8]))
 		blen := int(binary.LittleEndian.Uint32(hdr[8:12]))
 		blob := make([]byte, blen)
 		if _, err := io.ReadFull(r, blob); err != nil {
-			return fmt.Errorf("serving: reading blob %d: %w", i, err)
+			return servingPipeErr(fmt.Sprintf("reading blob %d", i), err)
 		}
 		in, err := iotdata.KeyframeTensor(blob)
 		if err != nil {
@@ -257,11 +317,34 @@ func servingLoop(artifact []byte, req *io.PipeReader, resp *io.PipeWriter, stats
 		if err != nil {
 			return fmt.Errorf("serving: inference %d: %w", i, err)
 		}
+		// The partial-response fault kills the serving component mid-batch:
+		// the response stream is truncated (everything buffered so far is
+		// flushed, then the pipe closes) and the application side sees a
+		// short read.
+		if n > 1 && i == n/2 && inj.Active(faults.PointServingPartial) {
+			if ferr := inj.Hit(ctx, faults.PointServingPartial); ferr != nil {
+				w.Flush()
+				return fmt.Errorf("serving: died mid-batch after %d of %d predictions: %w", i, n, ferr)
+			}
+		}
 		binary.LittleEndian.PutUint64(hdr[:8], uint64(id))
 		binary.LittleEndian.PutUint32(hdr[8:12], uint32(int32(idx)))
 		if _, err := w.Write(hdr[:]); err != nil {
-			return err
+			return servingPipeErr(fmt.Sprintf("writing prediction %d", i), err)
 		}
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return servingPipeErr("flushing response", err)
+	}
+	return nil
+}
+
+// servingPipeErr classifies a serving-side pipe failure: lifecycle causes
+// (the cancellation watchdog closed the pipe) pass through, anything else
+// becomes a serving-availability error.
+func servingPipeErr(op string, err error) error {
+	if qerr.Lifecycle(err) {
+		return err
+	}
+	return fmt.Errorf("%w: serving: %s: %v", qerr.ErrServingUnavailable, op, err)
 }

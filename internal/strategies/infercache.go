@@ -31,23 +31,23 @@ type InferKey struct {
 // strategies: an LRU of class predictions for DB-UDF / DB-PyTorch
 // (capacity entries) and a dl2sql PipelineCache for the DL2SQL pair
 // (capacity memoized inferences + capacity materialized intermediates).
-// capacity <= 0 disables both. When ctx.Metrics is set, hit/miss/eviction
+// capacity <= 0 disables both. When env.Metrics is set, hit/miss/eviction
 // counters appear under "strategies.infercache.*" and "dl2sql.cache.*";
 // set Metrics before calling EnableInferCache.
-func (ctx *Context) EnableInferCache(capacity int) {
+func (env *Context) EnableInferCache(capacity int) {
 	if capacity <= 0 {
-		ctx.InferCache = nil
-		ctx.SQLCache = nil
+		env.InferCache = nil
+		env.SQLCache = nil
 		return
 	}
-	ctx.InferCache = cache.New[InferKey, int](capacity)
-	ctx.InferCache.Instrument(ctx.Metrics, "strategies.infercache")
-	ctx.SQLCache = dl2sql.NewPipelineCache(capacity, capacity)
-	ctx.SQLCache.Instrument(ctx.Metrics)
+	env.InferCache = cache.New[InferKey, int](capacity)
+	env.InferCache.Instrument(env.Metrics, "strategies.infercache")
+	env.SQLCache = dl2sql.NewPipelineCache(capacity, capacity)
+	env.SQLCache.Instrument(env.Metrics)
 }
 
 // InferCacheStats reports the prediction-LRU counters (zero value when
 // memoization is disabled).
-func (ctx *Context) InferCacheStats() cache.Stats {
-	return ctx.InferCache.Stats()
+func (env *Context) InferCacheStats() cache.Stats {
+	return env.InferCache.Stats()
 }

@@ -1,6 +1,7 @@
 package strategies
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/colquery"
@@ -19,7 +20,7 @@ func TestCachedResultsMatchUncachedAllStrategies(t *testing.T) {
 		}
 		for _, s := range All() {
 			cold := testContext(t)
-			res, _, err := s.Execute(cold, q)
+			res, _, err := s.Execute(context.Background(), cold, q)
 			if err != nil {
 				t.Fatalf("%s uncached on %v: %v", s.Name(), typ, err)
 			}
@@ -28,7 +29,7 @@ func TestCachedResultsMatchUncachedAllStrategies(t *testing.T) {
 			warm := testContext(t)
 			warm.EnableInferCache(4096)
 			for pass := 0; pass < 2; pass++ {
-				res, _, err := s.Execute(warm, q)
+				res, _, err := s.Execute(context.Background(), warm, q)
 				if err != nil {
 					t.Fatalf("%s cached pass %d on %v: %v", s.Name(), pass, typ, err)
 				}
@@ -50,14 +51,14 @@ func TestInferCacheHitsOnRepeat(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := &DBUDF{}
-	if _, _, err := s.Execute(ctx, q); err != nil {
+	if _, _, err := s.Execute(context.Background(), ctx, q); err != nil {
 		t.Fatal(err)
 	}
 	st := ctx.InferCacheStats()
 	if st.Misses == 0 || st.Len == 0 {
 		t.Fatalf("first run should populate the cache: %+v", st)
 	}
-	_, bd, err := s.Execute(ctx, q)
+	_, bd, err := s.Execute(context.Background(), ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,12 +85,12 @@ func TestInferCacheSharedAcrossStrategies(t *testing.T) {
 	// DB-UDF populates; DB-PyTorch should then serve (mostly) from cache:
 	// both key on (artifact hash, blob hash).
 	udf := &DBUDF{}
-	if _, _, err := udf.Execute(ctx, q); err != nil {
+	if _, _, err := udf.Execute(context.Background(), ctx, q); err != nil {
 		t.Fatal(err)
 	}
 	before := ctx.InferCacheStats()
 	pt := &DBPyTorch{}
-	if _, _, err := pt.Execute(ctx, q); err != nil {
+	if _, _, err := pt.Execute(context.Background(), ctx, q); err != nil {
 		t.Fatal(err)
 	}
 	after := ctx.InferCacheStats()
@@ -109,7 +110,7 @@ func TestSQLCacheReusesPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := &DL2SQL{}
-	res1, _, err := s.Execute(ctx, q)
+	res1, _, err := s.Execute(context.Background(), ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestSQLCacheReusesPipeline(t *testing.T) {
 	if results.Len == 0 {
 		t.Fatalf("first DL2SQL run should populate the result memo: %+v", results)
 	}
-	res2, _, err := s.Execute(ctx, q)
+	res2, _, err := s.Execute(context.Background(), ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -177,17 +177,17 @@ const predAlias = "NPRED"
 
 // buildPredictionsTable materializes predictions for the candidates into a
 // fresh table {videoID, p_<udf>...} and returns its name.
-func buildPredictionsTable(ctx *Context, q *colquery.Query, preds map[int64]map[string]sqldb.Datum, tag string) (string, error) {
+func buildPredictionsTable(env *Context, q *colquery.Query, preds map[int64]map[string]sqldb.Datum, tag string) (string, error) {
 	name := fmt.Sprintf("npred_%s_%d", tag, time.Now().UnixNano())
 	schema := sqldb.Schema{{Name: "videoID", Type: sqldb.TInt}}
 	for _, u := range q.UDFNames {
-		b := ctx.Bindings[u]
+		b := env.Bindings[u]
 		if b == nil {
 			return "", fmt.Errorf("strategies: no model bound for %s", u)
 		}
 		schema = append(schema, sqldb.ColumnDef{Name: predColName(u), Type: b.predictionType()})
 	}
-	tbl, err := ctx.Dataset.DB.CreateTable(name, schema)
+	tbl, err := env.Dataset.DB.CreateTable(name, schema)
 	if err != nil {
 		return "", err
 	}

@@ -19,6 +19,8 @@
 package strategies
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -26,12 +28,14 @@ import (
 	"repro/internal/cache"
 	"repro/internal/colquery"
 	"repro/internal/dl2sql"
+	"repro/internal/faults"
 	"repro/internal/hints"
 	"repro/internal/hwprofile"
 	"repro/internal/iotdata"
 	"repro/internal/modelrepo"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/qerr"
 	"repro/internal/sqldb"
 	"repro/internal/tensor"
 )
@@ -41,6 +45,10 @@ type CostBreakdown struct {
 	Loading    float64
 	Inference  float64
 	Relational float64
+	// FallbackPath records graceful degradation: the strategies tried in
+	// order, ending with the one that produced the result. Empty when the
+	// primary strategy succeeded (see ExecuteWithFallback).
+	FallbackPath []string
 }
 
 // Total sums the buckets.
@@ -51,11 +59,13 @@ func (c *CostBreakdown) Add(o CostBreakdown) {
 	c.Loading += o.Loading
 	c.Inference += o.Inference
 	c.Relational += o.Relational
+	c.FallbackPath = append(c.FallbackPath, o.FallbackPath...)
 }
 
 // Scale divides every bucket by n (for averaging).
 func (c CostBreakdown) Scale(n float64) CostBreakdown {
-	return CostBreakdown{Loading: c.Loading / n, Inference: c.Inference / n, Relational: c.Relational / n}
+	return CostBreakdown{Loading: c.Loading / n, Inference: c.Inference / n,
+		Relational: c.Relational / n, FallbackPath: c.FallbackPath}
 }
 
 // UDFKind describes how a model's class prediction converts to a SQL value.
@@ -105,20 +115,46 @@ type Context struct {
 	// repeated SQL inferences reuse memoized results and materialized
 	// intermediates. Enabled together with InferCache.
 	SQLCache *dl2sql.PipelineCache
+	// Timeout, when positive, bounds every Execute call: the strategy runs
+	// under a context.WithTimeout derived from the caller's context, and
+	// expiry surfaces as an error matching qerr.ErrTimeout.
+	Timeout time.Duration
+	// Faults, when non-nil, injects failures at the serving, UDF-decode,
+	// and DL2SQL-translate points (chaos testing). Nil in production.
+	Faults *faults.Injector
+	// Retry configures the DB-PyTorch serving pipe's retry loop; the zero
+	// value uses defaults (see RetryPolicy).
+	Retry RetryPolicy
+	// Breaker, when non-nil, is the circuit breaker guarding the serving
+	// pipe; it persists across Execute calls so repeated failures fail
+	// fast. Nil disables the breaker.
+	Breaker *Breaker
+}
+
+// queryCtx derives the per-query context: the caller's ctx bounded by the
+// Context's Timeout knob.
+func (env *Context) queryCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if env.Timeout > 0 {
+		return context.WithTimeout(ctx, env.Timeout)
+	}
+	return ctx, func() {}
 }
 
 // recordBreakdown folds one Execute's cost breakdown into the metrics
 // registry. Safe to call with a nil registry.
-func (ctx *Context) recordBreakdown(strategy string, bd CostBreakdown) {
-	if ctx.Metrics == nil {
+func (env *Context) recordBreakdown(strategy string, bd CostBreakdown) {
+	if env.Metrics == nil {
 		return
 	}
 	prefix := "strategy." + strategy
-	ctx.Metrics.Counter(prefix + ".queries").Add(1)
-	ctx.Metrics.Histogram(prefix + ".loading_s").Observe(bd.Loading)
-	ctx.Metrics.Histogram(prefix + ".inference_s").Observe(bd.Inference)
-	ctx.Metrics.Histogram(prefix + ".relational_s").Observe(bd.Relational)
-	ctx.Metrics.Histogram(prefix + ".total_s").Observe(bd.Total())
+	env.Metrics.Counter(prefix + ".queries").Add(1)
+	env.Metrics.Histogram(prefix + ".loading_s").Observe(bd.Loading)
+	env.Metrics.Histogram(prefix + ".inference_s").Observe(bd.Inference)
+	env.Metrics.Histogram(prefix + ".relational_s").Observe(bd.Relational)
+	env.Metrics.Histogram(prefix + ".total_s").Observe(bd.Total())
 }
 
 // NewContext assembles a context over a dataset with the default profile.
@@ -131,12 +167,12 @@ func NewContext(ds *iotdata.Dataset) *Context {
 }
 
 // Bind registers a model for an nUDF name, compiling its artifact.
-func (ctx *Context) Bind(name string, entry *modelrepo.Entry, kind UDFKind) error {
+func (env *Context) Bind(name string, entry *modelrepo.Entry, kind UDFKind) error {
 	blob, err := nn.EncodeBytes(entry.Model)
 	if err != nil {
 		return fmt.Errorf("strategies: compiling %s: %w", name, err)
 	}
-	ctx.Bindings[strings.ToLower(name)] = &UDFBinding{
+	env.Bindings[strings.ToLower(name)] = &UDFBinding{
 		Name: strings.ToLower(name), Entry: entry, Kind: kind, Artifact: blob,
 		artifactHash: tensor.HashBytes(blob),
 	}
@@ -145,8 +181,8 @@ func (ctx *Context) Bind(name string, entry *modelrepo.Entry, kind UDFKind) erro
 
 // BindDefaults wires the three template nUDFs to repository models and
 // calibrates their histograms (the offline-training step).
-func (ctx *Context) BindDefaults(repo *modelrepo.Repository, calibrationSamples int) error {
-	side := ctx.Dataset.Config.KeyframeSide
+func (env *Context) BindDefaults(repo *modelrepo.Repository, calibrationSamples int) error {
+	side := env.Dataset.Config.KeyframeSide
 	pairs := []struct {
 		name string
 		task modelrepo.Task
@@ -167,14 +203,14 @@ func (ctx *Context) BindDefaults(repo *modelrepo.Repository, calibrationSamples 
 				return err
 			}
 		}
-		if err := ctx.Bind(p.name, entry, p.kind); err != nil {
+		if err := env.Bind(p.name, entry, p.kind); err != nil {
 			return err
 		}
 		if err := prov.RegisterModel(p.name, entry); err != nil {
 			return err
 		}
 	}
-	ctx.HintProvider = prov
+	env.HintProvider = prov
 	return nil
 }
 
@@ -210,8 +246,12 @@ func (b *UDFBinding) predictionType() sqldb.Type {
 type Strategy interface {
 	// Name is the Fig. 8 configuration label.
 	Name() string
-	// Execute runs the query, returning its result and cost breakdown.
-	Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBreakdown, error)
+	// Execute runs the query under ctx (cancellation and deadlines are
+	// observed down to SQL morsel boundaries; env.Timeout adds a per-query
+	// deadline), returning its result and cost breakdown. Lifecycle
+	// failures carry the qerr sentinels: ErrCancelled, ErrTimeout,
+	// ErrServingUnavailable, ErrMemoryBudget.
+	Execute(ctx context.Context, env *Context, q *colquery.Query) (*sqldb.Result, CostBreakdown, error)
 }
 
 // All returns the four configurations in the paper's order.
@@ -224,6 +264,67 @@ func All() []Strategy {
 	}
 }
 
+// fallbackFor is the graceful-degradation ladder: when a strategy fails
+// with a serving-availability error, the query is retried one integration
+// level tighter — DB-PyTorch falls back to DB-UDF (no serving component),
+// DB-UDF falls back to DL2SQL (no native model execution at all). DL2SQL
+// has nothing below it.
+func fallbackFor(s Strategy) Strategy {
+	switch s.(type) {
+	case *DBPyTorch:
+		return &DBUDF{}
+	case *DBUDF:
+		return &DL2SQL{}
+	}
+	return nil
+}
+
+// ExecuteWithFallback runs the strategy, degrading down the fallback
+// ladder when the failure is a serving-availability problem
+// (qerr.ErrServingUnavailable — a dead serving pipe, an open circuit
+// breaker, a failed UDF model decode). Caller cancellation, query
+// timeouts, memory-budget failures, and data errors never degrade: they
+// report the original error. The result's FallbackPath lists the
+// strategies tried (ending with the one that answered) whenever
+// degradation engaged; each hop is also recorded as a
+// "strategy.fallback.<from>→<to>" metrics counter and a fallback span.
+func ExecuteWithFallback(ctx context.Context, env *Context, s Strategy, q *colquery.Query) (*sqldb.Result, CostBreakdown, error) {
+	var bd CostBreakdown
+	var path []string
+	for {
+		res, cur, err := s.Execute(ctx, env, q)
+		bd.Loading += cur.Loading
+		bd.Inference += cur.Inference
+		bd.Relational += cur.Relational
+		if err == nil {
+			if len(path) > 0 {
+				bd.FallbackPath = append(path, s.Name())
+			}
+			return res, bd, nil
+		}
+		next := fallbackFor(s)
+		if next == nil || !errors.Is(err, qerr.ErrServingUnavailable) {
+			bd.FallbackPath = path
+			return nil, bd, err
+		}
+		if qerr.FromContext(ctx.Err()) != nil {
+			// The query itself is done; degradation would run a fresh
+			// strategy against a dead context.
+			bd.FallbackPath = path
+			return nil, bd, err
+		}
+		path = append(path, s.Name())
+		if env.Metrics != nil {
+			env.Metrics.Counter("strategy.fallback." + s.Name() + "->" + next.Name()).Add(1)
+			env.Metrics.Counter("strategy.fallback.total").Add(1)
+		}
+		sp := env.Tracer.StartSpan("fallback:" + s.Name() + "->" + next.Name())
+		sp.SetAttr("cause", err.Error())
+		sp.Finish()
+		s = next
+	}
+}
+
 // candidate is one keyframe requiring inference.
 type candidate struct {
 	videoID int64
@@ -233,7 +334,7 @@ type candidate struct {
 // videoSideCandidates extracts the video rows selected by the query's
 // single-relation predicates on the keyframe relation (the set a strategy
 // without cross-table pruning must infer).
-func videoSideCandidates(ctx *Context, q *colquery.Query, prof *sqldb.Profile) ([]candidate, time.Duration, error) {
+func videoSideCandidates(ctx context.Context, env *Context, q *colquery.Query, prof *sqldb.Profile) ([]candidate, time.Duration, error) {
 	alias := keyframeAlias(q)
 	conds := videoConds(q, alias)
 	where := ""
@@ -242,7 +343,7 @@ func videoSideCandidates(ctx *Context, q *colquery.Query, prof *sqldb.Profile) (
 	}
 	sql := fmt.Sprintf("SELECT videoID, keyframe FROM video %s%s", alias, where)
 	start := time.Now()
-	res, err := ctx.Dataset.DB.Exec(sql)
+	res, err := env.Dataset.DB.ExecContext(ctx, sql)
 	if err != nil {
 		return nil, 0, fmt.Errorf("strategies: extracting candidates: %w", err)
 	}
@@ -252,7 +353,7 @@ func videoSideCandidates(ctx *Context, q *colquery.Query, prof *sqldb.Profile) (
 
 // prunedCandidates extracts the distinct video rows surviving *all* non-UDF
 // predicates and joins (DL2SQL-OP's delayed evaluation).
-func prunedCandidates(ctx *Context, q *colquery.Query, h *sqldb.QueryHints) ([]candidate, time.Duration, error) {
+func prunedCandidates(ctx context.Context, env *Context, q *colquery.Query, h *sqldb.QueryHints) ([]candidate, time.Duration, error) {
 	alias := keyframeAlias(q)
 	stripped := stripUDFConjuncts(q.Stmt)
 	stripped.Items = []sqldb.SelectItem{
@@ -264,7 +365,7 @@ func prunedCandidates(ctx *Context, q *colquery.Query, h *sqldb.QueryHints) ([]c
 	stripped.Having = nil
 	stripped.OrderBy = nil
 	start := time.Now()
-	res, err := ctx.Dataset.DB.ExecStmt(stripped, h)
+	res, err := env.Dataset.DB.ExecStmtContext(ctx, stripped, h)
 	if err != nil {
 		return nil, 0, fmt.Errorf("strategies: extracting pruned candidates: %w", err)
 	}

@@ -1,6 +1,7 @@
 package strategies
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -70,7 +71,7 @@ func agreeOnType(t *testing.T, typ colquery.QueryType) {
 	var wantKey string
 	var wantFrom string
 	for _, s := range All() {
-		res, bd, err := s.Execute(ctx, q)
+		res, bd, err := s.Execute(context.Background(), ctx, q)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -96,7 +97,7 @@ func TestCostBucketsPopulated(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range All() {
-		_, bd, err := s.Execute(ctx, q)
+		_, bd, err := s.Execute(context.Background(), ctx, q)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -119,10 +120,10 @@ func TestOPPrunesInference(t *testing.T) {
 	}
 	plain := &DL2SQL{Optimized: false}
 	op := &DL2SQL{Optimized: true}
-	if _, _, err := plain.Execute(ctx, q); err != nil {
+	if _, _, err := plain.Execute(context.Background(), ctx, q); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := op.Execute(ctx, q); err != nil {
+	if _, _, err := op.Execute(context.Background(), ctx, q); err != nil {
 		t.Fatal(err)
 	}
 	plainInfers := 0
@@ -153,15 +154,15 @@ func TestGPUProfileShiftsCosts(t *testing.T) {
 	// serving pipe, and the first execution pays one-off costs (allocator
 	// growth, goroutine start) that otherwise inflate whichever profile runs
 	// first — flaky under -race on small machines.
-	if _, _, err := s.Execute(ctx, q); err != nil {
+	if _, _, err := s.Execute(context.Background(), ctx, q); err != nil {
 		t.Fatal(err)
 	}
-	_, cpu, err := s.Execute(ctx, q)
+	_, cpu, err := s.Execute(context.Background(), ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx.Profile = hwprofile.ServerGPU
-	_, gpu, err := s.Execute(ctx, q)
+	_, gpu, err := s.Execute(context.Background(), ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestDBUDFBlackBoxCallsEveryWindowRow(t *testing.T) {
 	db := ctx.Dataset.DB
 	db.Profile = sqldb.NewProfile()
 	s := &DBUDF{}
-	if _, _, err := s.Execute(ctx, q); err != nil {
+	if _, _, err := s.Execute(context.Background(), ctx, q); err != nil {
 		t.Fatal(err)
 	}
 	calls := db.Profile.UDFCalls["nudf_detect"]
@@ -209,7 +210,7 @@ func TestBindingsRequired(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range All() {
-		if _, _, err := s.Execute(ctx, q); err == nil {
+		if _, _, err := s.Execute(context.Background(), ctx, q); err == nil {
 			t.Fatalf("%s must fail without bindings", s.Name())
 		}
 	}
@@ -274,11 +275,11 @@ func TestBatchedDL2SQLAgreesWithPerSample(t *testing.T) {
 	}
 	per := &DL2SQL{Optimized: true}
 	bat := &DL2SQL{Optimized: true, Batched: true}
-	resP, _, err := per.Execute(ctx, q)
+	resP, _, err := per.Execute(context.Background(), ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resB, bdB, err := bat.Execute(ctx, q)
+	resB, bdB, err := bat.Execute(context.Background(), ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,10 +299,10 @@ func TestBatchedDL2SQLIssuesFewerStatements(t *testing.T) {
 	}
 	per := &DL2SQL{Optimized: false}
 	bat := &DL2SQL{Optimized: false, Batched: true}
-	if _, _, err := per.Execute(ctx, q); err != nil {
+	if _, _, err := per.Execute(context.Background(), ctx, q); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := bat.Execute(ctx, q); err != nil {
+	if _, _, err := bat.Execute(context.Background(), ctx, q); err != nil {
 		t.Fatal(err)
 	}
 	if len(bat.LastSteps)*2 > len(per.LastSteps) {
@@ -318,7 +319,7 @@ func TestDeviceTableQueryAllStrategies(t *testing.T) {
 	}
 	var wantKey, wantFrom string
 	for _, s := range All() {
-		res, _, err := s.Execute(ctx, q)
+		res, _, err := s.Execute(context.Background(), ctx, q)
 		if err != nil {
 			t.Fatalf("%s on device-table query: %v", s.Name(), err)
 		}
@@ -342,11 +343,11 @@ func TestGPUTransferGranularity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, udfBD, err := (&DBUDF{}).Execute(ctx, q)
+	_, udfBD, err := (&DBUDF{}).Execute(context.Background(), ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, ptBD, err := (&DBPyTorch{}).Execute(ctx, q)
+	_, ptBD, err := (&DBPyTorch{}).Execute(context.Background(), ctx, q)
 	if err != nil {
 		t.Fatal(err)
 	}

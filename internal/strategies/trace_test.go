@@ -2,6 +2,7 @@ package strategies
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -35,7 +36,7 @@ func TestStrategyTraces(t *testing.T) {
 	}
 	for _, s := range All() {
 		ctx.Tracer.Reset()
-		if _, _, err := s.Execute(ctx, q); err != nil {
+		if _, _, err := s.Execute(context.Background(), ctx, q); err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
 		roots := ctx.Tracer.Roots()
@@ -103,7 +104,7 @@ func TestPerLayerSpans(t *testing.T) {
 	}
 	for _, tc := range cases {
 		ctx.Tracer.Reset()
-		if _, _, err := tc.strat.Execute(ctx, q); err != nil {
+		if _, _, err := tc.strat.Execute(context.Background(), ctx, q); err != nil {
 			t.Fatalf("%s: %v", tc.strat.Name(), err)
 		}
 		names := map[string]int{}
@@ -135,7 +136,7 @@ func TestTracingDisabledUnchanged(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range All() {
-		if _, _, err := s.Execute(ctx, q); err != nil {
+		if _, _, err := s.Execute(context.Background(), ctx, q); err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
 	}

@@ -1,11 +1,13 @@
 package strategies
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/colquery"
+	"repro/internal/faults"
 	"repro/internal/iotdata"
 	"repro/internal/nn"
 	"repro/internal/obs"
@@ -24,23 +26,29 @@ type DBUDF struct{}
 func (s *DBUDF) Name() string { return "DB-UDF" }
 
 // Execute implements Strategy.
-func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBreakdown, error) {
-	db := ctx.Dataset.DB
+func (s *DBUDF) Execute(ctx context.Context, env *Context, q *colquery.Query) (*sqldb.Result, CostBreakdown, error) {
+	db := env.Dataset.DB
 	var bd CostBreakdown
-	root := ctx.Tracer.StartSpan("strategy:" + s.Name())
+	ctx, cancel := env.queryCtx(ctx)
+	defer cancel()
+	root := env.Tracer.StartSpan("strategy:" + s.Name())
 	defer root.Finish()
 
 	// Loading: the database "recompilation" — decode each compiled artifact
 	// into an executable model. On GPU settings the weights also cross the
-	// PCIe bus once.
+	// PCIe bus once. A decode failure (here, the udf.decode fault point) is
+	// an availability problem — the fallback ladder degrades it to DL2SQL.
 	var models = map[string]*nn.Model{}
 	loadSpan := root.StartChild("loading:decode-models")
 	loadStart := time.Now()
 	var modelBytes int64
 	for _, name := range q.UDFNames {
-		b := ctx.Bindings[name]
+		b := env.Bindings[name]
 		if b == nil {
 			return nil, bd, fmt.Errorf("strategies: no model bound for %s", name)
+		}
+		if err := env.Faults.Hit(ctx, faults.PointUDFDecode); err != nil {
+			return nil, bd, fmt.Errorf("strategies: loading UDF %s: %w", name, err)
 		}
 		m, err := nn.DecodeBytes(b.Artifact)
 		if err != nil {
@@ -49,8 +57,8 @@ func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBre
 		models[name] = m
 		modelBytes += int64(len(b.Artifact))
 	}
-	bd.Loading += ctx.Profile.DLLoadCost(time.Since(loadStart).Seconds()) +
-		ctx.Profile.TransferCost(modelBytes)
+	bd.Loading += env.Profile.DLLoadCost(time.Since(loadStart).Seconds()) +
+		env.Profile.TransferCost(modelBytes)
 	loadSpan.Finish()
 
 	// Register the UDFs. Each call decodes the keyframe and runs native
@@ -69,7 +77,7 @@ func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBre
 	var keyframeBytes int64
 	for _, name := range q.UDFNames {
 		name := name
-		b := ctx.Bindings[name]
+		b := env.Bindings[name]
 		m := models[name]
 		db.RegisterUDF(&sqldb.ScalarUDF{
 			Name:         name,
@@ -84,9 +92,9 @@ func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBre
 				// entirely. The key hashes the raw blob, so hits are
 				// shared with DB-PyTorch runs over the same candidates.
 				var key InferKey
-				if ctx.InferCache != nil {
+				if env.InferCache != nil {
 					key = InferKey{Model: b.artifactHash, Input: tensor.HashBytes(args[0].B)}
-					if idx, ok := ctx.InferCache.Get(key); ok {
+					if idx, ok := env.InferCache.Get(key); ok {
 						return b.predictionDatum(idx), nil
 					}
 				}
@@ -109,8 +117,8 @@ func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBre
 				if err != nil {
 					return sqldb.Null(), err
 				}
-				if ctx.InferCache != nil {
-					ctx.InferCache.Put(key, idx)
+				if env.InferCache != nil && ctx.Err() == nil {
+					env.InferCache.Put(key, idx)
 				}
 				return b.predictionDatum(idx), nil
 			},
@@ -126,7 +134,7 @@ func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBre
 
 	querySpan = root.StartChild("relational:query")
 	wallStart := time.Now()
-	res, err := db.Exec(q.SQL)
+	res, err := db.ExecContext(ctx, q.SQL)
 	wall := time.Since(wallStart).Seconds()
 	querySpan.SetAttr("udf_calls", calls)
 	querySpan.Finish()
@@ -137,15 +145,15 @@ func (s *DBUDF) Execute(ctx *Context, q *colquery.Query) (*sqldb.Result, CostBre
 	// Per-call device transfers: a UDF runs row-at-a-time, so on GPU each
 	// call ships one keyframe and pays the launch overhead — the paper's
 	// observation that DB-UDF is the one approach the GPU does not help.
-	if ctx.Profile.UsesGPU && calls > 0 {
-		perCall := ctx.Profile.TransferBaseSec*float64(calls) +
-			float64(keyframeBytes)/1e6*ctx.Profile.TransferSecPerMB
+	if env.Profile.UsesGPU && calls > 0 {
+		perCall := env.Profile.TransferBaseSec*float64(calls) +
+			float64(keyframeBytes)/1e6*env.Profile.TransferSecPerMB
 		bd.Loading += perCall
 	}
 	// The UDF pathway pays the DL framework's per-call dispatch overhead on
 	// top of the raw forward passes (see hwprofile).
-	bd.Inference += ctx.Profile.ScaleInference(inferSecs) + ctx.Profile.DLCallOverhead(calls)
-	bd.Relational += ctx.Profile.ScaleRelational(wall - inferSecs)
-	ctx.recordBreakdown(s.Name(), bd)
+	bd.Inference += env.Profile.ScaleInference(inferSecs) + env.Profile.DLCallOverhead(calls)
+	bd.Relational += env.Profile.ScaleRelational(wall - inferSecs)
+	env.recordBreakdown(s.Name(), bd)
 	return res, bd, nil
 }
