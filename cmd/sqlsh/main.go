@@ -16,6 +16,10 @@
 //	                grammar, e.g. "morsel.delay:d=5ms;seed=1"); \faults stats
 //	                shows fire counts, \faults off removes it
 //	\trace PATH     start tracing; \trace off writes Chrome trace JSON to PATH
+//	\sys            list the sys.* system tables with descriptions (they are
+//	                ordinary relations: SELECT * FROM sys.queries works, and
+//	                Ctrl-C cancels a sys.* scan like any other query)
+//	\slowlog        show queries over the slow threshold; \slowlog DUR sets it
 //	\save PATH      snapshot the database to a file
 //	\q              quit (flushes an active trace first)
 //
@@ -106,6 +110,15 @@ func main() {
 	if db.Profile == nil {
 		db.Profile = sqldb.NewProfile()
 	}
+	// Self-observability: every statement leaves a record in the query
+	// history ring, and the sys.* catalog exposes engine state to SQL
+	// (\sys lists the tables; try SELECT * FROM sys.queries).
+	if db.Metrics == nil {
+		db.Metrics = obs.NewRegistry()
+	}
+	db.History = obs.NewQueryHistory(256)
+	db.History.SetSlowThreshold(100 * time.Millisecond)
+	db.EnableSysCatalog()
 	sh := &shell{db: db}
 
 	sig := make(chan os.Signal, 1)
@@ -241,6 +254,36 @@ func (sh *shell) meta(cmd string) bool {
 			fmt.Println("cache disabled")
 		} else {
 			fmt.Printf("statement/plan cache enabled (%d entries per LRU)\n", n)
+		}
+		return true
+	case `\sys`:
+		for _, st := range db.SysTables() {
+			fmt.Printf("%-18s %s\n", st.Name, st.Description)
+		}
+		return true
+	case `\slowlog`:
+		if len(fields) == 2 {
+			d, err := time.ParseDuration(fields[1])
+			if err != nil || d <= 0 {
+				fmt.Println("usage: \\slowlog [DUR]   (e.g. \\slowlog 250ms; no argument lists slow queries)")
+				return true
+			}
+			db.History.SetSlowThreshold(d)
+			fmt.Printf("slow-query threshold %s\n", d)
+			return true
+		}
+		slow := db.History.SlowSnapshot()
+		if len(slow) == 0 {
+			fmt.Printf("no queries over %s yet\n", db.History.SlowThreshold())
+			return true
+		}
+		for _, r := range slow {
+			errNote := ""
+			if r.ErrClass != "" {
+				errNote = "  [" + r.ErrClass + "]"
+			}
+			fmt.Printf("%8.1fms  %6d rows  %s%s\n",
+				float64(r.Wall)/1e6, r.RowsOut, r.SQL, errNote)
 		}
 		return true
 	case `\timing`:

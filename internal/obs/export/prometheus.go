@@ -1,0 +1,143 @@
+// Package export renders an obs.Registry for external monitoring systems:
+// WritePrometheus emits text exposition format 0.0.4 (the format every
+// Prometheus-compatible scraper ingests), Handler wraps it as an HTTP
+// endpoint, and NewMux assembles a diagnostics mux combining /metrics with
+// the stdlib net/http/pprof profile handlers — all with zero dependencies
+// beyond the standard library.
+package export
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// PromName sanitizes an internal dotted metric name into the Prometheus
+// naming alphabet [a-zA-Z_:][a-zA-Z0-9_:]*: dots and every other
+// disallowed byte (including the "->" in fallback-hop names) become
+// underscores, runs collapse, and a leading digit gains an underscore
+// prefix. "sqldb.cache.plan.hits" renders as "sqldb_cache_plan_hits".
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	prevUnderscore := false
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == ':' ||
+			c >= '0' && c <= '9'
+		if ok {
+			b.WriteByte(c)
+			prevUnderscore = false
+			continue
+		}
+		if !prevUnderscore {
+			b.WriteByte('_')
+			prevUnderscore = true
+		}
+	}
+	out := strings.Trim(b.String(), "_")
+	if out == "" {
+		return "_"
+	}
+	if c := out[0]; c >= '0' && c <= '9' {
+		out = "_" + out
+	}
+	return out
+}
+
+// WritePrometheus renders a point-in-time snapshot of the registry in
+// Prometheus text exposition format 0.0.4. Counters render as counter
+// series, gauges as gauge series, and histograms as summary series with
+// quantile labels plus the _sum and _count conventions. Series are sorted
+// by name so output is deterministic and diffable.
+func WritePrometheus(w io.Writer, reg *obs.Registry) error {
+	snap := reg.Snapshot()
+
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, formatFloat(snap.Gauges[name])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(name)
+		s := snap.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", pn); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			label string
+			value float64
+		}{{"0.5", s.P50}, {"0.95", s.P95}, {"0.99", s.P99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", pn, q.label, formatFloat(q.value)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, formatFloat(s.Sum), pn, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, so 3 prints as "3" and 0.1 as "0.1".
+func formatFloat(v float64) string {
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}
+
+// Handler serves the registry at scrape time in text format 0.0.4.
+func Handler(reg *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, reg)
+	})
+}
+
+// NewMux assembles the engine's diagnostics mux:
+//
+//	/metrics        - Prometheus text exposition of the registry
+//	/debug/pprof/   - stdlib profile index (heap, goroutine, block, ...)
+//	/debug/pprof/{cmdline,profile,symbol,trace}
+//
+// The pprof handlers are the explicit net/http/pprof functions rather than
+// the package's DefaultServeMux side-effect registration, so importing
+// export never pollutes the global mux.
+func NewMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,236 @@
+package export
+
+import (
+	"bufio"
+	"bytes"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLineRe  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+	promLabelRe = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// parsePrometheus is a strict minimal text-format 0.0.4 parser: every
+// sample line must match the grammar, every sample's metric family must
+// have a preceding # TYPE declaration, and names must use the Prometheus
+// alphabet. It fails the test on any violation.
+func parsePrometheus(t *testing.T, text string) []promSample {
+	t.Helper()
+	types := map[string]string{}
+	var samples []promSample
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					t.Fatalf("malformed TYPE line: %q", line)
+				}
+				name, kind := fields[2], fields[3]
+				if !promNameRe.MatchString(name) {
+					t.Fatalf("TYPE line has invalid name: %q", line)
+				}
+				switch kind {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					t.Fatalf("TYPE line has invalid kind: %q", line)
+				}
+				if prev, ok := types[name]; ok && prev != kind {
+					t.Fatalf("metric %q re-declared as %s (was %s)", name, kind, prev)
+				}
+				types[name] = kind
+			}
+			continue
+		}
+		m := promLineRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		// _sum/_count series belong to their summary family's TYPE line.
+		family := strings.TrimSuffix(strings.TrimSuffix(m[1], "_sum"), "_count")
+		if _, ok := types[family]; !ok {
+			if _, ok := types[m[1]]; !ok {
+				t.Fatalf("sample %q has no preceding # TYPE", line)
+			}
+		}
+		labels := map[string]string{}
+		if m[2] != "" {
+			inner := strings.TrimSuffix(strings.TrimPrefix(m[2], "{"), "}")
+			for _, pair := range strings.Split(inner, ",") {
+				lm := promLabelRe.FindStringSubmatch(pair)
+				if lm == nil {
+					t.Fatalf("malformed label pair %q in line %q", pair, line)
+				}
+				labels[lm[1]] = lm[2]
+			}
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("sample %q has non-numeric value: %v", line, err)
+		}
+		samples = append(samples, promSample{name: m[1], labels: labels, value: v})
+	}
+	return samples
+}
+
+func findSample(samples []promSample, name, quantile string) (promSample, bool) {
+	for _, s := range samples {
+		if s.name == name && s.labels["quantile"] == quantile {
+			return s, true
+		}
+	}
+	return promSample{}, false
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"sqldb.cache.plan.hits":                "sqldb_cache_plan_hits",
+		"strategy.fallback.DB-PyTorch->DB-UDF": "strategy_fallback_DB_PyTorch_DB_UDF",
+		"sqldb.query.wall_s":                   "sqldb_query_wall_s",
+		"9lives":                               "_9lives",
+		"":                                     "_",
+		"...":                                  "_",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+		if got := PromName(in); !promNameRe.MatchString(got) {
+			t.Errorf("PromName(%q) = %q not in Prometheus alphabet", in, got)
+		}
+	}
+}
+
+func TestWritePrometheusParses(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter(obs.MetricQueries).Add(42)
+	reg.Counter(obs.FallbackMetric("DB-PyTorch", "DB-UDF")).Add(3)
+	reg.Gauge("sqldb.tables").Set(7)
+	h := reg.Histogram(obs.MetricQueryWallSeconds)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.001)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	samples := parsePrometheus(t, buf.String())
+
+	if s, ok := findSample(samples, "sqldb_queries", ""); !ok || s.value != 42 {
+		t.Fatalf("sqldb_queries sample missing or wrong: %+v (ok=%v)", s, ok)
+	}
+	if s, ok := findSample(samples, "strategy_fallback_DB_PyTorch_DB_UDF", ""); !ok || s.value != 3 {
+		t.Fatalf("fallback counter sample missing or wrong: %+v (ok=%v)", s, ok)
+	}
+	if s, ok := findSample(samples, "sqldb_tables", ""); !ok || s.value != 7 {
+		t.Fatalf("gauge sample missing or wrong: %+v (ok=%v)", s, ok)
+	}
+	if s, ok := findSample(samples, "sqldb_query_wall_s_count", ""); !ok || s.value != 100 {
+		t.Fatalf("summary _count missing or wrong: %+v (ok=%v)", s, ok)
+	}
+	wantSum := 0.0
+	for i := 1; i <= 100; i++ {
+		wantSum += float64(i) * 0.001
+	}
+	if s, ok := findSample(samples, "sqldb_query_wall_s_sum", ""); !ok || s.value < wantSum*0.999 || s.value > wantSum*1.001 {
+		t.Fatalf("summary _sum missing or wrong: %+v (ok=%v, want ~%v)", s, ok, wantSum)
+	}
+	p50, ok50 := findSample(samples, "sqldb_query_wall_s", "0.5")
+	p99, ok99 := findSample(samples, "sqldb_query_wall_s", "0.99")
+	if !ok50 || !ok99 {
+		t.Fatalf("quantile samples missing: p50=%v p99=%v", ok50, ok99)
+	}
+	if p50.value <= 0 || p99.value <= p50.value {
+		t.Fatalf("quantile ordering wrong: p50=%v p99=%v", p50.value, p99.value)
+	}
+
+	// Deterministic output: a second render of the same registry is
+	// byte-identical.
+	var buf2 bytes.Buffer
+	if err := WritePrometheus(&buf2, reg); err != nil {
+		t.Fatalf("WritePrometheus (2nd): %v", err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("WritePrometheus output is not deterministic")
+	}
+}
+
+func TestWritePrometheusEmptyAndNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, nil); err != nil {
+		t.Fatalf("nil registry: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry produced output: %q", buf.String())
+	}
+	if err := WritePrometheus(&buf, obs.NewRegistry()); err != nil {
+		t.Fatalf("empty registry: %v", err)
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter(obs.MetricQueries).Add(1)
+	mux := NewMux(reg)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	samples := parsePrometheus(t, buf.String())
+	if _, ok := findSample(samples, "sqldb_queries", ""); !ok {
+		t.Fatalf("scraped output missing sqldb_queries: %s", buf.String())
+	}
+
+	// The pprof index must be mounted and answer 200.
+	resp2, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/: %v", err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/ status %d", resp2.StatusCode)
+	}
+	// And a concrete profile endpoint (goroutine dump, debug form).
+	resp3, err := srv.Client().Get(srv.URL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatalf("GET goroutine profile: %v", err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != 200 {
+		t.Fatalf("goroutine profile status %d", resp3.StatusCode)
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// exactQuantile computes the order-statistic interpolated quantile the
+// bucketed estimate approximates.
+func exactQuantile(sorted []float64, q float64) float64 {
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// TestHistogramQuantileInterpolation pins p50/p95/p99 on known
+// distributions against the exact order statistics: every estimate must
+// land within one bucket (2.5% relative, plus a small absolute floor for
+// near-zero values) of the exact value — the contract that within-bucket
+// interpolation provides and upper-bound snapping (which biases every
+// quantile a full bucket high) does not.
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	distributions := map[string][]float64{
+		"uniform-latency": func() []float64 {
+			out := make([]float64, 1000)
+			for i := range out {
+				out[i] = 0.001 + float64(i)*0.0005 // 1ms .. 500ms
+			}
+			return out
+		}(),
+		"bimodal": func() []float64 {
+			var out []float64
+			for i := 0; i < 900; i++ {
+				out = append(out, 0.002+float64(i%10)*0.0001) // fast mode ~2ms
+			}
+			for i := 0; i < 100; i++ {
+				out = append(out, 1.5+float64(i%10)*0.01) // slow mode ~1.5s
+			}
+			return out
+		}(),
+		"exponential-ish": func() []float64 {
+			out := make([]float64, 500)
+			for i := range out {
+				out[i] = 0.0001 * math.Pow(1.02, float64(i))
+			}
+			return out
+		}(),
+	}
+	for name, vals := range distributions {
+		h := &Histogram{}
+		sorted := make([]float64, len(vals))
+		copy(sorted, vals)
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		// Observe in arbitrary order; sort the reference copy.
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		s := h.Summary()
+		if s.Count != len(vals) || s.Min != sorted[0] || s.Max != sorted[len(sorted)-1] {
+			t.Fatalf("%s: basics wrong: %+v", name, s)
+		}
+		for _, c := range []struct {
+			q   float64
+			got float64
+		}{{0.50, s.P50}, {0.95, s.P95}, {0.99, s.P99}} {
+			want := exactQuantile(sorted, c.q)
+			tol := 0.025*math.Abs(want) + 1e-6
+			if math.Abs(c.got-want) > tol {
+				t.Errorf("%s: q%.0f = %v, want %v ± %v", name, c.q*100, c.got, want, tol)
+			}
+		}
+	}
+}
+
+// TestHistogramInterpolatesWithinBucket asserts the estimate is NOT the
+// containing bucket's upper bound when the target rank sits mid-bucket —
+// the regression this implementation fixes.
+func TestHistogramInterpolatesWithinBucket(t *testing.T) {
+	h := &Histogram{}
+	// 100 identical-bucket observations: all land in the bucket containing
+	// 0.1; the p50 of a uniform spread within it must interpolate below
+	// the bucket's upper bound.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.100 + float64(i)*0.00001) // 0.1000 .. 0.10099, one bucket wide-ish
+	}
+	s := h.Summary()
+	ub := histUpperBound(histBucketIndex(s.Max))
+	if s.P50 >= ub {
+		t.Fatalf("p50 = %v snapped to bucket upper bound %v", s.P50, ub)
+	}
+	if s.P50 < s.Min || s.P50 > s.Max {
+		t.Fatalf("p50 = %v outside [min=%v, max=%v]", s.P50, s.Min, s.Max)
+	}
+	if s.P50 >= s.P95 {
+		// Within one bucket the interpolation still orders the quantiles.
+		t.Fatalf("p50 %v >= p95 %v", s.P50, s.P95)
+	}
+}
+
+// TestHistogramBoundedMemory pins the O(1) memory contract: a million
+// observations allocate exactly one fixed bucket array.
+func TestHistogramBoundedMemory(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 1_000_000; i++ {
+		h.Observe(float64(i%1000) * 0.001)
+	}
+	if got := len(h.buckets); got != histBuckets+2 {
+		t.Fatalf("bucket array len = %d, want %d", got, histBuckets+2)
+	}
+	if s := h.Summary(); s.Count != 1_000_000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+}
+
+// TestHistogramEdgeCases covers out-of-range and degenerate inputs.
+func TestHistogramEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	if s := nilH.Summary(); s.Count != 0 {
+		t.Fatalf("nil histogram summary: %+v", s)
+	}
+
+	single := &Histogram{}
+	single.Observe(42)
+	if s := single.Summary(); s.P50 != 42 || s.P95 != 42 || s.P99 != 42 || s.Min != 42 || s.Max != 42 {
+		t.Fatalf("single-value summary: %+v", s)
+	}
+
+	outOfRange := &Histogram{}
+	outOfRange.Observe(-5)  // underflow bucket
+	outOfRange.Observe(0)   // underflow bucket
+	outOfRange.Observe(1e9) // overflow bucket
+	outOfRange.Observe(2e9) // overflow bucket
+	s := outOfRange.Summary()
+	if s.Min != -5 || s.Max != 2e9 || s.Count != 4 {
+		t.Fatalf("out-of-range summary basics: %+v", s)
+	}
+	if s.P50 < s.Min || s.P50 > s.Max || s.P99 < s.Min || s.P99 > s.Max {
+		t.Fatalf("out-of-range quantiles escape [min, max]: %+v", s)
+	}
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueryHistoryRing(t *testing.T) {
+	h := NewQueryHistory(4)
+	for i := 0; i < 10; i++ {
+		id := h.Add(QueryRecord{SQL: fmt.Sprintf("SELECT %d", i)})
+		if id != int64(i+1) {
+			t.Fatalf("id = %d, want %d", id, i+1)
+		}
+	}
+	if h.Len() != 4 || h.Cap() != 4 {
+		t.Fatalf("len/cap = %d/%d, want 4/4", h.Len(), h.Cap())
+	}
+	snap := h.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	// Oldest first, and only the newest four records survive.
+	for i, rec := range snap {
+		wantID := int64(7 + i)
+		if rec.ID != wantID || rec.SQL != fmt.Sprintf("SELECT %d", wantID-1) {
+			t.Fatalf("snapshot[%d] = %+v, want id %d", i, rec, wantID)
+		}
+	}
+}
+
+func TestQueryHistoryNilSafe(t *testing.T) {
+	var h *QueryHistory
+	if id := h.Add(QueryRecord{SQL: "SELECT 1"}); id != 0 {
+		t.Fatalf("nil history Add returned %d", id)
+	}
+	h.SetSlowThreshold(time.Second)
+	h.SetSlowLog(&bytes.Buffer{})
+	if h.Snapshot() != nil || h.SlowSnapshot() != nil || h.Len() != 0 || h.Cap() != 0 {
+		t.Fatal("nil history not inert")
+	}
+}
+
+func TestQueryHistorySlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	h := NewQueryHistory(16)
+	h.SetSlowThreshold(100 * time.Millisecond)
+	h.SetSlowLog(&buf)
+	h.Add(QueryRecord{SQL: "SELECT fast", Wall: 5 * time.Millisecond})
+	h.Add(QueryRecord{SQL: "SELECT slow", Wall: 250 * time.Millisecond, RowsOut: 7, ErrClass: ""})
+	h.Add(QueryRecord{SQL: "SELECT slower", Wall: time.Second, ErrClass: "timeout", Err: "query timeout"})
+
+	slow := h.SlowSnapshot()
+	if len(slow) != 2 || slow[0].SQL != "SELECT slow" || slow[1].SQL != "SELECT slower" {
+		t.Fatalf("slow snapshot: %+v", slow)
+	}
+	// The structured log is one parseable JSON object per line.
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("slow log line not JSON: %v: %s", err, sc.Text())
+		}
+		lines = append(lines, obj)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("slow log has %d lines, want 2", len(lines))
+	}
+	if lines[0]["sql"] != "SELECT slow" || lines[0]["rows_out"] != float64(7) {
+		t.Fatalf("slow log line 0: %v", lines[0])
+	}
+	if lines[1]["err_class"] != "timeout" {
+		t.Fatalf("slow log line 1: %v", lines[1])
+	}
+}
+
+// TestQueryHistoryConcurrent hammers the ring from concurrent writers and
+// readers; run under -race this pins the race-safety contract sys.queries
+// relies on.
+func TestQueryHistoryConcurrent(t *testing.T) {
+	h := NewQueryHistory(64)
+	h.SetSlowThreshold(time.Nanosecond)
+	h.SetSlowLog(&bytes.Buffer{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.Add(QueryRecord{SQL: fmt.Sprintf("SELECT %d", w), Wall: time.Duration(i)})
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = h.Snapshot()
+				_ = h.SlowSnapshot()
+				_ = h.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Len() != 64 {
+		t.Fatalf("len = %d, want 64", h.Len())
+	}
+	snap := h.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i].ID <= snap[i-1].ID {
+			t.Fatalf("snapshot IDs not increasing: %d then %d", snap[i-1].ID, snap[i].ID)
+		}
+	}
+	if snap[len(snap)-1].ID != 1600 {
+		t.Fatalf("last ID = %d, want 1600", snap[len(snap)-1].ID)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -69,11 +68,59 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// Histogram bucket layout. Observations land in exponentially-growing
+// buckets so a histogram's memory stays fixed no matter how many samples
+// it absorbs — the property that makes always-on per-query accounting
+// safe (the previous implementation kept every sample and grew without
+// bound). 106 buckets per decade over 12 decades (1e-6 .. 1e6, covering
+// sub-microsecond latencies through ~11-day outliers) gives a growth
+// factor of 10^(1/106) ≈ 1.0220, i.e. ~2.2% worst-case relative
+// quantile error. Values outside the range land in dedicated
+// underflow/overflow buckets whose interpolation is clamped by the exact
+// min/max.
+const (
+	histMinBound         = 1e-6
+	histBucketsPerDecade = 106
+	histDecades          = 12
+	histBuckets          = histBucketsPerDecade * histDecades
+)
+
+// histLogGrowth is ln(growth): bucket i's upper bound is
+// histMinBound * e^(i*histLogGrowth).
+var histLogGrowth = math.Ln10 / histBucketsPerDecade
+
+// histBucketIndex maps a value to its bucket: 0 for v <= histMinBound
+// (and all non-positive values), histBuckets+1 for overflow.
+func histBucketIndex(v float64) int {
+	if v <= histMinBound {
+		return 0
+	}
+	i := int(math.Ceil(math.Log(v/histMinBound) / histLogGrowth))
+	if i < 1 {
+		return 1
+	}
+	if i > histBuckets {
+		return histBuckets + 1
+	}
+	return i
+}
+
+// histUpperBound returns bucket i's upper bound (i in 0..histBuckets).
+func histUpperBound(i int) float64 {
+	return histMinBound * math.Exp(float64(i)*histLogGrowth)
+}
+
 // Histogram accumulates float observations (typically latency seconds) and
 // summarizes them as count/min/max/mean plus p50/p95/p99 quantiles.
+// Memory is O(1): a fixed exponential bucket array (allocated lazily on
+// the first observation) plus exact count/sum/min/max.
 type Histogram struct {
 	mu      sync.Mutex
-	samples []float64
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets []int64 // len histBuckets+2: [underflow, b1..bN, overflow]
 }
 
 // Observe records one sample. Safe on a nil receiver.
@@ -82,16 +129,31 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	h.mu.Lock()
-	h.samples = append(h.samples, v)
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if h.buckets == nil {
+		h.buckets = make([]int64, histBuckets+2)
+	}
+	h.buckets[histBucketIndex(v)]++
 	h.mu.Unlock()
 }
 
 // ObserveDuration records a duration in seconds. Safe on a nil receiver.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
-// HistSummary is a point-in-time histogram summary.
+// HistSummary is a point-in-time histogram summary. Quantiles are
+// estimated by linear interpolation within the exponential bucket holding
+// the target rank (worst-case relative error one bucket width, ~2.2%);
+// Count, Sum, Min, Max, and Mean are exact.
 type HistSummary struct {
 	Count int     `json:"count"`
+	Sum   float64 `json:"sum"`
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
 	Mean  float64 `json:"mean"`
@@ -106,40 +168,67 @@ func (h *Histogram) Summary() HistSummary {
 		return HistSummary{}
 	}
 	h.mu.Lock()
-	samples := append([]float64(nil), h.samples...)
-	h.mu.Unlock()
-	if len(samples) == 0 {
+	defer h.mu.Unlock()
+	if h.count == 0 {
 		return HistSummary{}
 	}
-	sort.Float64s(samples)
-	sum := 0.0
-	for _, v := range samples {
-		sum += v
-	}
 	return HistSummary{
-		Count: len(samples),
-		Min:   samples[0],
-		Max:   samples[len(samples)-1],
-		Mean:  sum / float64(len(samples)),
-		P50:   quantile(samples, 0.50),
-		P95:   quantile(samples, 0.95),
-		P99:   quantile(samples, 0.99),
+		Count: int(h.count),
+		Sum:   h.sum,
+		Min:   h.min,
+		Max:   h.max,
+		Mean:  h.sum / float64(h.count),
+		P50:   h.quantileLocked(0.50),
+		P95:   h.quantileLocked(0.95),
+		P99:   h.quantileLocked(0.99),
 	}
 }
 
-// quantile reads the q-quantile of sorted samples by linear interpolation.
-func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 1 {
-		return sorted[0]
+// quantileLocked estimates the q-quantile from the bucket counts by
+// interpolating WITHIN the bucket containing the target rank — the
+// upper-bound snapping a naive bucketed quantile reports would bias every
+// estimate high by up to a full bucket. The target rank follows the
+// order-statistic interpolation convention (rank 1..count, fractional),
+// and the interpolation window is clamped to the exact [min, max] so the
+// under/overflow buckets and single-value histograms stay exact.
+func (h *Histogram) quantileLocked(q float64) float64 {
+	t := q*float64(h.count-1) + 1
+	var cum int64
+	for b, cnt := range h.buckets {
+		if cnt == 0 {
+			continue
+		}
+		before := cum
+		cum += cnt
+		if t > float64(cum) {
+			continue
+		}
+		lo := h.min
+		if b > 0 {
+			if lb := histUpperBound(b - 1); lb > lo {
+				lo = lb
+			}
+		}
+		hi := h.max
+		if b <= histBuckets {
+			if ub := histUpperBound(b); ub < hi {
+				hi = ub
+			}
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (t - float64(before)) / float64(cnt)
+		est := lo + frac*(hi-lo)
+		if est < h.min {
+			est = h.min
+		}
+		if est > h.max {
+			est = h.max
+		}
+		return est
 	}
-	pos := q * float64(len(sorted)-1)
-	lo := int(math.Floor(pos))
-	hi := int(math.Ceil(pos))
-	if lo == hi {
-		return sorted[lo]
-	}
-	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return h.max
 }
 
 // Counter returns (creating on first use) the named counter. On a nil

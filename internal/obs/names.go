@@ -1,0 +1,148 @@
+package obs
+
+// Canonical metric names. Call sites used to re-type these as string
+// literals ("sqldb.parallel.ops" in one package, "strategy.fallback.*" in
+// another); a single typo silently forked a series. Every engine-emitted
+// name now lives here, either as a constant or as a helper that derives
+// dynamic names (per-strategy, per-fallback-hop) from one format string,
+// and Registry.Check validates whatever actually got registered.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Executor metrics (internal/sqldb).
+const (
+	// MetricParallelOps counts operator executions that genuinely fanned
+	// out across >1 workers.
+	MetricParallelOps = "sqldb.parallel.ops"
+	// MetricParallelMorsels counts morsels dispatched by parallel operators.
+	MetricParallelMorsels = "sqldb.parallel.morsels"
+	// MetricPlanInvalidations counts cached plans discarded because a
+	// dependency's write version moved.
+	MetricPlanInvalidations = "sqldb.cache.plan.invalidations"
+	// MetricQueries counts statements recorded into the query history.
+	MetricQueries = "sqldb.queries"
+	// MetricQueryErrors counts recorded statements that failed.
+	MetricQueryErrors = "sqldb.query.errors"
+	// MetricSlowQueries counts recorded statements over the slow-query
+	// threshold.
+	MetricSlowQueries = "sqldb.query.slow"
+	// MetricQueryWallSeconds is the wall-clock latency histogram of
+	// recorded statements.
+	MetricQueryWallSeconds = "sqldb.query.wall_s"
+)
+
+// Serving-pipe metrics (internal/strategies).
+const (
+	// MetricServingRetries counts serving-batch retry attempts.
+	MetricServingRetries = "serving.retries"
+	// MetricServingBreakerRejected counts calls the circuit breaker
+	// failed fast.
+	MetricServingBreakerRejected = "serving.breaker_rejected"
+	// MetricFallbackTotal counts every fallback-ladder hop.
+	MetricFallbackTotal = "strategy.fallback.total"
+)
+
+// Cache-instrument prefixes: cache.LRU.Instrument appends ".hits",
+// ".misses", ".evictions".
+const (
+	CachePrefixStmt      = "sqldb.cache.stmt"
+	CachePrefixPlan      = "sqldb.cache.plan"
+	CachePrefixInfer     = "strategies.infercache"
+	CacheSuffixHits      = "hits"
+	CacheSuffixMisses    = "misses"
+	CacheSuffixEvictions = "evictions"
+)
+
+// StrategyMetric derives the per-strategy series name for one phase:
+// StrategyMetric("DB-UDF", "queries") = "strategy.DB-UDF.queries".
+// Conventional phases: "queries" (counter), "loading_s", "inference_s",
+// "relational_s", "total_s" (histograms).
+func StrategyMetric(strategy, phase string) string {
+	return "strategy." + strategy + "." + phase
+}
+
+// FallbackMetric derives the per-hop fallback counter name:
+// FallbackMetric("DB-PyTorch", "DB-UDF") = "strategy.fallback.DB-PyTorch->DB-UDF".
+func FallbackMetric(from, to string) string {
+	return "strategy.fallback." + from + "->" + to
+}
+
+// CacheMetric derives a cache-instrument counter name from its prefix:
+// CacheMetric(CachePrefixPlan, CacheSuffixHits) = "sqldb.cache.plan.hits".
+func CacheMetric(prefix, counter string) string {
+	return prefix + "." + counter
+}
+
+// ValidMetricName reports whether a name satisfies the naming contract:
+// non-empty, starts with a letter, built from letters, digits, and the
+// separators '.', '_', '-', '>' (the fallback hop arrow), with no empty
+// dot-separated segment. Names that fail are still registered (instruments
+// never error at the call site) but Registry.Check reports them.
+func ValidMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	c0 := name[0]
+	if !(c0 >= 'a' && c0 <= 'z' || c0 >= 'A' && c0 <= 'Z') {
+		return false
+	}
+	prevDot := false
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '>':
+			prevDot = false
+		case c == '.':
+			if prevDot || i == len(name)-1 {
+				return false
+			}
+			prevDot = true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Check is the registry's self-check: it reports every malformed
+// registered name and every name registered under more than one
+// instrument kind (a counter and a gauge sharing a name is almost always
+// a call-site typo — the two series would silently shadow each other in
+// rendered snapshots). A nil registry and an empty registry both pass.
+func (r *Registry) Check() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	kinds := map[string][]string{}
+	for name := range r.counters {
+		kinds[name] = append(kinds[name], "counter")
+	}
+	for name := range r.gauges {
+		kinds[name] = append(kinds[name], "gauge")
+	}
+	for name := range r.hists {
+		kinds[name] = append(kinds[name], "histogram")
+	}
+	r.mu.Unlock()
+	var problems []string
+	for name, ks := range kinds {
+		if !ValidMetricName(name) {
+			problems = append(problems, fmt.Sprintf("malformed metric name %q", name))
+		}
+		if len(ks) > 1 {
+			sort.Strings(ks)
+			problems = append(problems, fmt.Sprintf("metric %q registered as %s", name, strings.Join(ks, " and ")))
+		}
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	sort.Strings(problems)
+	return fmt.Errorf("obs: registry check failed:\n  %s", strings.Join(problems, "\n  "))
+}

@@ -39,6 +39,38 @@ func SetDefaultDegree(n int) {
 // (runtime.NumCPU() unless overridden).
 func DefaultDegree() int { return int(defaultDegree.Load()) }
 
+// Process-wide occupancy counters, maintained lock-free by every Run.
+// They feed the sqldb `sys.runtime` system table, so the engine can report
+// its own parallel-executor load relationally.
+var (
+	occActive  atomic.Int64
+	occRuns    atomic.Int64
+	occMorsels atomic.Int64
+)
+
+// PoolStats is a point-in-time view of the parallel layer's occupancy.
+type PoolStats struct {
+	// ActiveWorkers counts workers currently inside a Run (including each
+	// run's calling goroutine). 0 when the executor is idle.
+	ActiveWorkers int64
+	// Runs counts Run invocations since process start.
+	Runs int64
+	// Morsels counts morsels dispatched since process start.
+	Morsels int64
+	// DefaultDegree is the process-wide default parallelism degree.
+	DefaultDegree int
+}
+
+// Occupancy reports the current process-wide parallel-layer occupancy.
+func Occupancy() PoolStats {
+	return PoolStats{
+		ActiveWorkers: occActive.Load(),
+		Runs:          occRuns.Load(),
+		Morsels:       occMorsels.Load(),
+		DefaultDegree: DefaultDegree(),
+	}
+}
+
 // Stats reports how one Run distributed its morsels, for skew diagnostics
 // (EXPLAIN ANALYZE renders these per plan node).
 type Stats struct {
@@ -104,6 +136,8 @@ func RunCtx(ctx context.Context, degree, n, morsel int, fn func(worker, lo, hi i
 		morsel = 1
 	}
 	morsels := (n + morsel - 1) / morsel
+	occRuns.Add(1)
+	occMorsels.Add(int64(morsels))
 	workers := degree
 	if workers > morsels {
 		workers = morsels
@@ -111,6 +145,8 @@ func RunCtx(ctx context.Context, degree, n, morsel int, fn func(worker, lo, hi i
 	if workers <= 1 {
 		// Serial path: still iterate morsel-by-morsel when a context is
 		// present, so cancellation latency is one morsel here too.
+		occActive.Add(1)
+		defer occActive.Add(-1)
 		if ctx == nil {
 			fn(0, 0, n)
 			return Stats{Workers: 1, Morsels: morsels, WorkerItems: []int{n}}
@@ -134,6 +170,8 @@ func RunCtx(ctx context.Context, degree, n, morsel int, fn func(worker, lo, hi i
 	var panicked atomic.Bool
 	panicMorsel := make([]any, morsels)
 	work := func(w int) {
+		occActive.Add(1)
+		defer occActive.Add(-1)
 		for {
 			if panicked.Load() || (ctx != nil && ctx.Err() != nil) {
 				return

@@ -89,3 +89,33 @@ func TestSetDefaultDegree(t *testing.T) {
 		t.Fatalf("degree should clamp to 1, got %d", DefaultDegree())
 	}
 }
+
+func TestOccupancy(t *testing.T) {
+	before := Occupancy()
+	Run(4, 10_000, 100, func(w, lo, hi int) {})
+	after := Occupancy()
+	if after.Runs != before.Runs+1 {
+		t.Fatalf("runs %d -> %d, want +1", before.Runs, after.Runs)
+	}
+	if after.Morsels != before.Morsels+100 {
+		t.Fatalf("morsels %d -> %d, want +100", before.Morsels, after.Morsels)
+	}
+	if after.ActiveWorkers != before.ActiveWorkers {
+		t.Fatalf("active workers leaked: %d -> %d", before.ActiveWorkers, after.ActiveWorkers)
+	}
+	if after.DefaultDegree < 1 {
+		t.Fatalf("default degree %d", after.DefaultDegree)
+	}
+
+	// Workers inside a run are visible while it executes.
+	seen := make(chan int64, 1)
+	Run(2, 2_000, 1_000, func(w, lo, hi int) {
+		select {
+		case seen <- Occupancy().ActiveWorkers:
+		default:
+		}
+	})
+	if got := <-seen; got < 1 {
+		t.Fatalf("active workers during run = %d, want >= 1", got)
+	}
+}

@@ -72,6 +72,30 @@ func Lifecycle(err error) bool {
 		errors.Is(err, ErrInternal)
 }
 
+// Class maps an error onto its stable lifecycle class name, the label used
+// by the query history (`sys.queries.err_class`), the slow-query log, and
+// error-class metrics. nil maps to "", the five sentinels map to
+// "cancelled", "timeout", "memory_budget", "serving_unavailable", and
+// "internal", and any other error maps to "error".
+func Class(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrCancelled):
+		return "cancelled"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrMemoryBudget):
+		return "memory_budget"
+	case errors.Is(err, ErrServingUnavailable):
+		return "serving_unavailable"
+	case errors.Is(err, ErrInternal):
+		return "internal"
+	default:
+		return "error"
+	}
+}
+
 // Recovered converts a recovered panic value into an ErrInternal-wrapped
 // error, tagged with the boundary that caught it. If the panic value is
 // itself an error already carrying a lifecycle sentinel, it is preserved.

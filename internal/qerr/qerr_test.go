@@ -64,3 +64,27 @@ func TestRecovered(t *testing.T) {
 		t.Fatalf("error panic value gave %v, want ErrInternal", got)
 	}
 }
+
+func TestClass(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{ErrCancelled, "cancelled"},
+		{ErrTimeout, "timeout"},
+		{ErrMemoryBudget, "memory_budget"},
+		{ErrServingUnavailable, "serving_unavailable"},
+		{ErrInternal, "internal"},
+		{fmt.Errorf("outer: %w", ErrTimeout), "timeout"},
+		{Recovered("boundary", "boom"), "internal"},
+		{FromContext(context.Canceled), "cancelled"},
+		{FromContext(context.DeadlineExceeded), "timeout"},
+		{errors.New("syntax error"), "error"},
+	}
+	for _, c := range cases {
+		if got := Class(c.err); got != c.want {
+			t.Errorf("Class(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}

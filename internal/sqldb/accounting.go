@@ -1,0 +1,175 @@
+package sqldb
+
+// Per-query resource accounting.
+//
+// When DB.History is armed, every statement executed through a public
+// entry point runs with a queryAcct attached to its context. The executor
+// feeds it from the same instrumentation points that already feed the
+// session profile — ec.profAdd at every operator accounting site, notePar
+// at every morsel fan-out — so the accounting's always-on cost is a nil
+// check plus a handful of atomic adds per operator, not per row. At
+// statement end the accumulated numbers become one obs.QueryRecord in the
+// history ring (and, over the slow threshold, one structured slow-log
+// line), plus the engine-level counters/histogram in DB.Metrics.
+//
+// Counter fields are atomics because operator accounting can run on morsel
+// workers; cacheState is only written by the statement's own goroutine
+// during planning, before any worker exists, and read after execution
+// completes, so it needs no synchronization.
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/qerr"
+)
+
+// queryAcct accumulates one statement's resource usage.
+type queryAcct struct {
+	busyNanos   atomic.Int64
+	rowsScanned atomic.Int64
+	morsels     atomic.Int64
+	parallelOps atomic.Int64
+	udfCalls    atomic.Int64
+
+	cacheState string
+}
+
+// acctKey carries the statement's queryAcct through the context.
+type acctKey struct{}
+
+// withAcct attaches an accounting struct to the context.
+func withAcct(ctx context.Context, a *queryAcct) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, acctKey{}, a)
+}
+
+// acctFrom recovers the statement's accounting struct, if any.
+func acctFrom(ctx context.Context) *queryAcct {
+	if ctx == nil {
+		return nil
+	}
+	a, _ := ctx.Value(acctKey{}).(*queryAcct)
+	return a
+}
+
+// profAdd is the executor's operator accounting point: it feeds the
+// session profile exactly like Profile.add always has, and additionally
+// charges the statement's accounting when one is attached. Scan-shaped
+// operators also advance the rows-scanned tally.
+func (ec *execCtx) profAdd(op string, rows int, d time.Duration) {
+	ec.prof.add(op, rows, d)
+	if a := ec.acct; a != nil {
+		a.busyNanos.Add(d.Nanoseconds())
+		if op == OpScan {
+			a.rowsScanned.Add(int64(rows))
+		}
+	}
+}
+
+// countUDFs wraps a compiled expression evaluator so each evaluation
+// charges the statement's UDF-call tally. n is the number of UDF
+// references in the source expression (each is invoked once per row
+// evaluation). Returns fn unchanged when no accounting is attached or the
+// expression calls no UDFs, so the common path allocates nothing.
+func (ec *execCtx) countUDFs(n int, fn evalFn) evalFn {
+	a := ec.acct
+	if a == nil || n == 0 {
+		return fn
+	}
+	nn := int64(n)
+	return func(r *Result, row int) (Datum, error) {
+		a.udfCalls.Add(nn)
+		return fn(r, row)
+	}
+}
+
+// execStmtRecorded is execStmt plus history recording. With no history
+// armed it is a plain passthrough; with one, the statement runs with an
+// accounting context and leaves one QueryRecord behind — including on
+// error and on recovered panic.
+func (db *DB) execStmtRecorded(ctx context.Context, st Stmt, sql string, hints *QueryHints) (*Result, error) {
+	if db.History == nil {
+		return db.execStmt(ctx, st, hints)
+	}
+	return db.recordQuery(ctx, sql, func(ctx context.Context) (*Result, error) {
+		return db.execStmt(ctx, st, hints)
+	})
+}
+
+// recordQuery runs fn with a fresh accounting context and records the
+// outcome into the history ring and the engine metrics. Callers must have
+// checked db.History != nil (execStmtRecorded and the prepared-statement
+// fast path do).
+func (db *DB) recordQuery(ctx context.Context, sql string, fn func(ctx context.Context) (*Result, error)) (res *Result, err error) {
+	hist := db.History
+	acct := &queryAcct{}
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, qerr.Recovered("sqldb exec", r)
+		}
+		wall := time.Since(start)
+		rec := obs.QueryRecord{
+			SQL:         sql,
+			Strategy:    "sql",
+			CacheState:  acct.cacheState,
+			Start:       start,
+			Wall:        wall,
+			Busy:        time.Duration(acct.busyNanos.Load()),
+			RowsScanned: acct.rowsScanned.Load(),
+			Morsels:     acct.morsels.Load(),
+			ParallelOps: acct.parallelOps.Load(),
+			UDFCalls:    acct.udfCalls.Load(),
+			ErrClass:    qerr.Class(err),
+		}
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		if res != nil {
+			rec.RowsOut = int64(res.NumRows())
+			for _, c := range res.Cols {
+				rec.BytesOut += c.ApproxBytes()
+			}
+		}
+		hist.Add(rec)
+		if m := db.Metrics; m != nil {
+			m.Counter(obs.MetricQueries).Add(1)
+			if err != nil {
+				m.Counter(obs.MetricQueryErrors).Add(1)
+			}
+			if thr := hist.SlowThreshold(); thr > 0 && wall >= thr {
+				m.Counter(obs.MetricSlowQueries).Add(1)
+			}
+			m.Histogram(obs.MetricQueryWallSeconds).Observe(wall.Seconds())
+		}
+	}()
+	return fn(withAcct(ctx, acct))
+}
+
+// noteCacheState records the statement-level plan-cache outcome once (the
+// first planned SELECT wins; UNION ALL branches and subqueries do not
+// overwrite it).
+func (a *queryAcct) noteCacheState(state string) {
+	if a != nil && a.cacheState == "" {
+		a.cacheState = state
+	}
+}
+
+// cacheStateOf labels a planSelectCached outcome for the query history.
+func (db *DB) cacheStateOf(hit, cacheable bool) string {
+	switch {
+	case !db.CacheEnabled():
+		return "disabled"
+	case hit:
+		return "hit"
+	case !cacheable:
+		return "bypass"
+	default:
+		return "miss"
+	}
+}

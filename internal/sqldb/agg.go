@@ -342,7 +342,6 @@ func rewriteAggRefs(e Expr, aggCols map[string]string, grpCols map[string]string
 // execAgg performs hash aggregation and evaluates the SELECT items over the
 // per-group aggregate values.
 func (db *DB) execAgg(a *LAgg, ec *execCtx) (*Result, error) {
-	prof := ec.prof
 	child, err := db.execPlan(a.Child, ec)
 	if err != nil {
 		return nil, err
@@ -625,7 +624,7 @@ func (db *DB) execAgg(a *LAgg, ec *execCtx) (*Result, error) {
 		out.Cols = append(out.Cols, col)
 		out.Schema = append(out.Schema, OutCol{Name: name, Type: col.Type})
 	}
-	prof.add(OpGroupBy, n, time.Since(start))
+	ec.profAdd(OpGroupBy, n, time.Since(start))
 	return out, nil
 }
 

@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/qerr"
 )
 
@@ -71,9 +72,9 @@ func (db *DB) EnableCache(capacity int) {
 	}
 	db.stmtCache = cache.New[string, Stmt](capacity)
 	db.planCache = cache.New[string, *planEntry](capacity)
-	db.stmtCache.Instrument(db.Metrics, "sqldb.cache.stmt")
-	db.planCache.Instrument(db.Metrics, "sqldb.cache.plan")
-	db.planInvalidCtr = db.Metrics.Counter("sqldb.cache.plan.invalidations")
+	db.stmtCache.Instrument(db.Metrics, obs.CachePrefixStmt)
+	db.planCache.Instrument(db.Metrics, obs.CachePrefixPlan)
+	db.planInvalidCtr = db.Metrics.Counter(obs.MetricPlanInvalidations)
 }
 
 // CacheEnabled reports whether EnableCache is active.
@@ -220,7 +221,10 @@ func (db *DB) planSelectCached(sel *SelectStmt, hints *QueryHints) (plan Plan, h
 		return nil, false, true, noCommit, err
 	}
 	if !depsOK {
-		return p, false, true, noCommit, nil
+		// Unresolvable relations include sys.* virtual tables, whose rows
+		// are volatile by design — the cache never serves these plans, so
+		// they surface as "bypass" in EXPLAIN and the query history.
+		return p, false, false, noCommit, nil
 	}
 	return p, false, true, func() { pc.Put(key, &planEntry{plan: p, deps: deps}) }, nil
 }
@@ -403,17 +407,24 @@ func (p *Prepared) QueryContext(ctx context.Context, args ...Datum) (res *Result
 		return nil, fmt.Errorf("sqldb: prepared statement wants %d arguments, got %d", p.n, len(args))
 	}
 	if sel, isSel := p.stmt.(*SelectStmt); isSel && !p.paramsInSub && len(sel.UnionAll) == 0 {
-		plan, _, _, commit, err := p.db.planSelectCached(sel, nil)
-		if err != nil {
-			return nil, err
+		run := func(ctx context.Context) (*Result, error) {
+			plan, hit, cacheable, commit, err := p.db.planSelectCached(sel, nil)
+			if err != nil {
+				return nil, err
+			}
+			acctFrom(ctx).noteCacheState(p.db.cacheStateOf(hit, cacheable))
+			bound, _ := bindPlanParams(plan, args)
+			res, err := p.db.execPlanTraced(ctx, bound)
+			if err != nil {
+				return nil, err
+			}
+			commit()
+			return res, nil
 		}
-		bound, _ := bindPlanParams(plan, args)
-		res, err := p.db.execPlanTraced(ctx, bound)
-		if err != nil {
-			return nil, err
+		if p.db.History != nil {
+			return p.db.recordQuery(ctx, sel.String(), run)
 		}
-		commit()
-		return res, nil
+		return run(ctx)
 	}
 	// Parameters inside subqueries (or non-SELECT statements): substitute
 	// into a copy of the AST and run the normal path.
@@ -421,7 +432,7 @@ func (p *Prepared) QueryContext(ctx context.Context, args ...Datum) (res *Result
 	if err != nil {
 		return nil, err
 	}
-	return p.db.execStmt(ctx, st, nil)
+	return p.db.execStmtRecorded(ctx, st, st.String(), nil)
 }
 
 // Exec is Query for statements that may not return rows (INSERT, UPDATE,
@@ -450,7 +461,7 @@ func (p *Prepared) ExecContext(ctx context.Context, args ...Datum) (res *Result,
 	if err != nil {
 		return nil, err
 	}
-	return p.db.execStmt(ctx, st, nil)
+	return p.db.execStmtRecorded(ctx, st, st.String(), nil)
 }
 
 // countStmtParams counts `?` placeholders and reports whether any sit

@@ -41,6 +41,14 @@ type DB struct {
 	// and morsel totals). A nil registry costs nothing.
 	Metrics *obs.Registry
 
+	// History, when non-nil, receives one QueryRecord per statement
+	// executed through the public entry points: normalized SQL, cache
+	// state, per-query resource accounting (rows, bytes, morsels, UDF
+	// calls), wall/busy time, and error class. The sys.queries and
+	// sys.slow_queries virtual tables render it relationally. A nil
+	// history keeps execution on the unrecorded fast path.
+	History *obs.QueryHistory
+
 	// MemoryBudget caps the approximate bytes one query may materialize
 	// across operator outputs; a query exceeding it fails with an error
 	// matching qerr.ErrMemoryBudget instead of OOMing the process. 0 (the
@@ -63,6 +71,12 @@ type DB struct {
 	// version moved (DDL or DML on a referenced table, or a replaced view).
 	planInvalidations atomic.Int64
 	planInvalidCtr    *obs.Counter
+
+	// sysTables is the virtual-table catalog (see systable.go); nil until
+	// EnableSysCatalog or RegisterSysTable. sysCacheFns are extra
+	// sys.cache row providers from higher layers.
+	sysTables   map[string]*SysTable
+	sysCacheFns []func() []CacheStat
 
 	leftJoinSeq int // composite-relation alias counter
 }
@@ -264,10 +278,11 @@ func (db *DB) execStmt(ctx context.Context, st Stmt, hints *QueryHints) (*Result
 }
 
 func (db *DB) runSelect(ctx context.Context, sel *SelectStmt, hints *QueryHints) (*Result, error) {
-	plan, _, _, commit, err := db.planSelectCached(sel, hints)
+	plan, hit, cacheable, commit, err := db.planSelectCached(sel, hints)
 	if err != nil {
 		return nil, err
 	}
+	acctFrom(ctx).noteCacheState(db.cacheStateOf(hit, cacheable))
 	res, err := db.execPlanTraced(ctx, plan)
 	if err != nil {
 		return res, err

@@ -186,6 +186,10 @@ type execCtx struct {
 	memBudget int64
 	memUsed   *atomic.Int64
 	faults    *faults.Injector
+
+	// acct is the statement's resource accounting, non-nil only when the
+	// DB has a query history armed (see accounting.go).
+	acct *queryAcct
 }
 
 // execPlan evaluates a plan tree to a materialized result, recording
@@ -242,6 +246,8 @@ func planNodeName(p Plan) string {
 	switch t := p.(type) {
 	case *LScan:
 		return "Scan " + t.Table
+	case *LSysScan:
+		return "SysScan " + t.SysTable.Name
 	case *LFilter:
 		return "Filter"
 	case *LJoin:
@@ -264,10 +270,11 @@ func planNodeName(p Plan) string {
 
 // execPlanNode dispatches one plan node.
 func (db *DB) execPlanNode(p Plan, ec *execCtx) (*Result, error) {
-	prof := ec.prof
 	switch t := p.(type) {
 	case *LScan:
 		return db.execScan(t, ec)
+	case *LSysScan:
+		return db.execSysScan(t, ec)
 	case *LFilter:
 		child, err := db.execPlan(t.Child, ec)
 		if err != nil {
@@ -285,7 +292,7 @@ func (db *DB) execPlanNode(p Plan, ec *execCtx) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return db.execDistinct(child, prof)
+		return db.execDistinct(child, ec)
 	case *LSort:
 		child, err := db.execPlan(t.Child, ec)
 		if err != nil {
@@ -297,7 +304,7 @@ func (db *DB) execPlanNode(p Plan, ec *execCtx) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return db.execLimit(child, t.N, t.Offset, prof)
+		return db.execLimit(child, t.N, t.Offset, ec)
 	case *aliasPlan:
 		child, err := db.execPlan(t.Child, ec)
 		if err != nil {
@@ -319,7 +326,7 @@ func (db *DB) execScan(s *LScan, ec *execCtx) (*Result, error) {
 	// lengths (appends write at indices beyond every snapshot's length;
 	// in-place UPDATEs still require external coordination).
 	res := &Result{Schema: s.schema, Cols: t.SnapshotCols()}
-	ec.prof.add(OpScan, res.NumRows(), time.Since(start))
+	ec.profAdd(OpScan, res.NumRows(), time.Since(start))
 	if len(s.Filters) > 0 {
 		return db.execFilter(res, s.Filters, ec, OpFilter)
 	}
@@ -349,7 +356,7 @@ func (db *DB) execFilter(in *Result, conds []Expr, ec *execCtx, opName string) (
 		if err != nil {
 			return nil, err
 		}
-		preds[i] = f
+		preds[i] = ec.countUDFs(len(db.exprUDFs(c)), f)
 	}
 	n := in.NumRows()
 
@@ -386,7 +393,7 @@ func (db *DB) execFilter(in *Result, conds []Expr, ec *execCtx, opName string) (
 	for i, c := range in.Cols {
 		out.Cols[i] = c.Gather(keep)
 	}
-	ec.prof.add(opName, n, time.Since(start))
+	ec.profAdd(opName, n, time.Since(start))
 	return out, nil
 }
 
@@ -431,7 +438,6 @@ func filterRange(in *Result, vecs []vectorPred, preds []evalFn, lo, hi int) ([]i
 }
 
 func (db *DB) execProject(p *LProject, ec *execCtx) (*Result, error) {
-	prof := ec.prof
 	var child *Result
 	if p.Child != nil {
 		var err error
@@ -482,6 +488,7 @@ func (db *DB) execProject(p *LProject, ec *execCtx) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		fn = ec.countUDFs(len(db.exprUDFs(it.Expr)), fn)
 		projs = append(projs, proj{fn: fn, col: -1, expr: it.Expr})
 	}
 	// Computed items are evaluated column-at-a-time into datum slices —
@@ -547,7 +554,7 @@ func (db *DB) execProject(p *LProject, ec *execCtx) (*Result, error) {
 		out.Cols = append(out.Cols, col)
 		out.Schema[pi].Type = col.Type
 	}
-	prof.add(OpProject, n, time.Since(start))
+	ec.profAdd(OpProject, n, time.Since(start))
 	return out, nil
 }
 
@@ -557,7 +564,7 @@ func (db *DB) execProject(p *LProject, ec *execCtx) (*Result, error) {
 // upstream operators must produce deterministic row order — which the
 // parallel operators guarantee by concatenating morsel outputs in morsel
 // order.
-func (db *DB) execDistinct(in *Result, prof *Profile) (*Result, error) {
+func (db *DB) execDistinct(in *Result, ec *execCtx) (*Result, error) {
 	start := time.Now()
 	n := in.NumRows()
 	seen := make(map[string]struct{}, n)
@@ -578,7 +585,7 @@ func (db *DB) execDistinct(in *Result, prof *Profile) (*Result, error) {
 	for i, c := range in.Cols {
 		out.Cols[i] = c.Gather(keep)
 	}
-	prof.add(OpDistinct, n, time.Since(start))
+	ec.profAdd(OpDistinct, n, time.Since(start))
 	return out, nil
 }
 
@@ -588,7 +595,6 @@ func (db *DB) execDistinct(in *Result, prof *Profile) (*Result, error) {
 // parallelism degree (pinned by TestOrderingContracts). The comparison
 // loop itself stays serial; only key pre-evaluation fans out.
 func (db *DB) execSort(in *Result, keys []OrderItem, ec *execCtx) (*Result, error) {
-	prof := ec.prof
 	start := time.Now()
 	fns := make([]evalFn, len(keys))
 	keyExprs := make([]Expr, len(keys))
@@ -597,7 +603,7 @@ func (db *DB) execSort(in *Result, keys []OrderItem, ec *execCtx) (*Result, erro
 		if err != nil {
 			return nil, err
 		}
-		fns[i] = f
+		fns[i] = ec.countUDFs(len(db.exprUDFs(k.Expr)), f)
 		keyExprs[i] = k.Expr
 	}
 	n := in.NumRows()
@@ -654,7 +660,7 @@ func (db *DB) execSort(in *Result, keys []OrderItem, ec *execCtx) (*Result, erro
 	for i, c := range in.Cols {
 		out.Cols[i] = c.Gather(idx)
 	}
-	prof.add(OpSort, n, time.Since(start))
+	ec.profAdd(OpSort, n, time.Since(start))
 	return out, nil
 }
 
@@ -662,7 +668,7 @@ func (db *DB) execSort(in *Result, keys []OrderItem, ec *execCtx) (*Result, erro
 // ORDER. Like Distinct it relies on deterministic upstream order (pinned
 // by TestOrderingContracts); the parallel operators provide it by
 // concatenating morsel outputs in morsel order.
-func (db *DB) execLimit(in *Result, limit, offset int, prof *Profile) (*Result, error) {
+func (db *DB) execLimit(in *Result, limit, offset int, ec *execCtx) (*Result, error) {
 	start := time.Now()
 	n := in.NumRows()
 	lo := offset
@@ -681,6 +687,6 @@ func (db *DB) execLimit(in *Result, limit, offset int, prof *Profile) (*Result, 
 	for i, c := range in.Cols {
 		out.Cols[i] = c.Gather(idx)
 	}
-	prof.add(OpLimit, n, time.Since(start))
+	ec.profAdd(OpLimit, n, time.Since(start))
 	return out, nil
 }

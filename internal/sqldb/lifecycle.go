@@ -93,7 +93,7 @@ func (db *DB) effectiveBudget() int64 {
 
 // newExecCtx assembles the per-query execution context.
 func (db *DB) newExecCtx(ctx context.Context) *execCtx {
-	ec := &execCtx{prof: db.Profile, par: db.parDegree(), ctx: normCtx(ctx), faults: db.Faults}
+	ec := &execCtx{prof: db.Profile, par: db.parDegree(), ctx: normCtx(ctx), faults: db.Faults, acct: acctFrom(ctx)}
 	if b := db.effectiveBudget(); b > 0 {
 		ec.memBudget = b
 		ec.memUsed = new(atomic.Int64)
@@ -143,7 +143,7 @@ func (db *DB) QueryContext(ctx context.Context, sql string) (res *Result, err er
 	if !ok {
 		return nil, fmt.Errorf("sqldb: Query expects a SELECT, got %T", stmt)
 	}
-	return db.runSelect(ctx, sel, nil)
+	return db.execStmtRecorded(ctx, sel, sel.String(), nil)
 }
 
 // ExecHintedContext is ExecHinted with cancellation and deadline support.
@@ -163,7 +163,7 @@ func (db *DB) ExecHintedContext(ctx context.Context, sql string, hints *QueryHin
 		// Single cached statements skip the lexer and parser entirely;
 		// multi-statement scripts fall through to ParseMulti.
 		if st, ok := sc.Get(normalizeSQL(sql)); ok {
-			return db.execStmt(ctx, st, hints)
+			return db.execStmtRecorded(ctx, st, st.String(), hints)
 		}
 	}
 	stmts, err := ParseMulti(sql)
@@ -177,7 +177,7 @@ func (db *DB) ExecHintedContext(ctx context.Context, sql string, hints *QueryHin
 	}
 	var last *Result
 	for _, st := range stmts {
-		last, err = db.execStmt(ctx, st, hints)
+		last, err = db.execStmtRecorded(ctx, st, st.String(), hints)
 		if err != nil {
 			return nil, err
 		}
@@ -195,5 +195,5 @@ func (db *DB) ExecStmtContext(ctx context.Context, st Stmt, hints *QueryHints) (
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	return db.execStmt(ctx, st, hints)
+	return db.execStmtRecorded(ctx, st, st.String(), hints)
 }

@@ -503,6 +503,9 @@ func explainNode(sb *strings.Builder, p Plan, depth int, stats map[Plan]*NodeSta
 			}
 		}
 		actuals()
+	case *LSysScan:
+		fmt.Fprintf(sb, "%sSysScan %s as %s (est %.0f rows)", indent, t.SysTable.Name, t.Alias, t.EstRows)
+		actuals()
 	case *LFilter:
 		fmt.Fprintf(sb, "%sFilter", indent)
 		for _, f := range t.Conds {

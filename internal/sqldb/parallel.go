@@ -3,6 +3,7 @@ package sqldb
 import (
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -106,12 +107,18 @@ func walkExpr(e Expr, fn func(Expr)) {
 // when a metrics registry is attached. Serial runs (one worker) are not
 // recorded — the annotation marks genuine fan-out.
 func (db *DB) notePar(ec *execCtx, s par.Stats) {
+	if a := ec.acct; a != nil {
+		a.morsels.Add(int64(s.Morsels))
+		if s.Workers > 1 {
+			a.parallelOps.Add(1)
+		}
+	}
 	if s.Workers <= 1 {
 		return
 	}
 	if m := db.Metrics; m != nil {
-		m.Counter("sqldb.parallel.ops").Add(1)
-		m.Counter("sqldb.parallel.morsels").Add(int64(s.Morsels))
+		m.Counter(obs.MetricParallelOps).Add(1)
+		m.Counter(obs.MetricParallelMorsels).Add(int64(s.Morsels))
 	}
 	if ec.nodes == nil || ec.node == nil {
 		return

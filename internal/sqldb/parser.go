@@ -479,7 +479,19 @@ func (p *parser) parseTableAtom() (*TableRef, error) {
 	if err != nil {
 		return nil, err
 	}
-	ref := &TableRef{Table: name, Alias: name}
+	alias := name
+	if p.eatOp(".") {
+		// Dotted table name (catalog-qualified, e.g. sys.queries). The full
+		// dotted string is the table name; the default alias is the last
+		// segment so `SELECT queries.sql FROM sys.queries` resolves.
+		part, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		name = name + "." + part
+		alias = part
+	}
+	ref := &TableRef{Table: name, Alias: alias}
 	if p.eatKw("as") {
 		a, err := p.ident()
 		if err != nil {

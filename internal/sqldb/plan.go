@@ -372,8 +372,11 @@ type aliasPlan struct {
 func (*aliasPlan) planNode()             {}
 func (p *aliasPlan) OutSchema() []OutCol { return p.schema }
 
-// newScan plans a base-table or view access.
+// newScan plans a base-table, view, or virtual-table access.
 func (db *DB) newScan(table, alias string) (Plan, error) {
+	if st := db.lookupSysTable(table); st != nil {
+		return db.newSysScan(st, alias), nil
+	}
 	if v := db.lookupView(table); v != nil {
 		sub, err := db.planSelect(v.Query, nil)
 		if err != nil {

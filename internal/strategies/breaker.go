@@ -224,7 +224,8 @@ func (env *Context) serveWithRetry(ctx context.Context, artifact []byte, cands [
 			return nil, nil, err
 		}
 		if err := env.Breaker.Allow(); err != nil {
-			env.count("serving.breaker_rejected")
+			env.count(obs.MetricServingBreakerRejected)
+			stratAcctFrom(ctx).noteBreakerRejected()
 			return nil, nil, err
 		}
 		actx := ctx
@@ -251,7 +252,8 @@ func (env *Context) serveWithRetry(ctx context.Context, artifact []byte, cands [
 			return nil, nil, err
 		}
 		lastErr = err
-		env.count("serving.retries")
+		env.count(obs.MetricServingRetries)
+		stratAcctFrom(ctx).noteRetry()
 		if attempt < pol.MaxAttempts {
 			if serr := sleepCtx(ctx, pol.backoff(attempt, rng)); serr != nil {
 				return nil, nil, serr

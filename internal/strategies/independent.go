@@ -314,6 +314,7 @@ func servingLoop(ctx context.Context, inj *faults.Injector, artifact []byte, req
 		start := time.Now()
 		idx, _, err := model.Predict(in)
 		stats.inferSecs += time.Since(start).Seconds()
+		stratAcctFrom(ctx).noteInfer(1)
 		if err != nil {
 			return fmt.Errorf("serving: inference %d: %w", i, err)
 		}

@@ -18,6 +18,7 @@ package strategies
 import (
 	"repro/internal/cache"
 	"repro/internal/dl2sql"
+	"repro/internal/obs"
 )
 
 // InferKey identifies one memoizable inference: the hash of the compiled
@@ -41,7 +42,7 @@ func (env *Context) EnableInferCache(capacity int) {
 		return
 	}
 	env.InferCache = cache.New[InferKey, int](capacity)
-	env.InferCache.Instrument(env.Metrics, "strategies.infercache")
+	env.InferCache.Instrument(env.Metrics, obs.CachePrefixInfer)
 	env.SQLCache = dl2sql.NewPipelineCache(capacity, capacity)
 	env.SQLCache.Instrument(env.Metrics)
 }

@@ -107,6 +107,13 @@ type Context struct {
 	// Metrics, when non-nil, accumulates per-strategy phase latency
 	// histograms and query counters across Execute calls.
 	Metrics *obs.Registry
+	// History, when non-nil, receives one strategy-level QueryRecord per
+	// ExecuteWithFallback call: strategy name, fallback path, serving
+	// retries, and inference-call counts — the accounting the engine-level
+	// recorder cannot see. Share the engine's ring (Dataset.DB.History) to
+	// interleave both layers in sys.queries, or use a separate ring to keep
+	// them apart.
+	History *obs.QueryHistory
 	// InferCache, when non-nil, memoizes (model, keyframe) → class index
 	// for the DB-UDF and DB-PyTorch strategies. Enable with
 	// EnableInferCache; nil disables memoization at zero cost.
@@ -149,12 +156,11 @@ func (env *Context) recordBreakdown(strategy string, bd CostBreakdown) {
 	if env.Metrics == nil {
 		return
 	}
-	prefix := "strategy." + strategy
-	env.Metrics.Counter(prefix + ".queries").Add(1)
-	env.Metrics.Histogram(prefix + ".loading_s").Observe(bd.Loading)
-	env.Metrics.Histogram(prefix + ".inference_s").Observe(bd.Inference)
-	env.Metrics.Histogram(prefix + ".relational_s").Observe(bd.Relational)
-	env.Metrics.Histogram(prefix + ".total_s").Observe(bd.Total())
+	env.Metrics.Counter(obs.StrategyMetric(strategy, "queries")).Add(1)
+	env.Metrics.Histogram(obs.StrategyMetric(strategy, "loading_s")).Observe(bd.Loading)
+	env.Metrics.Histogram(obs.StrategyMetric(strategy, "inference_s")).Observe(bd.Inference)
+	env.Metrics.Histogram(obs.StrategyMetric(strategy, "relational_s")).Observe(bd.Relational)
+	env.Metrics.Histogram(obs.StrategyMetric(strategy, "total_s")).Observe(bd.Total())
 }
 
 // NewContext assembles a context over a dataset with the default profile.
@@ -289,6 +295,23 @@ func fallbackFor(s Strategy) Strategy {
 // degradation engaged; each hop is also recorded as a
 // "strategy.fallback.<from>→<to>" metrics counter and a fallback span.
 func ExecuteWithFallback(ctx context.Context, env *Context, s Strategy, q *colquery.Query) (*sqldb.Result, CostBreakdown, error) {
+	if env.History == nil {
+		res, bd, _, err := executeWithFallback(ctx, env, s, q)
+		return res, bd, err
+	}
+	// Recorded execution: thread a strategy-level accounting struct through
+	// the context (the serving retry loop and both native inference paths
+	// charge it) and leave one QueryRecord behind — including on error.
+	acct := &stratAcct{}
+	start := time.Now()
+	res, bd, final, err := executeWithFallback(withStratAcct(ctx, acct), env, s, q)
+	env.recordExecution(q.SQL, final, bd, acct, start, res, err)
+	return res, bd, err
+}
+
+// executeWithFallback is the fallback-ladder loop; it additionally returns
+// the name of the strategy that answered (or failed last) for recording.
+func executeWithFallback(ctx context.Context, env *Context, s Strategy, q *colquery.Query) (*sqldb.Result, CostBreakdown, string, error) {
 	var bd CostBreakdown
 	var path []string
 	for {
@@ -300,23 +323,23 @@ func ExecuteWithFallback(ctx context.Context, env *Context, s Strategy, q *colqu
 			if len(path) > 0 {
 				bd.FallbackPath = append(path, s.Name())
 			}
-			return res, bd, nil
+			return res, bd, s.Name(), nil
 		}
 		next := fallbackFor(s)
 		if next == nil || !errors.Is(err, qerr.ErrServingUnavailable) {
 			bd.FallbackPath = path
-			return nil, bd, err
+			return nil, bd, s.Name(), err
 		}
 		if qerr.FromContext(ctx.Err()) != nil {
 			// The query itself is done; degradation would run a fresh
 			// strategy against a dead context.
 			bd.FallbackPath = path
-			return nil, bd, err
+			return nil, bd, s.Name(), err
 		}
 		path = append(path, s.Name())
 		if env.Metrics != nil {
-			env.Metrics.Counter("strategy.fallback." + s.Name() + "->" + next.Name()).Add(1)
-			env.Metrics.Counter("strategy.fallback.total").Add(1)
+			env.Metrics.Counter(obs.FallbackMetric(s.Name(), next.Name())).Add(1)
+			env.Metrics.Counter(obs.MetricFallbackTotal).Add(1)
 		}
 		sp := env.Tracer.StartSpan("fallback:" + s.Name() + "->" + next.Name())
 		sp.SetAttr("cause", err.Error())

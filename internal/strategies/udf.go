@@ -108,6 +108,7 @@ func (s *DBUDF) Execute(ctx context.Context, env *Context, q *colquery.Query) (*
 				start := time.Now()
 				idx, _, err := mc.Predict(in)
 				elapsed := time.Since(start).Seconds()
+				stratAcctFrom(ctx).noteInfer(1)
 				callSpan.Finish()
 				mu.Lock()
 				inferSecs += elapsed
