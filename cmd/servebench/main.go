@@ -1,0 +1,233 @@
+// Command servebench measures serving-layer throughput: an in-process
+// sqlserved instance over a generated fact table, hammered by N concurrent
+// client sessions each running the same filter+group-by query in a closed
+// loop. It reports queries/second and latency percentiles per concurrency
+// level, and the concurrency-8 vs concurrency-1 speedup that BENCH_server.json
+// gates on (>=3x on >=4-core hardware; self-gated below that, same policy
+// as cmd/parbench).
+//
+//	servebench -rows 50000 -dur 2s
+//	servebench -rows 50000 -dur 2s -levels 1,8,32 -json > BENCH_server.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/sqldb"
+)
+
+const benchQuery = `SELECT grp, count(*) AS c, avg(v) AS m FROM pt WHERE v > 10 GROUP BY grp ORDER BY grp`
+
+type levelResult struct {
+	Concurrency int     `json:"concurrency"`
+	Queries     int     `json:"queries"`
+	QPS         float64 `json:"qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
+func main() {
+	rows := flag.Int("rows", 50000, "fact table rows")
+	dur := flag.Duration("dur", 2*time.Second, "measurement window per concurrency level")
+	levels := flag.String("levels", "1,8,32", "comma-separated client concurrency levels")
+	maxConcurrent := flag.Int("max-concurrent", 64, "server admission MaxConcurrent (kept above the client fan-out so admission is not the bottleneck)")
+	parallel := flag.Int("parallel", 1, "per-query executor parallelism (1 = serial per query; inter-query parallelism is what this bench scales)")
+	asJSON := flag.Bool("json", false, "emit BENCH_server.json document on stdout")
+	flag.Parse()
+
+	db := sqldb.New()
+	db.Metrics = obs.NewRegistry()
+	db.Parallelism = *parallel
+	db.EnableCache(128)
+	db.EnableSysCatalog()
+	if _, err := db.Exec(`CREATE TABLE pt (id Int64, grp Int64, v Float64)`); err != nil {
+		panic(err)
+	}
+	pt := db.GetTable("pt")
+	state := uint64(12345)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := 0; i < *rows; i++ {
+		if err := pt.AppendRow([]sqldb.Datum{
+			sqldb.Int(int64(i)),
+			sqldb.Int(int64(next() % 37)),
+			sqldb.Float(float64(next()%10000) / 100.0),
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	srv := server.New(db, nil, server.Config{
+		Admission: server.AdmissionConfig{MaxConcurrent: *maxConcurrent, MaxQueue: 4096},
+	})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Drain()
+
+	var results []levelResult
+	for _, lvl := range parseLevels(*levels) {
+		r := runLevel(hs, lvl, *dur)
+		results = append(results, r)
+		if !*asJSON {
+			fmt.Printf("concurrency %-3d  %6d queries  %8.1f qps  p50=%.2fms p99=%.2fms\n",
+				r.Concurrency, r.Queries, r.QPS, r.P50Ms, r.P99Ms)
+		}
+	}
+
+	byLevel := map[int]levelResult{}
+	for _, r := range results {
+		byLevel[r.Concurrency] = r
+	}
+	speedup8 := 0.0
+	if b, ok := byLevel[1]; ok && b.QPS > 0 {
+		if c8, ok := byLevel[8]; ok {
+			speedup8 = c8.QPS / b.QPS
+		}
+	}
+	ncpu := runtime.NumCPU()
+	gated := ncpu < 4
+	verdict := fmt.Sprintf("concurrency-8 throughput is %.2fx concurrency-1 against the >=3x target", speedup8)
+	if gated {
+		verdict += fmt.Sprintf(" — NOT demonstrable here: only %d CPU(s) visible, so concurrent sessions time-slice instead of running in parallel; the ratio then measures serving overhead (near 1x is the healthy outcome). Re-run on a >=4-core machine for the real number; CI's server job asserts the gate there.", ncpu)
+	}
+
+	if *asJSON {
+		out := map[string]any{
+			"description": "Serving-layer throughput: one in-process sqlserved over a " + strconv.Itoa(*rows) + "-row fact table; N concurrent client sessions each run the filter+group-by benchQuery in a closed loop through the full HTTP/JSON + admission + session path. qps counts completed round trips.",
+			"benchmark":   "go run ./cmd/servebench -rows " + strconv.Itoa(*rows) + " -dur " + dur.String() + " -levels " + *levels + " -json",
+			"query":       benchQuery,
+			"date":        time.Now().Format("2006-01-02"),
+			"numcpu":      ncpu,
+			"gomaxprocs":  runtime.GOMAXPROCS(0),
+			"results":     results,
+			"summary": map[string]any{
+				"speedup_c8_vs_c1":     round2(speedup8),
+				"target_speedup_at_c8": 3.0,
+				"gated_on_numcpu_ge_4": gated,
+				"verdict":              verdict,
+			},
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			panic(err)
+		}
+		return
+	}
+	fmt.Println(verdict)
+}
+
+// runLevel drives `concurrency` closed-loop clients for the measurement
+// window (after a short warmup) and aggregates their counts + latencies.
+func runLevel(hs *httptest.Server, concurrency int, dur time.Duration) levelResult {
+	type worker struct {
+		n   int
+		lat []time.Duration
+	}
+	ctx := context.Background()
+	workers := make([]worker, concurrency)
+	clients := make([]*server.Client, concurrency)
+	for i := range clients {
+		cli := server.Dial(hs.URL).WithHTTPClient(hs.Client())
+		if err := cli.Connect(ctx, fmt.Sprintf("bench-%d", i%4)); err != nil {
+			panic(err)
+		}
+		clients[i] = cli
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	stop := make(chan struct{})
+	for i := 0; i < concurrency; i++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cli := clients[w]
+			// warmup until the start signal, then measure until stop.
+			measuring := false
+			startCh := start // local copy: nil'd after the first receive
+			for {
+				select {
+				case <-stop:
+					return
+				case <-startCh:
+					measuring = true
+					startCh = nil // nil channel never fires again
+				default:
+				}
+				t0 := time.Now()
+				if _, err := cli.Query(ctx, benchQuery); err != nil {
+					panic(fmt.Sprintf("worker %d: %v", w, err))
+				}
+				if measuring {
+					workers[w].n++
+					workers[w].lat = append(workers[w].lat, time.Since(t0))
+				}
+			}
+		}(i)
+	}
+	time.Sleep(200 * time.Millisecond) // warmup
+	t0 := time.Now()
+	close(start)
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	for _, cli := range clients {
+		cli.Close(ctx)
+	}
+
+	total := 0
+	var all []time.Duration
+	for _, w := range workers {
+		total += w.n
+		all = append(all, w.lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return levelResult{
+		Concurrency: concurrency,
+		Queries:     total,
+		QPS:         round2(float64(total) / elapsed.Seconds()),
+		P50Ms:       pctMs(all, 0.50),
+		P99Ms:       pctMs(all, 0.99),
+	}
+}
+
+func pctMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return round2(float64(sorted[i].Microseconds()) / 1000.0)
+}
+
+func round2(f float64) float64 { return float64(int(f*100+0.5)) / 100 }
+
+func parseLevels(s string) []int {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			panic("bad -levels: " + s)
+		}
+		out = append(out, n)
+	}
+	return out
+}

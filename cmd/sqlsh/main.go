@@ -32,6 +32,17 @@
 //	sqlsh -iot -scale 5        # synthetic IoT dataset
 //	sqlsh -load snap.db        # restore a snapshot
 //	echo "SELECT 1 AS x;" | sqlsh
+//
+// With -connect the shell talks to a running sqlserved instead of an
+// embedded database; sessions, admission control, and the statement/plan
+// cache live server-side, and server state is queryable through the sys.*
+// tables (SELECT * FROM sys.sessions):
+//
+//	sqlsh -connect http://127.0.0.1:7878 -tenant analytics
+//
+// In connect mode \timeout and \parallel set the server-side session
+// variables; Ctrl-C cancels the in-flight request (the server observes the
+// disconnect and cancels the query at the next morsel boundary).
 package main
 
 import (
@@ -51,6 +62,7 @@ import (
 	"repro/internal/iotdata"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/server"
 	"repro/internal/sqldb"
 )
 
@@ -81,12 +93,19 @@ func (sh *shell) interrupt() {
 
 func main() {
 	var (
-		iot   = flag.Bool("iot", false, "start with the synthetic IoT dataset")
-		scale = flag.Int("scale", 2, "IoT dataset scale unit")
-		side  = flag.Int("side", 8, "IoT keyframe resolution")
-		load  = flag.String("load", "", "restore a snapshot file")
+		iot     = flag.Bool("iot", false, "start with the synthetic IoT dataset")
+		scale   = flag.Int("scale", 2, "IoT dataset scale unit")
+		side    = flag.Int("side", 8, "IoT keyframe resolution")
+		load    = flag.String("load", "", "restore a snapshot file")
+		connect = flag.String("connect", "", "connect to a sqlserved base URL instead of embedding a database")
+		tenant  = flag.String("tenant", "", "tenant label for -connect (server default when empty)")
 	)
 	flag.Parse()
+
+	if *connect != "" {
+		runClientShell(*connect, *tenant)
+		return
+	}
 
 	var db *sqldb.DB
 	switch {
@@ -420,31 +439,36 @@ func (sh *shell) run(sql string) {
 		fmt.Printf("error: %v\n", err)
 		return
 	}
-	if res == nil {
-		fmt.Println("ok")
-	} else {
-		header := make([]string, len(res.Schema))
-		for i, c := range res.Schema {
-			header[i] = c.Name
-		}
-		fmt.Println(strings.Join(header, " | "))
-		n := res.NumRows()
-		const maxRows = 200
-		for i := 0; i < n && i < maxRows; i++ {
-			cells := make([]string, len(res.Cols))
-			for j, c := range res.Cols {
-				cells[j] = c.Get(i).String()
-			}
-			fmt.Println(strings.Join(cells, " | "))
-		}
-		if n > maxRows {
-			fmt.Printf("... (%d more rows)\n", n-maxRows)
-		}
-		fmt.Printf("(%d rows)\n", n)
-	}
+	printResult(res)
 	if sh.timing {
 		fmt.Printf("Time: %s\n", elapsed.Round(time.Microsecond))
 	}
+}
+
+// printResult renders a result relation ("ok" for statements without one).
+func printResult(res *sqldb.Result) {
+	if res == nil {
+		fmt.Println("ok")
+		return
+	}
+	header := make([]string, len(res.Schema))
+	for i, c := range res.Schema {
+		header[i] = c.Name
+	}
+	fmt.Println(strings.Join(header, " | "))
+	n := res.NumRows()
+	const maxRows = 200
+	for i := 0; i < n && i < maxRows; i++ {
+		cells := make([]string, len(res.Cols))
+		for j, c := range res.Cols {
+			cells[j] = c.Get(i).String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	if n > maxRows {
+		fmt.Printf("... (%d more rows)\n", n-maxRows)
+	}
+	fmt.Printf("(%d rows)\n", n)
 }
 
 func onOff(b bool) string {
@@ -467,4 +491,191 @@ func isTerminal() bool {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "sqlsh: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// ---- -connect mode: the shell as a sqlserved client ----
+
+// cshell is the connected-mode REPL state.
+type cshell struct {
+	cli    *server.Client
+	timing bool
+
+	mu     sync.Mutex
+	cancel context.CancelFunc
+}
+
+func (sh *cshell) interrupt() {
+	sh.mu.Lock()
+	c := sh.cancel
+	sh.mu.Unlock()
+	if c != nil {
+		c()
+		return
+	}
+	fmt.Println("^C (use \\q to quit)")
+}
+
+func runClientShell(base, tenant string) {
+	cli := server.Dial(base)
+	ctx, cancelConnect := context.WithTimeout(context.Background(), 5*time.Second)
+	err := cli.Connect(ctx, tenant)
+	cancelConnect()
+	if err != nil {
+		fatalf("connecting to %s: %v", base, err)
+	}
+	fmt.Printf("connected to %s (session %s, tenant %s)\n", base, cli.Session(), cli.Tenant())
+	sh := &cshell{cli: cli}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		for range sig {
+			sh.interrupt()
+		}
+	}()
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminal()
+	var pending strings.Builder
+	if interactive {
+		fmt.Print("sqlsh> ")
+	}
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !sh.meta(trimmed) {
+				sh.close()
+				return
+			}
+			if interactive {
+				fmt.Print("sqlsh> ")
+			}
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if !strings.HasSuffix(trimmed, ";") {
+			if interactive {
+				fmt.Print("   ..> ")
+			}
+			continue
+		}
+		sh.run(pending.String())
+		pending.Reset()
+		if interactive {
+			fmt.Print("sqlsh> ")
+		}
+	}
+	if pending.Len() > 0 {
+		sh.run(pending.String())
+	}
+	sh.close()
+}
+
+func (sh *cshell) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	sh.cli.Close(ctx)
+}
+
+// meta handles connected-mode meta-commands; \timeout and \parallel set
+// server-side session variables. Engine-state commands point at the sys.*
+// tables, which work through the server like any other relation.
+func (sh *cshell) meta(cmd string) bool {
+	fields := strings.Fields(cmd)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	switch fields[0] {
+	case `\q`, `\quit`:
+		return false
+	case `\timing`:
+		switch {
+		case len(fields) == 1:
+			sh.timing = !sh.timing
+		case fields[1] == "on":
+			sh.timing = true
+		case fields[1] == "off":
+			sh.timing = false
+		default:
+			fmt.Println("usage: \\timing [on|off]")
+			return true
+		}
+		fmt.Printf("timing %s\n", onOff(sh.timing))
+		return true
+	case `\timeout`:
+		if len(fields) != 2 {
+			fmt.Println("usage: \\timeout DURATION | \\timeout off")
+			return true
+		}
+		d := time.Duration(0)
+		if fields[1] != "off" && fields[1] != "0" {
+			var err error
+			d, err = time.ParseDuration(fields[1])
+			if err != nil || d <= 0 {
+				fmt.Println("usage: \\timeout DURATION | \\timeout off   (e.g. \\timeout 500ms)")
+				return true
+			}
+		}
+		if err := sh.cli.SetTimeout(ctx, d); err != nil {
+			fmt.Printf("error: %v\n", err)
+			return true
+		}
+		if d == 0 {
+			fmt.Println("timeout off")
+		} else {
+			fmt.Printf("timeout %s (server-side)\n", d)
+		}
+		return true
+	case `\parallel`:
+		if len(fields) != 2 {
+			fmt.Println("usage: \\parallel N   (0 = server default)")
+			return true
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			fmt.Println("usage: \\parallel N   (0 = server default)")
+			return true
+		}
+		if err := sh.cli.SetParallelism(ctx, n); err != nil {
+			fmt.Printf("error: %v\n", err)
+			return true
+		}
+		fmt.Printf("parallelism %d (server-side)\n", n)
+		return true
+	case `\sys`:
+		fmt.Println("server state is in the sys.* tables, e.g.:")
+		fmt.Println("  SELECT * FROM sys.sessions;")
+		fmt.Println("  SELECT * FROM sys.admission;")
+		fmt.Println("  SELECT sql, wall_ms FROM sys.queries ORDER BY wall_ms DESC;")
+		return true
+	}
+	fmt.Printf("meta-command %s is not available in -connect mode\n", fields[0])
+	return true
+}
+
+func (sh *cshell) run(sql string) {
+	if strings.TrimSpace(sql) == "" {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sh.mu.Lock()
+	sh.cancel = cancel
+	sh.mu.Unlock()
+	start := time.Now()
+	res, err := sh.cli.Query(ctx, sql)
+	elapsed := time.Since(start)
+	sh.mu.Lock()
+	sh.cancel = nil
+	sh.mu.Unlock()
+	cancel()
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	printResult(res)
+	if sh.timing {
+		fmt.Printf("Time: %s\n", elapsed.Round(time.Microsecond))
+	}
 }

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/colquery"
+	"repro/internal/faults"
+	"repro/internal/qerr"
+	"repro/internal/strategies"
+)
+
+// TestServerChaosFaultMatrix pushes the PR-5 fault matrix through the
+// serving path: every fault class crossed with every strategy, executed
+// via /v1/colquery. The contract is the same result-or-typed-error rule
+// the embedded matrix enforces — and the wire must carry the typed class
+// faithfully, so errors.Is against the qerr sentinels still works on the
+// client side of an HTTP hop.
+func TestServerChaosFaultMatrix(t *testing.T) {
+	env, ds, _, cli := serverFixture(t)
+	env.Retry = strategies.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond,
+		MaxDelay: 4 * time.Millisecond, AttemptTimeout: 2 * time.Second, JitterSeed: 3}
+
+	q, err := colquery.GenerateAnalyzed(colquery.Type3, colquery.TemplateParams{Selectivity: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No-fault baselines per strategy, computed through the server so both
+	// sides of every comparison crossed the same wire.
+	baseline := map[string]string{}
+	for _, s := range strategies.All() {
+		res, err := cli.ColQuery(context.Background(), q.SQL, s.Name(), false)
+		if err != nil {
+			t.Fatalf("baseline %s: %v", s.Name(), err)
+		}
+		baseline[s.Name()] = diffCanonKey(res.Result)
+	}
+
+	classes := []struct {
+		name string
+		spec string
+	}{
+		{"serving error", "serving.error:p=1"},
+		{"serving error intermittent", "serving.error:every=2;seed=5"},
+		{"serving hang", "serving.hang:p=1"},
+		{"serving partial response", "serving.partial:p=1"},
+		{"udf decode failure", "udf.decode:p=1"},
+		{"dl2sql translate failure", "dl2sql.translate:p=1"},
+		{"slow morsels", "morsel.delay:d=200us,every=7"},
+		{"memory pressure", "mem.pressure:bytes=32768"},
+		{"combined flaky", "serving.error:p=0.5;udf.decode:p=0.3;morsel.delay:d=100us,every=11;seed=9"},
+	}
+	if testing.Short() {
+		classes = classes[:4]
+	}
+
+	for _, c := range classes {
+		for _, s := range strategies.All() {
+			inj, err := faults.Parse(c.spec)
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			env.Faults = inj
+			ds.DB.Faults = inj
+			res, qerrr := cli.ColQuery(context.Background(), q.SQL, s.Name(), false)
+			env.Faults = nil
+			ds.DB.Faults = nil
+			label := fmt.Sprintf("%s under %q via server", s.Name(), c.name)
+			if qerrr != nil {
+				if !qerr.Lifecycle(qerrr) {
+					t.Errorf("%s: untyped error %v", label, qerrr)
+				}
+				continue
+			}
+			if got := diffCanonKey(res.Result); got != baseline[s.Name()] {
+				t.Errorf("%s: wrong result under fault injection", label)
+			}
+		}
+	}
+}
+
+// TestServerChaosFallbackLadder forces a dead serving pipe and runs
+// DB-PyTorch with fallback=true through /v1/colquery: the server must
+// degrade to DB-UDF, answer correctly, and report the full ladder in the
+// response. The circuit breaker the failures tripped — and the session
+// that carried the queries — must both be visible with plain SQL through
+// the same server.
+func TestServerChaosFallbackLadder(t *testing.T) {
+	env, ds, _, cli := serverFixture(t)
+	env.Retry = strategies.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, JitterSeed: 3}
+	env.Breaker = &strategies.Breaker{FailThreshold: 2, Cooldown: time.Minute}
+	env.AttachObservability(ds.DB)
+
+	q, err := colquery.GenerateAnalyzed(colquery.Type3, colquery.TemplateParams{Selectivity: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cli.ColQuery(context.Background(), q.SQL, "DB-UDF", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env.Faults = faults.New(1, faults.Rule{Point: faults.PointServingError})
+	ds.DB.Faults = env.Faults
+	got, err := cli.ColQuery(context.Background(), q.SQL, "DB-PyTorch", true)
+	env.Faults = nil
+	ds.DB.Faults = nil
+	if err != nil {
+		t.Fatalf("fallback colquery: %v", err)
+	}
+	if diffCanonKey(got.Result) != diffCanonKey(want.Result) {
+		t.Fatal("fallback result differs from direct DB-UDF result via server")
+	}
+	if len(got.FallbackPath) != 2 || got.FallbackPath[0] != "DB-PyTorch" || got.FallbackPath[1] != "DB-UDF" {
+		t.Fatalf("FallbackPath = %v, want [DB-PyTorch DB-UDF]", got.FallbackPath)
+	}
+	if got.Strategy != "DB-UDF" {
+		t.Fatalf("reported strategy = %q, want the strategy that answered (DB-UDF)", got.Strategy)
+	}
+
+	// The serving failures tripped the breaker; its state is queryable over
+	// the same HTTP surface.
+	br, err := cli.Query(context.Background(), `SELECT component, state, trips FROM sys.breaker`)
+	if err != nil {
+		t.Fatalf("sys.breaker via server: %v", err)
+	}
+	if br.NumRows() != 1 {
+		t.Fatalf("sys.breaker rows = %d, want 1", br.NumRows())
+	}
+	if comp := br.Cols[0].Get(0).S; comp != "serving-pipe" {
+		t.Fatalf("breaker component = %q", comp)
+	}
+	if state := br.Cols[1].Get(0).S; state != "open" {
+		t.Fatalf("breaker state = %q, want open after a dead serving pipe", state)
+	}
+	if trips, _ := br.Cols[2].Get(0).AsInt(); trips < 1 {
+		t.Fatalf("breaker trips = %d, want >= 1", trips)
+	}
+
+	// And the session that carried this chaos is visible in sys.sessions.
+	ss, err := cli.Query(context.Background(),
+		`SELECT id, tenant, queries FROM sys.sessions ORDER BY id`)
+	if err != nil {
+		t.Fatalf("sys.sessions via server: %v", err)
+	}
+	found := false
+	for i := 0; i < ss.NumRows(); i++ {
+		if ss.Cols[0].Get(i).S == cli.Session() {
+			found = true
+			if tenant := ss.Cols[1].Get(i).S; tenant != "diff" {
+				t.Fatalf("session tenant = %q, want diff", tenant)
+			}
+			if n, _ := ss.Cols[2].Get(i).AsInt(); n < 3 {
+				t.Fatalf("session query count = %d, want >= 3", n)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("session %s not visible in sys.sessions", cli.Session())
+	}
+
+	// With the pipe healthy again the breaker recovers after cooldown; we
+	// don't wait a minute here, but a direct DB-UDF query (which never
+	// touches the pipe) must still work while the breaker is open.
+	if _, err := cli.ColQuery(context.Background(), q.SQL, "DB-UDF", false); err != nil {
+		t.Fatalf("DB-UDF while breaker open: %v", err)
+	}
+}

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/colquery"
+	"repro/internal/iotdata"
+	"repro/internal/modelrepo"
+	"repro/internal/server"
+	"repro/internal/sqldb"
+	"repro/internal/strategies"
+)
+
+// serverFixture stands a serving front end up over a dataset + bound
+// models and returns a connected client alongside the embedded handles.
+func serverFixture(t *testing.T) (*strategies.Context, *iotdata.Dataset, *server.Server, *server.Client) {
+	t.Helper()
+	ds, err := iotdata.Generate(iotdata.Config{Scale: 2, KeyframeSide: 8, Seed: 7, PatternCount: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := strategies.NewContext(ds)
+	repo := modelrepo.NewRepository(8, 99)
+	if err := env.BindDefaults(repo, 20); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(ds.DB, env, server.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	cli := server.Dial(hs.URL).WithHTTPClient(hs.Client())
+	if err := cli.Connect(context.Background(), "diff"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close(context.Background()) })
+	return env, ds, srv, cli
+}
+
+// exactRowKeys renders every row with *bit-exact* datum encodings (floats
+// as their IEEE-754 bit patterns, so NaN == NaN and -0 != +0) and sorts
+// the rows. Row order is not part of the contract for queries without a
+// total ORDER BY — GROUP BY output follows hash-map iteration order, which
+// legitimately varies run to run — but the bits of every value are.
+// Contrast with diffCanonKey, which rounds floats to 9 digits to tolerate
+// cross-strategy summation-order differences; here both sides run the
+// *same* strategy, so the values must match exactly.
+func exactRowKeys(res *sqldb.Result) []string {
+	n := res.NumRows()
+	rows := make([]string, n)
+	for i := 0; i < n; i++ {
+		var sb strings.Builder
+		for j, c := range res.Cols {
+			if j > 0 {
+				sb.WriteByte('|')
+			}
+			d := c.Get(i)
+			switch {
+			case d.IsNull():
+				sb.WriteString("∅")
+			case d.T == sqldb.TFloat:
+				fmt.Fprintf(&sb, "f:%016x", math.Float64bits(d.F))
+			case d.T == sqldb.TBlob:
+				fmt.Fprintf(&sb, "x:%x", d.B)
+			default:
+				fmt.Fprintf(&sb, "%d:%d:%s", d.T, d.I, d.S)
+			}
+		}
+		rows[i] = sb.String()
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// resultsBitIdentical compares two results schema-exactly and value
+// bit-exactly (order-independent, see exactRowKeys).
+func resultsBitIdentical(a, b *sqldb.Result) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.NumRows() != b.NumRows() || len(a.Schema) != len(b.Schema) {
+		return false
+	}
+	for i, c := range a.Schema {
+		if b.Schema[i].Name != c.Name || b.Schema[i].Type != c.Type {
+			return false
+		}
+	}
+	ra, rb := exactRowKeys(a), exactRowKeys(b)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestServerDifferentialStrategies is the serving-layer differential
+// suite: every collaborative query template (Types 1–4) under every
+// strategy (DL2SQL, DL2SQL-OP, DB-UDF, DB-PyTorch) executed through the
+// HTTP server must be *bit-identical* to the same strategy executed
+// embedded — same schema, same row order, same float bits. This pins both
+// halves of the serving path at once: the server's execution context
+// assembly changes nothing about the query's semantics, and the
+// tagged-string wire format loses nothing in transit.
+func TestServerDifferentialStrategies(t *testing.T) {
+	env, ds, _, cli := serverFixture(t)
+	// One fixed executor degree for both paths: per-PR-1, results are
+	// deterministic at a given parallelism, which is what makes the
+	// bit-identity comparison meaningful.
+	ds.DB.Parallelism = 1
+
+	for _, typ := range []colquery.QueryType{colquery.Type1, colquery.Type2, colquery.Type3, colquery.Type4} {
+		q, err := colquery.GenerateAnalyzed(typ, colquery.TemplateParams{Selectivity: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range strategies.All() {
+			want, _, err := s.Execute(context.Background(), env, q)
+			if err != nil {
+				t.Fatalf("embedded %s on %v: %v", s.Name(), typ, err)
+			}
+			got, err := cli.ColQuery(context.Background(), q.SQL, s.Name(), false)
+			if err != nil {
+				t.Fatalf("server %s on %v: %v", s.Name(), typ, err)
+			}
+			if got.Strategy != s.Name() {
+				t.Fatalf("server reported strategy %q, want %q", got.Strategy, s.Name())
+			}
+			if len(got.FallbackPath) != 0 {
+				t.Fatalf("unexpected fallback path %v", got.FallbackPath)
+			}
+			if !resultsBitIdentical(want, got.Result) {
+				t.Fatalf("%s on %v: server result is not bit-identical to embedded\nembedded: %s\nserver:   %s",
+					s.Name(), typ, diffCanonKey(want), diffCanonKey(got.Result))
+			}
+		}
+	}
+}
+
+// TestServerDifferentialPlainSQL extends the bit-identity contract to the
+// plain relational surface: aggregates, string grouping, float math, and
+// NULL-producing outer joins all round-trip exactly through /v1/query.
+func TestServerDifferentialPlainSQL(t *testing.T) {
+	_, ds, _, cli := serverFixture(t)
+	ds.DB.Parallelism = 1
+	queries := []string{
+		`SELECT count(*) AS c FROM fabric`,
+		`SELECT patternID, avg(meter) AS m, max(temperature) AS hi FROM fabric GROUP BY patternID ORDER BY patternID`,
+		`SELECT region, count(*) AS n, sum(amount) AS total FROM client C, order_tbl O WHERE C.clientID = O.clientID GROUP BY region ORDER BY region`,
+		`SELECT transID, humidity FROM device WHERE temperature > 20.5 ORDER BY humidity DESC, transID LIMIT 50`,
+	}
+	for _, q := range queries {
+		want, err := ds.DB.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		got, err := cli.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s via server: %v", q, err)
+		}
+		if !resultsBitIdentical(want, got) {
+			t.Fatalf("%s: server result differs from embedded", q)
+		}
+	}
+}

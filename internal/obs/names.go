@@ -46,6 +46,34 @@ const (
 	MetricFallbackTotal = "strategy.fallback.total"
 )
 
+// Serving front-end metrics (internal/server).
+const (
+	// MetricServerRequests counts requests accepted by the HTTP front end
+	// (after admission, before execution).
+	MetricServerRequests = "server.requests"
+	// MetricServerErrors counts requests that finished with an error.
+	MetricServerErrors = "server.request.errors"
+	// MetricServerAdmitted counts queries granted an execution slot.
+	MetricServerAdmitted = "server.admission.admitted"
+	// MetricServerQueued counts queries that had to wait in the admission
+	// queue before their slot was granted.
+	MetricServerQueued = "server.admission.queued"
+	// MetricServerRejected counts queries refused with
+	// qerr.ErrAdmissionRejected (queue full or draining).
+	MetricServerRejected = "server.admission.rejected"
+	// MetricServerSessions gauges the number of live sessions.
+	MetricServerSessions = "server.sessions"
+	// MetricServerInflight gauges queries currently holding an execution
+	// slot.
+	MetricServerInflight = "server.inflight"
+	// MetricServerRequestSeconds is the end-to-end request latency
+	// histogram (admission wait included).
+	MetricServerRequestSeconds = "server.request.wall_s"
+	// MetricServerQueueSeconds is the admission-queue wait histogram for
+	// queries that had to queue.
+	MetricServerQueueSeconds = "server.admission.wait_s"
+)
+
 // Cache-instrument prefixes: cache.LRU.Instrument appends ".hits",
 // ".misses", ".evictions".
 const (

@@ -12,6 +12,8 @@
 //   - ErrServingUnavailable — the DL serving backend (the DB↔PyTorch pipe,
 //     or a model-decode step standing in for it) failed or its circuit
 //     breaker is open;
+//   - ErrAdmissionRejected  — the serving front end refused to start the
+//     query (admission queue full, or the server is draining);
 //   - ErrInternal           — a panic recovered at an execution boundary
 //     (shape mismatches in tensor kernels, malformed model artifacts, ...).
 //
@@ -39,6 +41,11 @@ var (
 	// the cross-system pipe errored, hung past its per-attempt timeout, or
 	// the circuit breaker is open.
 	ErrServingUnavailable = errors.New("serving unavailable")
+	// ErrAdmissionRejected marks a query the serving front end refused to
+	// start: the admission queue was at capacity, or the server was
+	// draining. The query never executed, so retrying against a less
+	// loaded server is always safe.
+	ErrAdmissionRejected = errors.New("admission rejected")
 	// ErrInternal marks a panic converted to an error at an execution
 	// boundary.
 	ErrInternal = errors.New("internal query error")
@@ -69,6 +76,7 @@ func Lifecycle(err error) bool {
 		errors.Is(err, ErrTimeout) ||
 		errors.Is(err, ErrMemoryBudget) ||
 		errors.Is(err, ErrServingUnavailable) ||
+		errors.Is(err, ErrAdmissionRejected) ||
 		errors.Is(err, ErrInternal)
 }
 
@@ -89,6 +97,8 @@ func Class(err error) string {
 		return "memory_budget"
 	case errors.Is(err, ErrServingUnavailable):
 		return "serving_unavailable"
+	case errors.Is(err, ErrAdmissionRejected):
+		return "admission_rejected"
 	case errors.Is(err, ErrInternal):
 		return "internal"
 	default:

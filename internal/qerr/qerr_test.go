@@ -34,7 +34,7 @@ func TestFromContextClassification(t *testing.T) {
 }
 
 func TestLifecycle(t *testing.T) {
-	for _, s := range []error{ErrCancelled, ErrTimeout, ErrMemoryBudget, ErrServingUnavailable, ErrInternal} {
+	for _, s := range []error{ErrCancelled, ErrTimeout, ErrMemoryBudget, ErrServingUnavailable, ErrAdmissionRejected, ErrInternal} {
 		if !Lifecycle(s) {
 			t.Errorf("Lifecycle(%v) = false", s)
 		}
@@ -75,6 +75,7 @@ func TestClass(t *testing.T) {
 		{ErrTimeout, "timeout"},
 		{ErrMemoryBudget, "memory_budget"},
 		{ErrServingUnavailable, "serving_unavailable"},
+		{ErrAdmissionRejected, "admission_rejected"},
 		{ErrInternal, "internal"},
 		{fmt.Errorf("outer: %w", ErrTimeout), "timeout"},
 		{Recovered("boundary", "boom"), "internal"},

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/qerr"
+)
+
+// TestAdmissionFastPath: free slots admit immediately without queueing.
+func TestAdmissionFastPath(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 2})
+	rel1, queued, err := a.Admit(context.Background(), "a")
+	if err != nil || queued {
+		t.Fatalf("first admit: queued=%v err=%v", queued, err)
+	}
+	rel2, queued, err := a.Admit(context.Background(), "b")
+	if err != nil || queued {
+		t.Fatalf("second admit: queued=%v err=%v", queued, err)
+	}
+	rel1()
+	rel2()
+	rel2() // release is idempotent
+	_, inflight, queuedN, _ := a.stats()
+	if inflight != 0 || queuedN != 0 {
+		t.Fatalf("after release: inflight=%d queued=%d", inflight, queuedN)
+	}
+}
+
+// TestAdmissionQueueFullRejects: the MaxQueue+1'th waiter gets the typed
+// sentinel immediately instead of blocking.
+func TestAdmissionQueueFullRejects(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 2})
+	release, _, err := a.Admit(context.Background(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the queue with two waiters.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, _, err := a.Admit(context.Background(), "t")
+			if err != nil {
+				t.Errorf("queued admit failed: %v", err)
+				return
+			}
+			rel()
+		}()
+	}
+	waitFor(t, func() bool { _, _, q, _ := a.stats(); return q == 2 })
+
+	_, _, err = a.Admit(context.Background(), "t")
+	if !errors.Is(err, qerr.ErrAdmissionRejected) {
+		t.Fatalf("overflow admit: got %v, want ErrAdmissionRejected", err)
+	}
+	if qerr.Class(err) != "admission_rejected" {
+		t.Fatalf("class = %q", qerr.Class(err))
+	}
+
+	release() // let the two waiters drain
+	wg.Wait()
+}
+
+// TestAdmissionRoundRobinFairness: with one tenant flooding the queue and
+// another trickling, grants alternate between tenants instead of serving
+// the flood first. The order of grant completion is tracked with one
+// in-flight slot so grants serialize.
+func TestAdmissionRoundRobinFairness(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 32})
+	gate, _, err := a.Admit(context.Background(), "warm")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	// The gate slot is held, so no grants happen during enqueueing and the
+	// queue depth grows monotonically — waiting for depth == want makes the
+	// queue order deterministic.
+	depth := 0
+	enqueue := func(tenant string) {
+		depth++
+		want := depth
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, _, err := a.Admit(context.Background(), tenant)
+			if err != nil {
+				t.Errorf("%s: %v", tenant, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, tenant)
+			mu.Unlock()
+			rel()
+		}()
+		waitFor(t, func() bool { _, _, q, _ := a.stats(); return q == want })
+	}
+
+	// Tenant "flood" enqueues 6, tenant "drip" enqueues 2, interleaved so
+	// flood's backlog is deep before drip arrives.
+	for i := 0; i < 4; i++ {
+		enqueue("flood")
+	}
+	enqueue("drip")
+	for i := 0; i < 2; i++ {
+		enqueue("flood")
+	}
+	enqueue("drip")
+
+	gate() // open the single slot; grants proceed one at a time
+	wg.Wait()
+
+	// Fairness property: drip's two queries must both complete within the
+	// first four grants (round-robin alternation), despite flood's backlog.
+	dripSeen := 0
+	for i, tenant := range order {
+		if tenant == "drip" {
+			dripSeen++
+			if i >= 4 {
+				t.Fatalf("drip query granted at position %d of %v — starved by flood", i, order)
+			}
+		}
+	}
+	if dripSeen != 2 {
+		t.Fatalf("drip completed %d queries, want 2 (order %v)", dripSeen, order)
+	}
+}
+
+// TestAdmissionCancelWhileQueued: a waiter whose context fires leaves the
+// queue with a typed cancellation and no slot leak.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 8})
+	release, _, err := a.Admit(context.Background(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := a.Admit(ctx, "t")
+		errc <- err
+	}()
+	waitFor(t, func() bool { _, _, q, _ := a.stats(); return q == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, qerr.ErrCancelled) {
+		t.Fatalf("cancelled waiter: got %v, want ErrCancelled", err)
+	}
+	release()
+	// The slot must be reusable.
+	rel, queued, err := a.Admit(context.Background(), "t")
+	if err != nil || queued {
+		t.Fatalf("post-cancel admit: queued=%v err=%v", queued, err)
+	}
+	rel()
+}
+
+// TestAdmissionDrainRejectsWaiters: drain rejects everything queued with
+// the sentinel and refuses newcomers.
+func TestAdmissionDrainRejectsWaiters(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 8})
+	release, _, err := a.Admit(context.Background(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, _, err := a.Admit(context.Background(), "t")
+			errs <- err
+		}()
+	}
+	waitFor(t, func() bool { _, _, q, _ := a.stats(); return q == 3 })
+	a.drain()
+	for i := 0; i < 3; i++ {
+		if err := <-errs; !errors.Is(err, qerr.ErrAdmissionRejected) {
+			t.Fatalf("drained waiter %d: got %v", i, err)
+		}
+	}
+	if _, _, err := a.Admit(context.Background(), "t"); !errors.Is(err, qerr.ErrAdmissionRejected) {
+		t.Fatalf("post-drain admit: got %v", err)
+	}
+	release()
+}
+
+// TestAdmissionTenantCap: a tenant at its per-tenant cap queues even while
+// global slots are free, and other tenants keep running.
+func TestAdmissionTenantCap(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 4, MaxQueue: 8, TenantConcurrent: 1})
+	relA, _, err := a.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second "a" query must queue (tenant cap), even with 3 free slots.
+	got := make(chan struct{})
+	go func() {
+		rel, queued, err := a.Admit(context.Background(), "a")
+		if err != nil {
+			t.Errorf("capped admit: %v", err)
+		} else {
+			if !queued {
+				t.Error("capped admit did not report queued")
+			}
+			rel()
+		}
+		close(got)
+	}()
+	waitFor(t, func() bool { _, _, q, _ := a.stats(); return q == 1 })
+	// Another tenant is granted promptly despite a's backlog (it briefly
+	// queues — no barging past waiters — but dispatch grants it at once
+	// because a free slot exists and b is under its cap).
+	relB, _, err := a.Admit(context.Background(), "b")
+	if err != nil {
+		t.Fatalf("tenant b: %v", err)
+	}
+	relB()
+	relA() // frees a's slot; the queued query proceeds
+	<-got
+}
+
+// waitFor polls until cond holds (tests only; 2s cap).
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

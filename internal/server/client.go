@@ -1,0 +1,262 @@
+package server
+
+// Client is the Go client for the serving front end. It speaks the same
+// tagged-string wire format as the handlers, so results decode
+// bit-identically to embedded execution, and it reconstructs typed errors:
+// the server serializes qerr.Class(err), the client maps the class back
+// onto the matching sentinel, so errors.Is(err, qerr.ErrTimeout) gives the
+// same answer whether the query ran embedded or over the wire.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/qerr"
+	"repro/internal/sqldb"
+)
+
+// Client talks to one server.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	session string
+	tenant  string
+}
+
+// Dial builds a client for a server base URL (e.g. "http://127.0.0.1:7878").
+// No connection is made until the first call.
+func Dial(base string) *Client {
+	return &Client{base: base, hc: &http.Client{}}
+}
+
+// WithHTTPClient swaps the underlying *http.Client (tests inject
+// httptest server clients).
+func (c *Client) WithHTTPClient(hc *http.Client) *Client {
+	c.hc = hc
+	return c
+}
+
+// remoteError is a server-side failure carrying its lifecycle class. It
+// unwraps to the matching qerr sentinel so errors.Is works transparently.
+type remoteError struct {
+	class    string
+	msg      string
+	sentinel error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.sentinel }
+
+// Class returns the server-reported error class.
+func (e *remoteError) Class() string { return e.class }
+
+func errFromWire(we wireError) error {
+	var sentinel error
+	switch we.Class {
+	case "cancelled":
+		sentinel = qerr.ErrCancelled
+	case "timeout":
+		sentinel = qerr.ErrTimeout
+	case "memory_budget":
+		sentinel = qerr.ErrMemoryBudget
+	case "serving_unavailable":
+		sentinel = qerr.ErrServingUnavailable
+	case "admission_rejected":
+		sentinel = qerr.ErrAdmissionRejected
+	case "internal":
+		sentinel = qerr.ErrInternal
+	default:
+		return errors.New(we.Message)
+	}
+	return &remoteError{class: we.Class, msg: we.Message, sentinel: sentinel}
+}
+
+// post round-trips one JSON call, decoding the error envelope on non-200s.
+func (c *Client) post(ctx context.Context, path string, req, into any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		// Classify transport-level context failures the same way the
+		// engine would, so a client-side deadline looks like ErrTimeout.
+		if ctxErr := qerr.FromContext(ctx.Err()); ctxErr != nil {
+			return ctxErr
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		if json.Unmarshal(raw, &er) == nil && er.Error.Message != "" {
+			return errFromWire(er.Error)
+		}
+		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	if into == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, into)
+}
+
+// Connect opens a session. tenant may be empty (the server default).
+func (c *Client) Connect(ctx context.Context, tenant string) error {
+	var resp sessionNewResponse
+	if err := c.post(ctx, "/v1/session", sessionNewRequest{Tenant: tenant}, &resp); err != nil {
+		return err
+	}
+	c.session = resp.Session
+	c.tenant = resp.Tenant
+	return nil
+}
+
+// Session returns the session ID ("" before Connect).
+func (c *Client) Session() string { return c.session }
+
+// Tenant returns the server-resolved tenant ("" before Connect).
+func (c *Client) Tenant() string { return c.tenant }
+
+// Close ends the session (no-op without one).
+func (c *Client) Close(ctx context.Context) error {
+	if c.session == "" {
+		return nil
+	}
+	err := c.post(ctx, "/v1/session/close", sessionRequest{Session: c.session}, nil)
+	c.session = ""
+	return err
+}
+
+// Set updates session variables; nil fields are left unchanged.
+func (c *Client) Set(ctx context.Context, timeoutMs *int64, parallelism *int, memBudget *int64) error {
+	return c.post(ctx, "/v1/session/set", sessionSetRequest{
+		Session: c.session, TimeoutMs: timeoutMs, Parallelism: parallelism, MemoryBudget: memBudget,
+	}, nil)
+}
+
+// SetTimeout is a Set shorthand.
+func (c *Client) SetTimeout(ctx context.Context, d time.Duration) error {
+	ms := d.Milliseconds()
+	return c.Set(ctx, &ms, nil, nil)
+}
+
+// SetParallelism is a Set shorthand.
+func (c *Client) SetParallelism(ctx context.Context, n int) error {
+	return c.Set(ctx, nil, &n, nil)
+}
+
+// SetMemoryBudget is a Set shorthand.
+func (c *Client) SetMemoryBudget(ctx context.Context, b int64) error {
+	return c.Set(ctx, nil, nil, &b)
+}
+
+// Query executes one SQL statement, returning the decoded result (nil for
+// statements without a relation, e.g. DDL).
+func (c *Client) Query(ctx context.Context, sql string) (*sqldb.Result, error) {
+	var resp queryResponse
+	if err := c.post(ctx, "/v1/query", queryRequest{Session: c.session, SQL: sql}, &resp); err != nil {
+		return nil, err
+	}
+	return decodeResult(resp.Result)
+}
+
+// Stmt is a server-side prepared statement handle.
+type Stmt struct {
+	c      *Client
+	ID     string
+	Params int
+}
+
+// Prepare compiles a statement server-side (requires a session).
+func (c *Client) Prepare(ctx context.Context, sql string) (*Stmt, error) {
+	var resp prepareResponse
+	if err := c.post(ctx, "/v1/prepare", prepareRequest{Session: c.session, SQL: sql}, &resp); err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, ID: resp.Stmt, Params: resp.Params}, nil
+}
+
+// Exec runs the prepared statement with bound parameters.
+func (s *Stmt) Exec(ctx context.Context, args ...sqldb.Datum) (*sqldb.Result, error) {
+	params := make([]wireValue, len(args))
+	for i, d := range args {
+		params[i] = encodeDatum(d)
+	}
+	var resp queryResponse
+	err := s.c.post(ctx, "/v1/stmt/exec", stmtExecRequest{
+		Session: s.c.session, Stmt: s.ID, Params: params,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResult(resp.Result)
+}
+
+// Close drops the server-side statement.
+func (s *Stmt) Close(ctx context.Context) error {
+	return s.c.post(ctx, "/v1/stmt/close", stmtCloseRequest{Session: s.c.session, Stmt: s.ID}, nil)
+}
+
+// ColResult is a collaborative query's answer plus its cost accounting.
+type ColResult struct {
+	Result       *sqldb.Result
+	Strategy     string
+	FallbackPath []string
+	LoadingS     float64
+	InferenceS   float64
+	RelationalS  float64
+}
+
+// ColQuery executes a collaborative (inference) query under a named
+// strategy; fallback engages the graceful-degradation ladder.
+func (c *Client) ColQuery(ctx context.Context, sql, strategy string, fallback bool) (*ColResult, error) {
+	var resp colQueryResponse
+	err := c.post(ctx, "/v1/colquery", colQueryRequest{
+		Session: c.session, SQL: sql, Strategy: strategy, Fallback: fallback,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	res, err := decodeResult(resp.Result)
+	if err != nil {
+		return nil, err
+	}
+	return &ColResult{
+		Result: res, Strategy: resp.Strategy, FallbackPath: resp.FallbackPath,
+		LoadingS: resp.LoadingS, InferenceS: resp.InferenceS, RelationalS: resp.RelationalS,
+	}, nil
+}
+
+// Health probes /healthz, returning the status string.
+func (c *Client) Health(ctx context.Context) (string, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var payload map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return "", err
+	}
+	return payload["status"], nil
+}

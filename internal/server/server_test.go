@@ -1,0 +1,333 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/qerr"
+	"repro/internal/sqldb"
+)
+
+// newTestServer builds a server over a small populated DB plus an
+// httptest front end, and returns a connected client.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client, *sqldb.DB) {
+	t.Helper()
+	db := sqldb.New()
+	db.Metrics = obs.NewRegistry()
+	db.History = obs.NewQueryHistory(64)
+	db.EnableSysCatalog()
+	mustExec(t, db, `CREATE TABLE kv (k Int64, v String)`)
+	for i := 0; i < 10; i++ {
+		if err := db.GetTable("kv").AppendRow([]sqldb.Datum{
+			sqldb.Int(int64(i)), sqldb.Str(strings.Repeat("v", 8)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := New(db, nil, cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	cli := Dial(hs.URL).WithHTTPClient(hs.Client())
+	if err := cli.Connect(context.Background(), "test"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close(context.Background()) })
+	return srv, cli, db
+}
+
+// TestServerQueryRoundTrip: ad-hoc queries through the HTTP path return
+// the same rows as embedded execution.
+func TestServerQueryRoundTrip(t *testing.T) {
+	_, cli, db := newTestServer(t, Config{})
+	const q = `SELECT k, v FROM kv WHERE k < 5 ORDER BY k`
+	want, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("rows: %d != %d", got.NumRows(), want.NumRows())
+	}
+	for i := 0; i < want.NumRows(); i++ {
+		for j := range want.Cols {
+			if !datumBitsEqual(want.Cols[j].Get(i), got.Cols[j].Get(i)) {
+				t.Fatalf("row %d col %d: %v != %v", i, j, want.Cols[j].Get(i), got.Cols[j].Get(i))
+			}
+		}
+	}
+	// DDL/DML: nil result survives, and the write is visible embedded.
+	if res, err := cli.Query(context.Background(), `INSERT INTO kv VALUES (100, 'remote')`); err != nil || res != nil {
+		t.Fatalf("insert: res=%v err=%v", res, err)
+	}
+	check, err := db.Query(`SELECT v FROM kv WHERE k = 100`)
+	if err != nil || check.NumRows() != 1 {
+		t.Fatalf("write not visible: %v, %v", check, err)
+	}
+}
+
+// TestServerPreparedStatements: prepare once, execute with different
+// bindings, close; handles are per-session.
+func TestServerPreparedStatements(t *testing.T) {
+	_, cli, _ := newTestServer(t, Config{})
+	stmt, err := cli.Prepare(context.Background(), `SELECT v FROM kv WHERE k = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Params != 1 {
+		t.Fatalf("params = %d, want 1", stmt.Params)
+	}
+	for _, k := range []int64{1, 7, 9} {
+		res, err := stmt.Exec(context.Background(), sqldb.Int(k))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.NumRows() != 1 {
+			t.Fatalf("k=%d: %d rows", k, res.NumRows())
+		}
+	}
+	if err := stmt.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Exec(context.Background(), sqldb.Int(1)); err == nil {
+		t.Fatal("exec after close succeeded")
+	}
+}
+
+// TestServerTypedErrors: server-side failures come back as the same qerr
+// sentinels embedded execution produces — errors.Is works over the wire.
+func TestServerTypedErrors(t *testing.T) {
+	srv, cli, db := newTestServer(t, Config{
+		TenantMemory: map[string]int64{"tiny": 64},
+	})
+	ctx := context.Background()
+
+	// Plain SQL error: untyped, class "error".
+	_, err := cli.Query(ctx, `SELECT nope FROM kv`)
+	if err == nil || qerr.Lifecycle(err) {
+		t.Fatalf("bad column: %v", err)
+	}
+
+	// Session timeout -> ErrTimeout. Slow morsels force the deadline; the
+	// table must be big enough to cross morsel boundaries (where the
+	// lifecycle context is checked).
+	mustExec(t, db, `CREATE TABLE pt (id Int64, v Float64)`)
+	pt := db.GetTable("pt")
+	for i := 0; i < 30000; i++ {
+		if err := pt.AppendRow([]sqldb.Datum{sqldb.Int(int64(i)), sqldb.Float(float64(i % 100))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cli.SetTimeout(ctx, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.SetParallelism(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.Parse("morsel.delay:d=20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Faults = inj
+	_, err = cli.Query(ctx, `SELECT id, v FROM pt WHERE v > 50 ORDER BY v DESC LIMIT 10`)
+	db.Faults = nil
+	if !errors.Is(err, qerr.ErrTimeout) {
+		t.Fatalf("timeout: got %v, want ErrTimeout", err)
+	}
+	if err := cli.SetTimeout(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.SetParallelism(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tenant memory budget -> ErrMemoryBudget (64 bytes cannot hold kv).
+	tiny := Dial(strings.TrimSuffix(cli.base, "/")).WithHTTPClient(cli.hc)
+	if err := tiny.Connect(ctx, "tiny"); err != nil {
+		t.Fatal(err)
+	}
+	defer tiny.Close(ctx)
+	if _, err := tiny.Query(ctx, `SELECT k, v FROM kv`); !errors.Is(err, qerr.ErrMemoryBudget) {
+		t.Fatalf("budget: got %v, want ErrMemoryBudget", err)
+	}
+
+	// A session can tighten its budget but not loosen the tenant's.
+	if err := tiny.SetMemoryBudget(ctx, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tiny.Query(ctx, `SELECT k, v FROM kv`); !errors.Is(err, qerr.ErrMemoryBudget) {
+		t.Fatalf("loosened budget: got %v, want ErrMemoryBudget still", err)
+	}
+	_ = srv
+}
+
+// TestServerSessionVariablesApply: per-session parallelism reaches the
+// executor (results stay identical — the differential property).
+func TestServerSessionVariablesApply(t *testing.T) {
+	_, cli, db := newTestServer(t, Config{})
+	ctx := context.Background()
+	const q = `SELECT k, v FROM kv ORDER BY k`
+	want, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		if err := cli.SetParallelism(ctx, par); err != nil {
+			t.Fatal(err)
+		}
+		got, err := cli.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if got.NumRows() != want.NumRows() {
+			t.Fatalf("par=%d: rows %d != %d", par, got.NumRows(), want.NumRows())
+		}
+		for i := 0; i < want.NumRows(); i++ {
+			for j := range want.Cols {
+				if !datumBitsEqual(want.Cols[j].Get(i), got.Cols[j].Get(i)) {
+					t.Fatalf("par=%d row %d col %d differ", par, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestServerSysTables: sys.sessions and sys.admission are queryable with
+// SQL through the server itself and reflect live state.
+func TestServerSysTables(t *testing.T) {
+	_, cli, _ := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	res, err := cli.Query(ctx, `SELECT id, tenant, queries FROM sys.sessions ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 {
+		t.Fatalf("sys.sessions rows = %d, want 1", res.NumRows())
+	}
+	if got := res.Cols[0].Get(0).S; got != cli.Session() {
+		t.Fatalf("sys.sessions id = %q, want %q", got, cli.Session())
+	}
+	if got := res.Cols[1].Get(0).S; got != "test" {
+		t.Fatalf("sys.sessions tenant = %q", got)
+	}
+	// The scan runs inside the query being counted, so queries >= 1.
+	if n, _ := res.Cols[2].Get(0).AsInt(); n < 1 {
+		t.Fatalf("sys.sessions queries = %d", n)
+	}
+
+	res, err = cli.Query(ctx, `SELECT tenant, admitted, rejected, draining FROM sys.admission WHERE tenant = 'test'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 {
+		t.Fatalf("sys.admission rows = %d, want 1", res.NumRows())
+	}
+	if n, _ := res.Cols[1].Get(0).AsInt(); n < 1 {
+		t.Fatalf("sys.admission admitted = %d", n)
+	}
+	if b, _ := res.Cols[3].Get(0).AsBool(); b {
+		t.Fatal("sys.admission reports draining on a live server")
+	}
+}
+
+// TestServerMetricsEndpoint: the Prometheus mux is mounted on the same
+// listener and exports the server.* series.
+func TestServerMetricsEndpoint(t *testing.T) {
+	srv, cli, _ := newTestServer(t, Config{})
+	if _, err := cli.Query(context.Background(), `SELECT k FROM kv`); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv
+	resp, err := cli.hc.Get(cli.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{"server_requests", "server_admission_admitted", "server_sessions"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestServerDrain: drain stops new work with the typed sentinel, finishes
+// in-flight queries within the grace window, and health reports draining.
+func TestServerDrain(t *testing.T) {
+	srv, cli, _ := newTestServer(t, Config{DrainGrace: 2 * time.Second})
+	ctx := context.Background()
+
+	// A query started before drain finishes normally within the grace.
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := cli.Query(ctx, `SELECT k, v FROM kv ORDER BY k`)
+		done <- err
+	}()
+	<-started
+	srv.Drain()
+	if err := <-done; err != nil && !errors.Is(err, qerr.ErrAdmissionRejected) {
+		// The race between the query reaching admission and Drain is
+		// legitimate; what is not allowed is an untyped failure.
+		t.Fatalf("in-flight query during drain: %v", err)
+	}
+
+	// New queries are refused with the sentinel.
+	if _, err := cli.Query(ctx, `SELECT 1 AS x`); !errors.Is(err, qerr.ErrAdmissionRejected) {
+		t.Fatalf("post-drain query: got %v, want ErrAdmissionRejected", err)
+	}
+	if status, err := cli.Health(ctx); err != nil || status != "draining" {
+		t.Fatalf("health = %q, %v", status, err)
+	}
+	// Drain is idempotent.
+	srv.Drain()
+}
+
+// TestServerRejectionStatusCode: admission rejection surfaces as HTTP 429
+// for generic middleware, with the class in the payload.
+func TestServerRejectionStatusCode(t *testing.T) {
+	srv, cli, _ := newTestServer(t, Config{})
+	srv.Drain()
+	body := strings.NewReader(`{"sql":"SELECT 1 AS x"}`)
+	resp, err := cli.hc.Post(cli.base+"/v1/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(payload), `"admission_rejected"`) {
+		t.Fatalf("payload %s missing class", payload)
+	}
+}
+
+// TestServerOnDrainHook: drain hooks (slow-log flush) run exactly once,
+// after in-flight work is gone.
+func TestServerOnDrainHook(t *testing.T) {
+	srv, _, _ := newTestServer(t, Config{})
+	ran := 0
+	srv.OnDrain(func() { ran++ })
+	srv.Drain()
+	srv.Drain()
+	if ran != 1 {
+		t.Fatalf("drain hook ran %d times", ran)
+	}
+}

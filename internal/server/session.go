@@ -1,0 +1,225 @@
+package server
+
+// Client sessions. A session is the unit of per-client state multiplexed
+// over the one shared DB: prepared statements (which bind through the
+// engine's shared statement/plan cache, so two sessions preparing the same
+// SQL share one cached plan), session variables (per-query timeout,
+// executor parallelism, memory budget), and usage counters surfaced by
+// sys.sessions. Sessions are cheap — a map entry and a few atomics — so
+// the registry holds thousands without pressure; an idle reaper evicts
+// sessions untouched for IdleTimeout.
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sqldb"
+)
+
+// Session is one client's server-side state.
+type Session struct {
+	ID     string
+	Tenant string
+
+	Created time.Time
+
+	mu       sync.Mutex
+	prepared map[string]*sqldb.Prepared
+	nParams  map[string]int
+	nextStmt int
+	lastUsed time.Time
+
+	// Session variables. timeoutNs and parallelism are atomics because
+	// the sys.sessions scan reads them while queries run.
+	timeoutNs   atomic.Int64
+	parallelism atomic.Int64
+	memBudget   atomic.Int64
+
+	queries  atomic.Int64
+	inflight atomic.Int64
+	closed   atomic.Bool
+}
+
+// Timeout returns the session's per-query deadline (0 = none).
+func (s *Session) Timeout() time.Duration { return time.Duration(s.timeoutNs.Load()) }
+
+// SetTimeout sets the per-query deadline (d <= 0 clears it).
+func (s *Session) SetTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.timeoutNs.Store(int64(d))
+}
+
+// Parallelism returns the session's executor worker degree override
+// (0 = server default).
+func (s *Session) Parallelism() int { return int(s.parallelism.Load()) }
+
+// SetParallelism sets the per-query worker degree (0 clears the override).
+func (s *Session) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.parallelism.Store(int64(n))
+}
+
+// MemoryBudget returns the session's per-query byte budget (0 = the
+// tenant/server default only).
+func (s *Session) MemoryBudget() int64 { return s.memBudget.Load() }
+
+// SetMemoryBudget sets a session-level per-query byte budget. The
+// effective budget is the tightest of this, the tenant budget, and the
+// DB-level knob — a session can tighten its tenant's cap, never loosen it.
+func (s *Session) SetMemoryBudget(b int64) {
+	if b < 0 {
+		b = 0
+	}
+	s.memBudget.Store(b)
+}
+
+// touch refreshes the idle clock.
+func (s *Session) touch() {
+	s.mu.Lock()
+	s.lastUsed = time.Now()
+	s.mu.Unlock()
+}
+
+// idleFor reports how long the session has been idle.
+func (s *Session) idleFor(now time.Time) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return now.Sub(s.lastUsed)
+}
+
+// preparedCount reports how many statements the session holds.
+func (s *Session) preparedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.prepared)
+}
+
+// addPrepared stores a prepared statement, returning its handle.
+func (s *Session) addPrepared(p *sqldb.Prepared, nParams int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prepared == nil {
+		s.prepared = map[string]*sqldb.Prepared{}
+		s.nParams = map[string]int{}
+	}
+	s.nextStmt++
+	id := "stmt-" + strconv.Itoa(s.nextStmt)
+	s.prepared[id] = p
+	s.nParams[id] = nParams
+	return id
+}
+
+// getPrepared resolves a statement handle.
+func (s *Session) getPrepared(id string) (*sqldb.Prepared, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.prepared[id]
+	return p, ok
+}
+
+// closePrepared drops a statement handle.
+func (s *Session) closePrepared(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.prepared[id]; !ok {
+		return false
+	}
+	delete(s.prepared, id)
+	delete(s.nParams, id)
+	return true
+}
+
+// sessions is the registry of live sessions.
+type sessions struct {
+	mu     sync.Mutex
+	byID   map[string]*Session
+	nextID int64
+}
+
+func newSessions() *sessions {
+	return &sessions{byID: map[string]*Session{}}
+}
+
+// create registers a new session for a tenant.
+func (r *sessions) create(tenant string) *Session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	now := time.Now()
+	s := &Session{
+		ID:      fmt.Sprintf("s%06d", r.nextID),
+		Tenant:  tenant,
+		Created: now,
+	}
+	s.lastUsed = now
+	r.byID[s.ID] = s
+	return s
+}
+
+// get resolves a session ID.
+func (r *sessions) get(id string) (*Session, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byID[id]
+	return s, ok
+}
+
+// close removes a session; its prepared statements go with it.
+func (r *sessions) close(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byID[id]
+	if !ok {
+		return false
+	}
+	s.closed.Store(true)
+	delete(r.byID, id)
+	return true
+}
+
+// list snapshots the live sessions sorted by ID (map order is random; the
+// sys.sessions scan sorts for deterministic output).
+func (r *sessions) list() []*Session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Session, 0, len(r.byID))
+	for _, s := range r.byID {
+		out = append(out, s)
+	}
+	return out
+}
+
+// count reports the number of live sessions.
+func (r *sessions) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}
+
+// reapIdle closes sessions idle longer than maxIdle, returning how many
+// went. Sessions with in-flight queries are never reaped.
+func (r *sessions) reapIdle(maxIdle time.Duration) int {
+	if maxIdle <= 0 {
+		return 0
+	}
+	now := time.Now()
+	reaped := 0
+	for _, s := range r.list() {
+		if s.inflight.Load() > 0 {
+			continue
+		}
+		if s.idleFor(now) >= maxIdle {
+			if r.close(s.ID) {
+				reaped++
+			}
+		}
+	}
+	return reaped
+}

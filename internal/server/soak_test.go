@@ -1,0 +1,326 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/qerr"
+	"repro/internal/sqldb"
+)
+
+// soakFixture builds a server over a moderately sized table so queries do
+// real morsel work, plus a goroutine baseline taken before anything spins
+// up.
+func soakFixture(t *testing.T, rows int, cfg Config) (*Server, *httptest.Server, int) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	db := sqldb.New()
+	db.Metrics = obs.NewRegistry()
+	db.History = obs.NewQueryHistory(128)
+	db.EnableSysCatalog()
+	db.EnableCache(64)
+	mustExec(t, db, `CREATE TABLE pt (id Int64, grp Int64, v Float64)`)
+	pt := db.GetTable("pt")
+	for i := 0; i < rows; i++ {
+		if err := pt.AppendRow([]sqldb.Datum{
+			sqldb.Int(int64(i)), sqldb.Int(int64(i % 37)), sqldb.Float(float64(i%1000) / 7),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := New(db, nil, cfg)
+	hs := httptest.NewServer(srv.Handler())
+	return srv, hs, before
+}
+
+// assertNoGoroutineLeak waits for the goroutine count to return to the
+// pre-server baseline (plus slack for runtime background goroutines).
+func assertNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var g int
+	for time.Now().Before(deadline) {
+		g = runtime.NumGoroutine()
+		if g <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak after drain: %d before, %d after\n%s", before, g, buf[:n])
+}
+
+// TestSoakConcurrentSessions is the concurrency soak: N sessions across 3
+// tenants run M queries each — a mix of ad-hoc SQL, shared prepared
+// statements, and sys.* scans — under -race, then the server drains and
+// must leave no goroutines behind. Every failure along the way must be a
+// typed lifecycle error.
+func TestSoakConcurrentSessions(t *testing.T) {
+	sessionsN, queriesM := 16, 25
+	if testing.Short() {
+		sessionsN, queriesM = 6, 8
+	}
+	srv, hs, before := soakFixture(t, 20000, Config{
+		Admission: AdmissionConfig{MaxConcurrent: 4, MaxQueue: 256},
+	})
+	defer hs.Close()
+
+	adhoc := []string{
+		`SELECT count(*) AS c FROM pt WHERE v > 100`,
+		`SELECT grp, count(*) AS c FROM pt GROUP BY grp ORDER BY grp`,
+		`SELECT id, v FROM pt WHERE grp = 3 ORDER BY v DESC LIMIT 5`,
+		`SELECT count(*) AS c FROM sys.sessions`,
+		`SELECT tenant, admitted FROM sys.admission ORDER BY tenant`,
+	}
+
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	for s := 0; s < sessionsN; s++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(worker)))
+			ctx := context.Background()
+			cli := Dial(hs.URL).WithHTTPClient(hs.Client())
+			tenant := fmt.Sprintf("tenant-%d", worker%3)
+			if err := cli.Connect(ctx, tenant); err != nil {
+				t.Errorf("worker %d connect: %v", worker, err)
+				failures.Add(1)
+				return
+			}
+			defer cli.Close(ctx)
+			stmt, err := cli.Prepare(ctx, `SELECT count(*) AS c FROM pt WHERE grp = ?`)
+			if err != nil {
+				t.Errorf("worker %d prepare: %v", worker, err)
+				failures.Add(1)
+				return
+			}
+			for q := 0; q < queriesM; q++ {
+				var err error
+				if q%3 == 0 {
+					_, err = stmt.Exec(ctx, sqldb.Int(int64(rng.Intn(37))))
+				} else {
+					_, err = cli.Query(ctx, adhoc[rng.Intn(len(adhoc))])
+				}
+				if err != nil && !qerr.Lifecycle(err) {
+					t.Errorf("worker %d query %d: untyped error %v", worker, q, err)
+					failures.Add(1)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d workers failed", failures.Load())
+	}
+
+	// Fair scheduling left every tenant served: each tenant admitted work.
+	stats, _, _, _ := srv.adm.stats()
+	if len(stats) != 3 {
+		t.Fatalf("tenants seen = %d, want 3", len(stats))
+	}
+	for _, s := range stats {
+		if s.Admitted == 0 {
+			t.Errorf("tenant %s admitted 0 queries", s.Tenant)
+		}
+		if s.Inflight != 0 || s.Queued != 0 {
+			t.Errorf("tenant %s left residue: inflight=%d queued=%d", s.Tenant, s.Inflight, s.Queued)
+		}
+	}
+
+	srv.Drain()
+	hs.Close()
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestSoakClientDisconnects: clients abandon queries mid-flight (context
+// cancellation closes the HTTP request); the server must cancel the
+// execution at a morsel boundary, release the admission slot, and keep
+// serving. Drain afterwards must still leave zero leaked goroutines.
+func TestSoakClientDisconnects(t *testing.T) {
+	rounds := 20
+	if testing.Short() {
+		rounds = 6
+	}
+	srv, hs, before := soakFixture(t, 30000, Config{
+		Admission: AdmissionConfig{MaxConcurrent: 2, MaxQueue: 64},
+	})
+	defer hs.Close()
+
+	ctx := context.Background()
+	cli := Dial(hs.URL).WithHTTPClient(hs.Client())
+	if err := cli.Connect(ctx, "flaky"); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < rounds; i++ {
+		qctx, cancel := context.WithTimeout(ctx, time.Duration(1+i%5)*time.Millisecond)
+		_, err := cli.Query(qctx, `SELECT grp, count(*) AS c, avg(v) AS m FROM pt GROUP BY grp ORDER BY grp`)
+		cancel()
+		if err != nil && !qerr.Lifecycle(err) {
+			t.Fatalf("round %d: untyped error %v", i, err)
+		}
+	}
+
+	// The admission slots all came back: a full-width query still runs.
+	if _, err := cli.Query(ctx, `SELECT count(*) AS c FROM pt`); err != nil {
+		t.Fatalf("post-disconnect query: %v", err)
+	}
+	cli.Close(ctx)
+
+	srv.Drain()
+	hs.Close()
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestSoakAdmissionFlood: a request flood far beyond MaxConcurrent+MaxQueue
+// must reject the overflow with qerr.ErrAdmissionRejected — never panic,
+// never hang, never return an untyped error — while every admitted query
+// completes correctly.
+func TestSoakAdmissionFlood(t *testing.T) {
+	srv, hs, before := soakFixture(t, 20000, Config{
+		Admission: AdmissionConfig{MaxConcurrent: 2, MaxQueue: 4},
+	})
+	defer hs.Close()
+
+	// Deterministic overload: occupy both execution slots and fill the
+	// queue, so every HTTP query that arrives must be refused.
+	rel1, _, err := srv.adm.Admit(context.Background(), "hog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, _, err := srv.adm.Admit(context.Background(), "hog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var waiters sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		waiters.Add(1)
+		go func() {
+			defer waiters.Done()
+			rel, _, err := srv.adm.Admit(context.Background(), "hog")
+			if err == nil {
+				rel()
+			}
+		}()
+	}
+	waitFor(t, func() bool { _, _, q, _ := srv.adm.stats(); return q == 4 })
+
+	flood := 16
+	if testing.Short() {
+		flood = 8
+	}
+	var rejected, other atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			cli := Dial(hs.URL).WithHTTPClient(hs.Client())
+			_, err := cli.Query(context.Background(), `SELECT grp, count(*) AS c FROM pt GROUP BY grp`)
+			switch {
+			case errors.Is(err, qerr.ErrAdmissionRejected):
+				rejected.Add(1)
+				if !strings.Contains(err.Error(), "admission") {
+					t.Errorf("rejection lost its message: %v", err)
+				}
+			case err == nil:
+				t.Errorf("flood query %d was admitted with a full queue", n)
+				other.Add(1)
+			default:
+				other.Add(1)
+				t.Errorf("flood query %d: %v", n, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if other.Load() > 0 {
+		t.Fatalf("%d queries did not fail with the typed rejection", other.Load())
+	}
+	if rejected.Load() != int64(flood) {
+		t.Fatalf("rejected %d of %d", rejected.Load(), flood)
+	}
+
+	// Free the slots; the held waiters drain, and service resumes.
+	rel1()
+	rel2()
+	waiters.Wait()
+	cli := Dial(hs.URL).WithHTTPClient(hs.Client())
+	if _, err := cli.Query(context.Background(), `SELECT count(*) AS c FROM pt`); err != nil {
+		t.Fatalf("post-flood query: %v", err)
+	}
+
+	// Rejection counters surfaced in sys.admission.
+	stats, _, _, _ := srv.adm.stats()
+	var totalRejected int64
+	for _, s := range stats {
+		totalRejected += s.Rejected
+	}
+	if totalRejected != rejected.Load() {
+		t.Fatalf("sys.admission rejected=%d, clients saw %d", totalRejected, rejected.Load())
+	}
+
+	srv.Drain()
+	hs.Close()
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestSoakDrainUnderLoad: drain fires while a workload is running; every
+// in-flight or queued query ends in success or a typed error, drain
+// returns, and no goroutines are left.
+func TestSoakDrainUnderLoad(t *testing.T) {
+	srv, hs, before := soakFixture(t, 30000, Config{
+		Admission:  AdmissionConfig{MaxConcurrent: 4, MaxQueue: 64},
+		DrainGrace: 200 * time.Millisecond,
+	})
+	defer hs.Close()
+
+	var untyped atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			ctx := context.Background()
+			cli := Dial(hs.URL).WithHTTPClient(hs.Client())
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := cli.Query(ctx, `SELECT grp, count(*) AS c, avg(v) AS m FROM pt GROUP BY grp`)
+				if err != nil {
+					if !qerr.Lifecycle(err) {
+						untyped.Add(1)
+					}
+					if errors.Is(err, qerr.ErrAdmissionRejected) {
+						return // draining reached us
+					}
+				}
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond) // let the workload get going
+	srv.Drain()
+	close(stop)
+	wg.Wait()
+	if untyped.Load() > 0 {
+		t.Fatalf("%d untyped errors during drain", untyped.Load())
+	}
+	hs.Close()
+	assertNoGoroutineLeak(t, before)
+}

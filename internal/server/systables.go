@@ -1,0 +1,119 @@
+package server
+
+// The serving layer's contribution to the sys.* catalog: sys.sessions and
+// sys.admission. Registered into the shared DB at server construction, so
+// server state is queryable with plain SQL *through the server itself*
+// (the scan reads live registries at execution time — sys tables bypass
+// the plan cache by design).
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/sqldb"
+)
+
+func sysCol(name string, t sqldb.Type) sqldb.OutCol {
+	return sqldb.OutCol{Name: name, Type: t}
+}
+
+// sysResult materializes rows against a schema (scan-time helper; row
+// counts here are tiny).
+func sysResult(schema []sqldb.OutCol, rows [][]sqldb.Datum) (*sqldb.Result, error) {
+	res := &sqldb.Result{Schema: schema, Cols: make([]*sqldb.Column, len(schema))}
+	for i, c := range schema {
+		res.Cols[i] = sqldb.NewColumn(c.Type)
+	}
+	for _, row := range rows {
+		for j, d := range row {
+			if err := res.Cols[j].Append(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+func (s *Server) registerSysTables() {
+	s.db.RegisterSysTable(&sqldb.SysTable{
+		Name:        "sys.sessions",
+		Description: "live client sessions: tenant, counters, session variables",
+		Schema:      sysSessionsSchema(),
+		Scan: func(*sqldb.DB) (*sqldb.Result, error) {
+			now := time.Now()
+			sess := s.sess.list()
+			sort.Slice(sess, func(i, j int) bool { return sess[i].ID < sess[j].ID })
+			rows := make([][]sqldb.Datum, 0, len(sess))
+			for _, c := range sess {
+				rows = append(rows, []sqldb.Datum{
+					sqldb.Str(c.ID),
+					sqldb.Str(c.Tenant),
+					sqldb.Int(c.inflight.Load()),
+					sqldb.Int(c.queries.Load()),
+					sqldb.Int(int64(c.preparedCount())),
+					sqldb.Int(int64(c.Timeout() / time.Millisecond)),
+					sqldb.Int(int64(c.Parallelism())),
+					sqldb.Int(c.MemoryBudget()),
+					sqldb.Int(now.Sub(c.Created).Milliseconds()),
+					sqldb.Int(c.idleFor(now).Milliseconds()),
+				})
+			}
+			return sysResult(sysSessionsSchema(), rows)
+		},
+	})
+
+	s.db.RegisterSysTable(&sqldb.SysTable{
+		Name:        "sys.admission",
+		Description: "per-tenant admission control state: slots, queue, reject counters",
+		Schema:      sysAdmissionSchema(),
+		Scan: func(*sqldb.DB) (*sqldb.Result, error) {
+			stats, _, _, draining := s.adm.stats()
+			sort.Slice(stats, func(i, j int) bool { return stats[i].Tenant < stats[j].Tenant })
+			d := sqldb.Bool(draining)
+			rows := make([][]sqldb.Datum, 0, len(stats))
+			for _, t := range stats {
+				rows = append(rows, []sqldb.Datum{
+					sqldb.Str(t.Tenant),
+					sqldb.Int(int64(t.Inflight)),
+					sqldb.Int(int64(t.Queued)),
+					sqldb.Int(t.Admitted),
+					sqldb.Int(t.QueuedEver),
+					sqldb.Int(t.Rejected),
+					sqldb.Int(t.Cancelled),
+					d,
+				})
+			}
+			return sysResult(sysAdmissionSchema(), rows)
+		},
+	})
+}
+
+// The schemas are built per call (OutCol slices are cheap and the planner
+// stamps aliases onto them, so sharing one slice across scans would race).
+func sysSessionsSchema() []sqldb.OutCol {
+	return []sqldb.OutCol{
+		sysCol("id", sqldb.TString),
+		sysCol("tenant", sqldb.TString),
+		sysCol("inflight", sqldb.TInt),
+		sysCol("queries", sqldb.TInt),
+		sysCol("prepared", sqldb.TInt),
+		sysCol("timeout_ms", sqldb.TInt),
+		sysCol("parallelism", sqldb.TInt),
+		sysCol("mem_budget", sqldb.TInt),
+		sysCol("age_ms", sqldb.TInt),
+		sysCol("idle_ms", sqldb.TInt),
+	}
+}
+
+func sysAdmissionSchema() []sqldb.OutCol {
+	return []sqldb.OutCol{
+		sysCol("tenant", sqldb.TString),
+		sysCol("inflight", sqldb.TInt),
+		sysCol("queued", sqldb.TInt),
+		sysCol("admitted", sqldb.TInt),
+		sysCol("queued_total", sqldb.TInt),
+		sysCol("rejected", sqldb.TInt),
+		sysCol("cancelled", sqldb.TInt),
+		sysCol("draining", sqldb.TBool),
+	}
+}

@@ -1,0 +1,180 @@
+package server
+
+// The JSON wire format shared by the HTTP handlers and the Go client.
+//
+// Design constraint: results must round-trip *bit-identically* — the
+// differential suite compares server-side results against embedded
+// execution datum by datum, so the encoding cannot lose information.
+// JSON numbers are unsafe for that (int64 beyond 2^53 and float64
+// NaN/Inf/-0 all degrade), so every datum travels as a tagged string:
+// ints via strconv in base 10, floats via strconv 'g'/-1 (the shortest
+// representation that parses back to the same bits, including "NaN",
+// "+Inf", "-0"), bools as "t"/"f", blobs as base64. Schema types travel
+// by their engine names ("Int64", "Float64", ...).
+
+import (
+	"encoding/base64"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/sqldb"
+)
+
+// wireValue is one SQL datum on the wire.
+type wireValue struct {
+	// T tags the type: "" (null), "i", "f", "s", "b", "x" (blob).
+	T string `json:"t,omitempty"`
+	// V is the value rendering (absent for nulls).
+	V string `json:"v,omitempty"`
+}
+
+// wireCol describes one output column.
+type wireCol struct {
+	Table string `json:"table,omitempty"`
+	Name  string `json:"name"`
+	Type  string `json:"type"`
+}
+
+// wireResult is a materialized relation on the wire, row-oriented for
+// client ergonomics.
+type wireResult struct {
+	Schema []wireCol     `json:"schema"`
+	Rows   [][]wireValue `json:"rows"`
+}
+
+// encodeDatum renders one datum.
+func encodeDatum(d sqldb.Datum) wireValue {
+	if d.IsNull() {
+		return wireValue{}
+	}
+	switch d.T {
+	case sqldb.TInt:
+		return wireValue{T: "i", V: strconv.FormatInt(d.I, 10)}
+	case sqldb.TFloat:
+		return wireValue{T: "f", V: formatFloatExact(d.F)}
+	case sqldb.TString:
+		return wireValue{T: "s", V: d.S}
+	case sqldb.TBool:
+		if b, _ := d.AsBool(); b {
+			return wireValue{T: "b", V: "t"}
+		}
+		return wireValue{T: "b", V: "f"}
+	case sqldb.TBlob:
+		return wireValue{T: "x", V: base64.StdEncoding.EncodeToString(d.B)}
+	}
+	return wireValue{}
+}
+
+// formatFloatExact renders a float so it parses back to the identical
+// bits: shortest round-trip form, with the non-finite spellings strconv
+// accepts on the way back in.
+func formatFloatExact(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// decodeDatum parses one wire value back into a datum.
+func decodeDatum(v wireValue) (sqldb.Datum, error) {
+	switch v.T {
+	case "":
+		return sqldb.Null(), nil
+	case "i":
+		n, err := strconv.ParseInt(v.V, 10, 64)
+		if err != nil {
+			return sqldb.Null(), fmt.Errorf("server: bad int %q: %w", v.V, err)
+		}
+		return sqldb.Int(n), nil
+	case "f":
+		f, err := strconv.ParseFloat(v.V, 64)
+		if err != nil {
+			return sqldb.Null(), fmt.Errorf("server: bad float %q: %w", v.V, err)
+		}
+		return sqldb.Float(f), nil
+	case "s":
+		return sqldb.Str(v.V), nil
+	case "b":
+		return sqldb.Bool(v.V == "t"), nil
+	case "x":
+		b, err := base64.StdEncoding.DecodeString(v.V)
+		if err != nil {
+			return sqldb.Null(), fmt.Errorf("server: bad blob: %w", err)
+		}
+		return sqldb.Blob(b), nil
+	}
+	return sqldb.Null(), fmt.Errorf("server: unknown value tag %q", v.T)
+}
+
+// encodeResult renders a result (nil results — DDL/DML — render as a
+// nil-schema wireResult so the client can distinguish "no relation" from
+// an empty one).
+func encodeResult(res *sqldb.Result) *wireResult {
+	if res == nil {
+		return &wireResult{}
+	}
+	out := &wireResult{Schema: make([]wireCol, len(res.Schema)), Rows: [][]wireValue{}}
+	for i, c := range res.Schema {
+		out.Schema[i] = wireCol{Table: c.Table, Name: c.Name, Type: c.Type.String()}
+	}
+	n := res.NumRows()
+	for i := 0; i < n; i++ {
+		row := make([]wireValue, len(res.Cols))
+		for j, c := range res.Cols {
+			row[j] = encodeDatum(c.Get(i))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// decodeResult reconstructs a *sqldb.Result from the wire form. A
+// nil-schema payload decodes to nil (a statement with no relation).
+func decodeResult(wr *wireResult) (*sqldb.Result, error) {
+	if wr == nil || wr.Schema == nil {
+		return nil, nil
+	}
+	res := &sqldb.Result{
+		Schema: make([]sqldb.OutCol, len(wr.Schema)),
+		Cols:   make([]*sqldb.Column, len(wr.Schema)),
+	}
+	for i, c := range wr.Schema {
+		t, err := parseColType(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		res.Schema[i] = sqldb.OutCol{Table: c.Table, Name: c.Name, Type: t}
+		res.Cols[i] = sqldb.NewColumn(t)
+	}
+	for ri, row := range wr.Rows {
+		if len(row) != len(res.Cols) {
+			return nil, fmt.Errorf("server: row %d has %d values, want %d", ri, len(row), len(res.Cols))
+		}
+		for j, v := range row {
+			d, err := decodeDatum(v)
+			if err != nil {
+				return nil, err
+			}
+			if err := res.Cols[j].Append(d); err != nil {
+				return nil, fmt.Errorf("server: row %d col %d: %w", ri, j, err)
+			}
+		}
+	}
+	return res, nil
+}
+
+// parseColType maps a wire type name back to an engine type. sqldb's
+// Type.String renders "NULL" for untyped columns, which ParseType
+// (deliberately) rejects for CREATE TABLE, so it is special-cased here.
+func parseColType(s string) (sqldb.Type, error) {
+	if s == "NULL" {
+		return sqldb.TNull, nil
+	}
+	return sqldb.ParseType(s)
+}

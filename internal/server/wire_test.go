@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/sqldb"
+)
+
+// TestDatumWireRoundTrip pins the bit-exactness contract of the wire
+// format: every datum — including the values plain JSON numbers lose —
+// must decode back to identical bits.
+func TestDatumWireRoundTrip(t *testing.T) {
+	cases := []sqldb.Datum{
+		sqldb.Null(),
+		sqldb.Int(0),
+		sqldb.Int(-1),
+		sqldb.Int(math.MaxInt64),
+		sqldb.Int(math.MinInt64),
+		sqldb.Int(1<<53 + 1), // beyond float64-exact JSON integers
+		sqldb.Float(0),
+		sqldb.Float(math.Copysign(0, -1)), // -0
+		sqldb.Float(math.NaN()),
+		sqldb.Float(math.Inf(1)),
+		sqldb.Float(math.Inf(-1)),
+		sqldb.Float(math.MaxFloat64),
+		sqldb.Float(math.SmallestNonzeroFloat64),
+		sqldb.Float(0.1),
+		sqldb.Float(1.0 / 3.0),
+		sqldb.Str(""),
+		sqldb.Str("line\nbreak \x00 and ünïcode ✓"),
+		sqldb.Bool(true),
+		sqldb.Bool(false),
+		sqldb.Blob(nil),
+		sqldb.Blob([]byte{0, 1, 2, 255, 254}),
+	}
+	for _, d := range cases {
+		wv := encodeDatum(d)
+		// Through actual JSON, as the HTTP path does.
+		raw, err := json.Marshal(wv)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		var back wireValue
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		got, err := decodeDatum(back)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if !datumBitsEqual(d, got) {
+			t.Errorf("round trip changed %#v -> %#v (wire %s)", d, got, raw)
+		}
+	}
+}
+
+// datumBitsEqual compares datums at the bit level (NaN equals NaN, -0
+// differs from +0 — stricter than SQL equality on purpose).
+func datumBitsEqual(a, b sqldb.Datum) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() == b.IsNull()
+	}
+	if a.T != b.T {
+		return false
+	}
+	switch a.T {
+	case sqldb.TFloat:
+		return math.Float64bits(a.F) == math.Float64bits(b.F)
+	case sqldb.TBlob:
+		return string(a.B) == string(b.B)
+	default:
+		return a.I == b.I && a.S == b.S
+	}
+}
+
+// TestResultWireRoundTrip pins result-level encoding: schema names/types
+// survive, row order survives, and nil results (DDL) stay distinguishable
+// from empty relations.
+func TestResultWireRoundTrip(t *testing.T) {
+	db := sqldb.New()
+	mustExec(t, db, `CREATE TABLE t (a Int64, b Float64, c String, d Bool)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 1.5, 'x', TRUE), (2, -0.25, '', FALSE)`)
+	res, err := db.Query(`SELECT a, b, c, d FROM t ORDER BY a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := json.Marshal(encodeResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wr wireResult
+	if err := json.Unmarshal(raw, &wr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeResult(&wr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != res.NumRows() || len(back.Schema) != len(res.Schema) {
+		t.Fatalf("shape changed: %dx%d -> %dx%d",
+			res.NumRows(), len(res.Schema), back.NumRows(), len(back.Schema))
+	}
+	for i, c := range res.Schema {
+		if back.Schema[i].Name != c.Name || back.Schema[i].Type != c.Type {
+			t.Fatalf("schema col %d changed: %+v -> %+v", i, c, back.Schema[i])
+		}
+	}
+	for i := 0; i < res.NumRows(); i++ {
+		for j := range res.Cols {
+			if !datumBitsEqual(res.Cols[j].Get(i), back.Cols[j].Get(i)) {
+				t.Fatalf("row %d col %d changed: %v -> %v",
+					i, j, res.Cols[j].Get(i), back.Cols[j].Get(i))
+			}
+		}
+	}
+
+	// nil result (DDL) round-trips to nil; empty relation stays non-nil.
+	if enc := encodeResult(nil); enc.Schema != nil {
+		t.Fatal("nil result encoded with a schema")
+	}
+	if dec, err := decodeResult(&wireResult{}); err != nil || dec != nil {
+		t.Fatalf("nil round trip: %v, %v", dec, err)
+	}
+	empty, err := db.Query(`SELECT a FROM t WHERE a > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decodeResult(encodeResult(empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec == nil || dec.NumRows() != 0 || len(dec.Schema) != 1 {
+		t.Fatalf("empty relation did not survive: %+v", dec)
+	}
+}
+
+func mustExec(t *testing.T, db *sqldb.DB, sql string) *sqldb.Result {
+	t.Helper()
+	res, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return res
+}

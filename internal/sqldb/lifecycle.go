@@ -81,10 +81,68 @@ func (ec *execCtx) charge(res *Result) error {
 	return nil
 }
 
+// ---- per-query context overrides ----
+//
+// The multi-session server shares one DB across many tenants, so the
+// DB-level MemoryBudget and Parallelism knobs are not enough: each query
+// needs its own limits. These overrides ride the query's context and are
+// consulted once per statement when the execution context is assembled.
+
+type memBudgetKey struct{}
+type parallelismKey struct{}
+
+// WithMemoryBudget returns a context carrying a per-query materialization
+// budget in bytes. The executor applies the tightest of the DB-level
+// MemoryBudget knob, this override, and any armed "mem.pressure" fault —
+// an override can tighten a global cap but never loosen it. bytes <= 0
+// returns ctx unchanged.
+func WithMemoryBudget(ctx context.Context, bytes int64) context.Context {
+	if bytes <= 0 {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, memBudgetKey{}, bytes)
+}
+
+// WithParallelism returns a context carrying a per-query worker-degree
+// override: 1 forces serial execution, N > 1 caps operators at N workers.
+// It takes precedence over the DB.Parallelism knob (the serving layer's
+// per-session \parallel equivalent). n <= 0 returns ctx unchanged.
+func WithParallelism(ctx context.Context, n int) context.Context {
+	if n <= 0 {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, parallelismKey{}, n)
+}
+
+func memBudgetFrom(ctx context.Context) int64 {
+	if ctx == nil {
+		return 0
+	}
+	b, _ := ctx.Value(memBudgetKey{}).(int64)
+	return b
+}
+
+func parallelismFrom(ctx context.Context) int {
+	if ctx == nil {
+		return 0
+	}
+	n, _ := ctx.Value(parallelismKey{}).(int)
+	return n
+}
+
 // effectiveBudget resolves the query's byte budget: the DB knob, tightened
-// by an armed "mem.pressure" fault.
-func (db *DB) effectiveBudget() int64 {
+// by a context override and by an armed "mem.pressure" fault.
+func (db *DB) effectiveBudget(ctx context.Context) int64 {
 	budget := db.MemoryBudget
+	if o := memBudgetFrom(ctx); o > 0 && (budget <= 0 || o < budget) {
+		budget = o
+	}
 	if p := db.Faults.Bytes(faults.PointMemPressure); p > 0 && (budget <= 0 || p < budget) {
 		budget = p
 	}
@@ -93,8 +151,12 @@ func (db *DB) effectiveBudget() int64 {
 
 // newExecCtx assembles the per-query execution context.
 func (db *DB) newExecCtx(ctx context.Context) *execCtx {
-	ec := &execCtx{prof: db.Profile, par: db.parDegree(), ctx: normCtx(ctx), faults: db.Faults, acct: acctFrom(ctx)}
-	if b := db.effectiveBudget(); b > 0 {
+	deg := db.parDegree()
+	if o := parallelismFrom(ctx); o > 0 {
+		deg = o
+	}
+	ec := &execCtx{prof: db.Profile, par: deg, ctx: normCtx(ctx), faults: db.Faults, acct: acctFrom(ctx)}
+	if b := db.effectiveBudget(ctx); b > 0 {
 		ec.memBudget = b
 		ec.memUsed = new(atomic.Int64)
 	}

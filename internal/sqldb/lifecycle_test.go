@@ -223,3 +223,51 @@ func TestMalformedQueriesReturnErrorsNotPanics(t *testing.T) {
 		}
 	}
 }
+
+func TestMemoryBudgetContextOverride(t *testing.T) {
+	db := parFixture(t, 20000)
+	join := "SELECT P.id, P.v, D.name FROM pt P, ptd D WHERE P.g = D.g"
+
+	// A tight per-query override fails the query even with no DB knob set.
+	ctx := WithMemoryBudget(context.Background(), 64*1024)
+	if _, err := db.QueryContext(ctx, join); !errors.Is(err, qerr.ErrMemoryBudget) {
+		t.Fatalf("override err = %v, want ErrMemoryBudget", err)
+	}
+	// The same query with no override succeeds (no global cap is armed).
+	if _, err := db.QueryContext(context.Background(), join); err != nil {
+		t.Fatalf("uncapped query failed: %v", err)
+	}
+	// An override can only tighten a global cap, never loosen it.
+	db.MemoryBudget = 64 * 1024
+	loose := WithMemoryBudget(context.Background(), 1<<30)
+	if _, err := db.QueryContext(loose, join); !errors.Is(err, qerr.ErrMemoryBudget) {
+		t.Fatalf("loosened err = %v, want ErrMemoryBudget (DB knob must win)", err)
+	}
+}
+
+func TestParallelismContextOverride(t *testing.T) {
+	// The override wins over the DB knob in both directions; results stay
+	// bit-identical to serial execution (the morsel-order contract).
+	db := parFixture(t, 20000)
+	db.Parallelism = 1
+	q := "SELECT g, count(*) AS n FROM pt WHERE v >= 0 GROUP BY g ORDER BY g"
+	serial, err := db.QueryContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par4, err := db.QueryContext(WithParallelism(context.Background(), 4), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.NumRows() != par4.NumRows() {
+		t.Fatalf("row count changed under parallelism override: %d vs %d",
+			serial.NumRows(), par4.NumRows())
+	}
+	for i := 0; i < serial.NumRows(); i++ {
+		for j := range serial.Cols {
+			if serial.Cols[j].Get(i).String() != par4.Cols[j].Get(i).String() {
+				t.Fatalf("row %d col %d differs under parallelism override", i, j)
+			}
+		}
+	}
+}
