@@ -1,10 +1,13 @@
-// Command doccheck is the CI documentation gate. It enforces two
-// invariants and exits non-zero if either fails:
+// Command doccheck is the CI documentation gate. It enforces three
+// invariants and exits non-zero if any fails:
 //
 //  1. Every Go package under internal/ and cmd/ carries a package comment
 //     (a doc comment on the package clause in at least one file).
 //  2. Every relative link in the repository's top-level *.md files points
 //     at a file or directory that exists.
+//  3. Every internal/* package is mentioned in ARCHITECTURE.md by its
+//     "internal/<path>" import-style name — the architecture document
+//     must at least place each package in the layer map.
 //
 // Usage (from the repository root):
 //
@@ -25,6 +28,7 @@ func main() {
 	bad := 0
 	bad += checkPackageComments(".")
 	bad += checkMarkdownLinks(".")
+	bad += checkArchitectureCoverage(".")
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", bad)
 		os.Exit(1)
@@ -73,6 +77,56 @@ func checkPackageComments(root string) int {
 			fmt.Fprintf(os.Stderr, "doccheck: walking %s: %v\n", top, err)
 			bad++
 		}
+	}
+	return bad
+}
+
+// checkArchitectureCoverage requires ARCHITECTURE.md to mention every
+// internal/* package (any directory under internal/ with at least one
+// non-test .go file) by its "internal/<path>" name. A package the
+// architecture document does not even name is a package no reader can
+// place in the system.
+func checkArchitectureCoverage(root string) int {
+	data, err := os.ReadFile(filepath.Join(root, "ARCHITECTURE.md"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		return 1
+	}
+	doc := string(data)
+	bad := 0
+	err = filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range entries {
+			name := e.Name()
+			if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		pkg := filepath.ToSlash(rel)
+		if !strings.Contains(doc, pkg) {
+			fmt.Fprintf(os.Stderr, "doccheck: ARCHITECTURE.md never mentions %s\n", pkg)
+			bad++
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: walking internal: %v\n", err)
+		bad++
 	}
 	return bad
 }

@@ -1,0 +1,302 @@
+// Command schedbench measures cross-query inference throughput with and
+// without the shared scheduler (internal/schedule): N concurrent workers
+// each run a closed loop of inference requests — one (model, keyframe)
+// forward pass per request, drawn from a pool of distinct keyframes — and
+// the bench reports aggregate requests/second per concurrency level for
+// both modes.
+//
+// The "direct" mode is the no-scheduler baseline: every request decodes
+// its keyframe and runs its own forward pass, the way each query's
+// strategy-local inference path behaves without a scheduler. The "sched"
+// mode submits every request to one shared scheduler, where concurrent
+// requests coalesce into batched MatMuls, identical in-flight requests
+// single-flight, and the shared prediction cache answers repeats — the
+// monitoring-dashboard workload of the paper's Table I templates, where
+// many sessions keep asking about overlapping keyframes.
+//
+// BENCH_batch.json gates on concurrency-8 sched throughput >= 2x the
+// direct baseline (self-gated on NumCPU >= 4, same policy as servebench:
+// below that, concurrency time-slices and the ratio is meaningless).
+//
+//	schedbench -dur 1s
+//	schedbench -dur 1s -pool 64 -levels 1,8,32,64 -json > BENCH_batch.json
+//	schedbench -pool 0           # all-unique keyframes: pure coalescing
+//	schedbench -window 2ms -max-batch 64   # knob sweep (see EXPERIMENTS.md)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/iotdata"
+	"repro/internal/modelrepo"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/schedule"
+	"repro/internal/tensor"
+)
+
+type levelResult struct {
+	Mode        string  `json:"mode"`
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	RPS         float64 `json:"rps"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	// Scheduler-mode extras (zero in direct mode).
+	Batches  int64   `json:"batches,omitempty"`
+	AvgBatch float64 `json:"avg_batch,omitempty"`
+	Dedup    int64   `json:"dedup_hits,omitempty"`
+	Cached   int64   `json:"cache_hits,omitempty"`
+}
+
+func main() {
+	dur := flag.Duration("dur", time.Second, "measurement window per (mode, concurrency) cell")
+	levels := flag.String("levels", "1,8,32,64", "comma-separated worker concurrency levels")
+	pool := flag.Int("pool", 64, "distinct keyframes in the request pool (0 = every request unique: pure coalescing, no dedup/cache)")
+	side := flag.Int("side", 8, "keyframe side length (model input is side x side)")
+	maxBatch := flag.Int("max-batch", 32, "scheduler MaxBatch knob")
+	window := flag.Duration("window", 500*time.Microsecond, "scheduler batch-window knob")
+	cacheCap := flag.Int("cache", 4096, "shared prediction-cache capacity (0 = off)")
+	asJSON := flag.Bool("json", false, "emit BENCH_batch.json document on stdout")
+	flag.Parse()
+
+	entry := modelrepo.NewRepository(*side, 99).ForTask(modelrepo.TaskPatternRecog)
+	art, err := nn.EncodeBytes(entry.Model)
+	if err != nil {
+		panic(err)
+	}
+	artHash := tensor.HashBytes(art)
+
+	// The keyframe pool. pool=0 still pregenerates a large pool but the
+	// workers walk it without repetition within the window, so dedup and
+	// cache almost never fire and the bench isolates coalescing.
+	unique := *pool <= 0
+	n := *pool
+	if unique {
+		n = 1 << 16
+	}
+	blobs := make([][]byte, n)
+	rng := rand.New(rand.NewSource(7))
+	for i := range blobs {
+		kf := tensor.New(3, *side, *side)
+		d := kf.Data()
+		for j := range d {
+			d[j] = rng.Float64()
+		}
+		blobs[i] = iotdata.KeyframeBytes(kf)
+	}
+
+	var results []levelResult
+	for _, lvl := range parseLevels(*levels) {
+		for _, mode := range []string{"direct", "sched"} {
+			r := runLevel(mode, lvl, *dur, entry.Model, art, artHash, blobs, unique,
+				schedule.Config{MaxBatch: *maxBatch, Window: *window,
+					Cache: cache.New[schedule.Key, int](*cacheCap), Metrics: obs.NewRegistry()})
+			results = append(results, r)
+			if !*asJSON {
+				extra := ""
+				if mode == "sched" {
+					extra = fmt.Sprintf("  batches=%d avg=%.1f dedup=%d cached=%d",
+						r.Batches, r.AvgBatch, r.Dedup, r.Cached)
+				}
+				fmt.Printf("%-6s c=%-3d %8d req %10.0f rps  p50=%.0fus p99=%.0fus%s\n",
+					mode, lvl, r.Requests, r.RPS, r.P50Us, r.P99Us, extra)
+			}
+		}
+	}
+
+	rps := func(mode string, lvl int) float64 {
+		for _, r := range results {
+			if r.Mode == mode && r.Concurrency == lvl {
+				return r.RPS
+			}
+		}
+		return 0
+	}
+	speedup8 := 0.0
+	if base := rps("direct", 8); base > 0 {
+		speedup8 = rps("sched", 8) / base
+	}
+	ncpu := runtime.NumCPU()
+	gated := ncpu < 4
+	verdict := fmt.Sprintf("concurrency-8 scheduled throughput is %.2fx the no-scheduler baseline against the >=2x target", speedup8)
+	if gated {
+		verdict += fmt.Sprintf(" — NOT demonstrable here: only %d CPU(s) visible; re-run on a >=4-core machine (CI's scheduler job asserts the gate there).", ncpu)
+	}
+
+	if *asJSON {
+		out := map[string]any{
+			"description": "Cross-query inference scheduling: N concurrent workers each run a closed loop of (model, keyframe) inference requests over a pool of " + strconv.Itoa(n) + " distinct keyframes. direct = per-request forward pass (no scheduler, the strategy-local baseline); sched = all requests submitted to one shared scheduler (coalesced batching + single-flight dedup + shared prediction cache). rps counts completed requests.",
+			"benchmark":   "go run ./cmd/schedbench -dur " + dur.String() + " -pool " + strconv.Itoa(*pool) + " -levels " + *levels + " -json",
+			"date":        time.Now().Format("2006-01-02"),
+			"numcpu":      ncpu,
+			"gomaxprocs":  runtime.GOMAXPROCS(0),
+			"knobs": map[string]any{
+				"max_batch": *maxBatch,
+				"window":    window.String(),
+				"cache":     *cacheCap,
+				"pool":      *pool,
+			},
+			"results": results,
+			"summary": map[string]any{
+				"speedup_c8_sched_vs_direct": round2(speedup8),
+				"target_speedup_at_c8":       2.0,
+				"gated_on_numcpu_ge_4":       gated,
+				"verdict":                    verdict,
+			},
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			panic(err)
+		}
+		return
+	}
+	fmt.Println(verdict)
+}
+
+// runLevel drives `concurrency` closed-loop workers for the measurement
+// window (after a short warmup) in one mode and aggregates counts and
+// latencies. Each cell builds a fresh scheduler so batch/dedup counters
+// are per-cell.
+func runLevel(mode string, concurrency int, dur time.Duration, model *nn.Model,
+	art []byte, artHash uint64, blobs [][]byte, unique bool, cfg schedule.Config) levelResult {
+	var sched *schedule.Scheduler
+	var be *schedule.Backend
+	if mode == "sched" {
+		if unique {
+			cfg.Cache = nil
+		}
+		sched = schedule.New(cfg)
+		be = schedule.NewNativeBackend(4)
+	}
+
+	type worker struct {
+		n   int
+		lat []time.Duration
+	}
+	workers := make([]worker, concurrency)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	stop := make(chan struct{})
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			state := uint64(w*2654435761 + 1)
+			next := func() uint64 {
+				state ^= state << 13
+				state ^= state >> 7
+				state ^= state << 17
+				return state
+			}
+			seq := w // unique-mode stride walk: worker w takes i*C+w
+			measuring := false
+			startCh := start
+			for {
+				select {
+				case <-stop:
+					return
+				case <-startCh:
+					measuring = true
+					startCh = nil
+				default:
+				}
+				var blob []byte
+				if unique {
+					blob = blobs[seq%len(blobs)]
+					seq += concurrency
+				} else {
+					blob = blobs[next()%uint64(len(blobs))]
+				}
+				t0 := time.Now()
+				if mode == "sched" {
+					if _, err := sched.Infer(context.Background(), be, artHash, art, blob); err != nil {
+						panic(err)
+					}
+				} else {
+					in, err := iotdata.KeyframeTensor(blob)
+					if err != nil {
+						panic(err)
+					}
+					mc := *model // shallow per-call copy, as the UDF path does
+					if _, _, err := mc.Predict(in); err != nil {
+						panic(err)
+					}
+				}
+				if measuring {
+					workers[w].n++
+					workers[w].lat = append(workers[w].lat, time.Since(t0))
+				}
+			}
+		}(w)
+	}
+	time.Sleep(150 * time.Millisecond) // warmup
+	t0 := time.Now()
+	close(start)
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	total := 0
+	var all []time.Duration
+	for _, w := range workers {
+		total += w.n
+		all = append(all, w.lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	r := levelResult{
+		Mode:        mode,
+		Concurrency: concurrency,
+		Requests:    total,
+		RPS:         round2(float64(total) / elapsed.Seconds()),
+		P50Us:       pctUs(all, 0.50),
+		P99Us:       pctUs(all, 0.99),
+	}
+	if sched != nil {
+		sched.Drain()
+		st := sched.Stats()
+		r.Batches = st.Batches
+		if st.Batches > 0 {
+			r.AvgBatch = round2(float64(st.Executed) / float64(st.Batches))
+		}
+		r.Dedup = st.DedupHits
+		r.Cached = st.CacheHits
+	}
+	return r
+}
+
+func pctUs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return round2(float64(sorted[i].Nanoseconds()) / 1000.0)
+}
+
+func round2(f float64) float64 { return float64(int(f*100+0.5)) / 100 }
+
+func parseLevels(s string) []int {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			panic("bad -levels: " + s)
+		}
+		out = append(out, n)
+	}
+	return out
+}

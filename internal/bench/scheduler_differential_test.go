@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/colquery"
+	"repro/internal/faults"
+	"repro/internal/iotdata"
+	"repro/internal/modelrepo"
+	"repro/internal/qerr"
+	"repro/internal/schedule"
+	"repro/internal/strategies"
+)
+
+// schedDiffFixture builds a strategies context over the standard small
+// dataset, with the inference cache OFF so every forward pass physically
+// runs (memoization would mask a wrong batched kernel).
+func schedDiffFixture(t *testing.T) *strategies.Context {
+	t.Helper()
+	ds, err := iotdata.Generate(iotdata.Config{Scale: 2, KeyframeSide: 8, Seed: 7, PatternCount: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := strategies.NewContext(ds)
+	repo := modelrepo.NewRepository(8, 99)
+	if err := ctx.BindDefaults(repo, 20); err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// TestSchedulerDifferentialBitIdentical is the scheduler's end-to-end
+// determinism gate: all four strategies run all four query templates with
+// the scheduler off and then on, and each (strategy, template) pair must
+// produce the exact same canonical row multiset — scheduling changes
+// throughput, never results. DL2SQL and DL2SQL-OP never touch the
+// scheduler, so they double as a control group; DB-UDF and DB-PyTorch
+// route every forward pass through coalesced batches.
+func TestSchedulerDifferentialBitIdentical(t *testing.T) {
+	env := schedDiffFixture(t)
+	for _, typ := range []colquery.QueryType{colquery.Type1, colquery.Type2, colquery.Type3, colquery.Type4} {
+		q, err := colquery.GenerateAnalyzed(typ, colquery.TemplateParams{Selectivity: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range strategies.All() {
+			env.Scheduler = nil
+			res, _, err := s.Execute(context.Background(), env, q)
+			if err != nil {
+				t.Fatalf("%s on %v scheduler-off: %v", s.Name(), typ, err)
+			}
+			off := diffCanonKey(res)
+
+			sched := env.EnableScheduler(schedule.Config{MaxBatch: 8, Window: 200 * time.Microsecond})
+			res, _, err = s.Execute(context.Background(), env, q)
+			sched.Drain()
+			env.Scheduler = nil
+			if err != nil {
+				t.Fatalf("%s on %v scheduler-on: %v", s.Name(), typ, err)
+			}
+			if on := diffCanonKey(res); on != off {
+				t.Fatalf("%s on %v: scheduler changed results:\n--- off ---\n%s\n--- on ---\n%s",
+					s.Name(), typ, off, on)
+			}
+		}
+	}
+}
+
+// TestSchedulerConcurrentQueriesAgree runs many DB-PyTorch executions of
+// the same template concurrently through one scheduler — the production
+// shape, where batches mix waiters from different queries — and asserts
+// every result matches the serial scheduler-off baseline.
+func TestSchedulerConcurrentQueriesAgree(t *testing.T) {
+	env := schedDiffFixture(t)
+	q, err := colquery.GenerateAnalyzed(colquery.Type2, colquery.TemplateParams{Selectivity: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat := &strategies.DBPyTorch{}
+	res, _, err := strat.Execute(context.Background(), env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := diffCanonKey(res)
+
+	sched := env.EnableScheduler(schedule.Config{MaxBatch: 16, Window: 300 * time.Microsecond})
+	defer sched.Drain()
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	keys := make([]string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res, _, err := strat.Execute(context.Background(), env, q)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			keys[w] = diffCanonKey(res)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if keys[w] != want {
+			t.Fatalf("worker %d disagrees with scheduler-off baseline:\n--- want ---\n%s\n--- got ---\n%s",
+				w, want, keys[w])
+		}
+	}
+	st := sched.Stats()
+	if st.Submitted == 0 {
+		t.Fatal("concurrent DB-PyTorch executions never used the scheduler")
+	}
+	if st.CacheHits+st.DedupHits+st.Executed != st.Submitted {
+		t.Fatalf("accounting leak: submitted=%d != cache=%d + dedup=%d + executed=%d",
+			st.Submitted, st.CacheHits, st.DedupHits, st.Executed)
+	}
+}
+
+// TestSchedulerChaosCancelledBatchmate is the chaos case from the issue:
+// two queries' inference lands in the same scheduler, one query is
+// cancelled mid-flight, and the survivor must complete with results
+// identical to the scheduler-off baseline — a cancelled waiter never
+// poisons its batchmates.
+func TestSchedulerChaosCancelledBatchmate(t *testing.T) {
+	env := schedDiffFixture(t)
+	q, err := colquery.GenerateAnalyzed(colquery.Type2, colquery.TemplateParams{Selectivity: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat := &strategies.DBPyTorch{}
+	res, _, err := strat.Execute(context.Background(), env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := diffCanonKey(res)
+
+	sched := env.EnableScheduler(schedule.Config{MaxBatch: 16, Window: 2 * time.Millisecond})
+	defer sched.Drain()
+	for round := 0; round < 3; round++ {
+		cancelCtx, cancel := context.WithCancel(context.Background())
+		victimDone := make(chan error, 1)
+		go func() {
+			_, _, err := strat.Execute(cancelCtx, env, q)
+			victimDone <- err
+		}()
+		// Cancel the victim while its submissions are (likely) in flight;
+		// the survivor starts concurrently and must be untouched.
+		survivorDone := make(chan struct{})
+		var surKey string
+		var surErr error
+		go func() {
+			defer close(survivorDone)
+			res, _, err := strat.Execute(context.Background(), env, q)
+			if err != nil {
+				surErr = err
+				return
+			}
+			surKey = diffCanonKey(res)
+		}()
+		time.Sleep(time.Duration(round) * time.Millisecond)
+		cancel()
+		verr := <-victimDone
+		<-survivorDone
+		if verr != nil && !errors.Is(verr, qerr.ErrCancelled) {
+			t.Fatalf("round %d: victim failed with %v, want nil or ErrCancelled", round, verr)
+		}
+		if surErr != nil {
+			t.Fatalf("round %d: survivor poisoned by cancelled batchmate: %v", round, surErr)
+		}
+		if surKey != want {
+			t.Fatalf("round %d: survivor result drifted:\n--- want ---\n%s\n--- got ---\n%s", round, want, surKey)
+		}
+	}
+}
+
+// TestSchedulerFallbackLadderIntact: with the scheduler on and the native
+// backend's model decode sabotaged via the scheduler batch fault, DB-UDF
+// must still degrade to DL2SQL exactly as it does scheduler-off.
+func TestSchedulerFallbackLadderIntact(t *testing.T) {
+	env := schedDiffFixture(t)
+	q, err := colquery.GenerateAnalyzed(colquery.Type1, colquery.TemplateParams{Selectivity: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := (&strategies.DL2SQL{}).Execute(context.Background(), env, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := diffCanonKey(res)
+
+	inj := faults.New(1, faults.Rule{Point: faults.PointSchedBatch})
+	sched := env.EnableScheduler(schedule.Config{Window: time.Millisecond, Faults: inj})
+	defer sched.Drain()
+	res, bd, err := strategies.ExecuteWithFallback(context.Background(), env, &strategies.DBUDF{}, q)
+	if err != nil {
+		t.Fatalf("fallback ladder with faulted scheduler: %v", err)
+	}
+	if len(bd.FallbackPath) == 0 || bd.FallbackPath[len(bd.FallbackPath)-1] != "DL2SQL" {
+		t.Fatalf("fallback path %v, want degradation to DL2SQL", bd.FallbackPath)
+	}
+	if got := diffCanonKey(res); got != want {
+		t.Fatalf("degraded result differs from DL2SQL baseline:\n%s\nvs\n%s", want, got)
+	}
+}

@@ -51,6 +51,12 @@ const (
 	PointUDFDecode = "udf.decode"
 	// PointDL2SQLTranslate fails the DL2SQL translator pipeline.
 	PointDL2SQLTranslate = "dl2sql.translate"
+	// PointSchedSubmit fails an inference-scheduler submission before it
+	// queues (the submitting query sees the error; nothing batches).
+	PointSchedSubmit = "sched.submit"
+	// PointSchedBatch fails a coalesced scheduler batch at execution time:
+	// every waiter parked on that batch sees the same typed error.
+	PointSchedBatch = "sched.batch"
 	// PointMorselDelay delays SQL executor morsels (slow-query simulation).
 	PointMorselDelay = "morsel.delay"
 	// PointMemPressure imposes an artificial per-query materialization

@@ -1,0 +1,199 @@
+package nn
+
+// Batch-of-N forward entry for the cross-query inference scheduler.
+//
+// The scheduler (internal/schedule) coalesces pending forward passes from
+// concurrent queries into one call; this file makes that call cheaper than
+// N independent Forwards by executing batch-aware layers as ONE large
+// MatMul over the stacked batch instead of N small ones. Layers without a
+// batched kernel fall back to a per-sample loop, so ForwardBatch accepts
+// every model Forward accepts.
+//
+// Determinism contract: ForwardBatch is bit-identical to calling Forward
+// per sample. The batched kernels guarantee this by construction — each
+// output element is computed from exactly the same operands accumulated in
+// exactly the same order as its per-sample counterpart (the batch only
+// widens the MatMul's second operand; rows of the weight matrix and the
+// ascending-k accumulation order are unchanged). The scheduler-on vs
+// scheduler-off differential suite in internal/bench pins this end to end.
+
+import (
+	"fmt"
+
+	"repro/internal/qerr"
+	"repro/internal/tensor"
+)
+
+// BatchLayer is implemented by layers with a genuinely batched forward
+// kernel. ForwardBatch must be bit-identical to per-sample Forward calls
+// and must not mutate the inputs.
+type BatchLayer interface {
+	Layer
+	ForwardBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error)
+}
+
+// ForwardBatch runs the full chain over a batch of inputs, using each
+// layer's batched kernel when it has one (Conv2D, Linear) and a per-sample
+// loop otherwise. Results are bit-identical to calling Forward once per
+// input. Panics inside layer kernels are recovered and returned as typed
+// qerr.ErrInternal, mirroring Forward.
+func (m *Model) ForwardBatch(ins []*tensor.Tensor) (outs []*tensor.Tensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			outs, err = nil, qerr.Recovered("nn model "+m.ModelName, r)
+		}
+	}()
+	cur := append([]*tensor.Tensor(nil), ins...)
+	for _, l := range m.Layers {
+		sp := m.Trace.StartChild(l.Kind() + ":" + l.Name() + ":batch")
+		cur, err = forwardBatchLayer(l, cur)
+		sp.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("nn: model %s layer %s: %w", m.ModelName, l.Name(), err)
+		}
+	}
+	return cur, nil
+}
+
+// forwardBatchLayer applies one layer to the whole batch.
+func forwardBatchLayer(l Layer, ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if bl, ok := l.(BatchLayer); ok && len(ins) > 1 && sameShapes(ins) {
+		return bl.ForwardBatch(ins)
+	}
+	outs := make([]*tensor.Tensor, len(ins))
+	for i, in := range ins {
+		out, err := l.Forward(in)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = out
+	}
+	return outs, nil
+}
+
+// PredictBatch runs batched inference and returns the argmax class index
+// per input, in input order.
+func (m *Model) PredictBatch(ins []*tensor.Tensor) ([]int, error) {
+	if len(ins) == 0 {
+		return nil, nil
+	}
+	outs, err := m.ForwardBatch(ins)
+	if err != nil {
+		return nil, err
+	}
+	idxs := make([]int, len(outs))
+	for i, out := range outs {
+		idxs[i] = out.ArgMax()
+	}
+	return idxs, nil
+}
+
+// sameShapes reports whether every input has the first input's shape (the
+// precondition for stacking a batch into one MatMul operand).
+func sameShapes(ins []*tensor.Tensor) bool {
+	if len(ins) == 0 {
+		return false
+	}
+	first := ins[0].Shape()
+	for _, in := range ins[1:] {
+		s := in.Shape()
+		if len(s) != len(first) {
+			return false
+		}
+		for i := range s {
+			if s[i] != first[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ForwardBatch implements BatchLayer for Conv2D: the per-sample im2col
+// matrices are stacked side by side and convolved with the weight matrix
+// in ONE MatMul of shape (outC × inC·k²)·(inC·k² × N·oh·ow) — N times
+// wider than the per-sample multiply, same rows, same accumulation order,
+// so each sample's slice of the product is bit-identical to its Forward.
+func (c *Conv2D) ForwardBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	out, err := c.OutShape(ins[0].Shape())
+	if err != nil {
+		return nil, err
+	}
+	oh, ow := out[1], out[2]
+	ohw := oh * ow
+	n := len(ins)
+	k2 := c.Weight.Dim(1) // inC·k·k
+	// stacked[kk][s·ohw + p] = im2col(sample s)[p][kk]
+	stacked := tensor.New(k2, n*ohw)
+	sd := stacked.Data()
+	for s, in := range ins {
+		cols, err := tensor.Im2Col(in, c.K, c.Stride, c.Pad) // (ohw × k2)
+		if err != nil {
+			return nil, err
+		}
+		cd := cols.Data()
+		for p := 0; p < ohw; p++ {
+			base := p * k2
+			for kk := 0; kk < k2; kk++ {
+				sd[kk*n*ohw+s*ohw+p] = cd[base+kk]
+			}
+		}
+	}
+	res, err := tensor.MatMul(c.Weight, stacked) // (outC × N·ohw)
+	if err != nil {
+		return nil, err
+	}
+	rd := res.Data()
+	outs := make([]*tensor.Tensor, n)
+	for s := 0; s < n; s++ {
+		o := tensor.New(c.OutC, oh, ow)
+		od := o.Data()
+		for ch := 0; ch < c.OutC; ch++ {
+			row := rd[ch*n*ohw+s*ohw : ch*n*ohw+(s+1)*ohw]
+			dst := od[ch*ohw : (ch+1)*ohw]
+			if c.Bias != nil {
+				b := c.Bias[ch]
+				for i, v := range row {
+					dst[i] = v + b
+				}
+			} else {
+				copy(dst, row)
+			}
+		}
+		outs[s] = o
+	}
+	return outs, nil
+}
+
+// ForwardBatch implements BatchLayer for Linear: the batch's input vectors
+// become the columns of one (In × N) matrix, multiplied by the weight
+// matrix in ONE MatMul — per-sample MatVec dot products widen into a
+// batched MatMul with identical operands and accumulation order.
+func (l *Linear) ForwardBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if _, err := l.OutShape(ins[0].Shape()); err != nil {
+		return nil, err
+	}
+	n := len(ins)
+	xt := tensor.New(l.In, n)
+	xd := xt.Data()
+	for s, in := range ins {
+		d := in.Data()
+		for k := 0; k < l.In; k++ {
+			xd[k*n+s] = d[k]
+		}
+	}
+	res, err := tensor.MatMul(l.Weight, xt) // (Out × N)
+	if err != nil {
+		return nil, err
+	}
+	rd := res.Data()
+	outs := make([]*tensor.Tensor, n)
+	for s := 0; s < n; s++ {
+		y := make([]float64, l.Out)
+		for o := 0; o < l.Out; o++ {
+			y[o] = rd[o*n+s] + l.Bias[o]
+		}
+		outs[s] = tensor.FromSlice(y, l.Out)
+	}
+	return outs, nil
+}

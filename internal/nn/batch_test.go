@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// batchFixture is a conv→pool→linear chain exercising both batched
+// kernels plus per-sample-only layers in between.
+func batchFixture() *Model {
+	m := NewModel("batchy", []int{1, 8, 8}, []string{"a", "b", "c"})
+	m.Add(
+		NewConv2D("c1", 1, 4, 3, 1, 1, 7),
+		&ReLU{LayerName: "r1"},
+		&MaxPool{LayerName: "p1", K: 2, Stride: 2},
+		NewConv2D("c2", 4, 8, 3, 1, 0, 8),
+		&ReLU{LayerName: "r2"},
+		&Flatten{LayerName: "f"},
+		NewLinear("fc", 8*2*2, 3, 9),
+		&Softmax{LayerName: "sm"},
+	)
+	return m
+}
+
+func randInputs(n int, seed int64) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	ins := make([]*tensor.Tensor, n)
+	for i := range ins {
+		in := tensor.New(1, 8, 8)
+		d := in.Data()
+		for j := range d {
+			d[j] = rng.NormFloat64()
+		}
+		ins[i] = in
+	}
+	return ins
+}
+
+// TestForwardBatchBitIdentical is the kernel-level determinism contract:
+// ForwardBatch over N inputs must produce bit-for-bit the outputs of N
+// independent Forward calls — same operands, same accumulation order,
+// just a wider MatMul.
+func TestForwardBatchBitIdentical(t *testing.T) {
+	m := batchFixture()
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		ins := randInputs(n, int64(100+n))
+		batched, err := m.ForwardBatch(ins)
+		if err != nil {
+			t.Fatalf("n=%d: ForwardBatch: %v", n, err)
+		}
+		if len(batched) != n {
+			t.Fatalf("n=%d: got %d outputs", n, len(batched))
+		}
+		for i, in := range ins {
+			single, err := m.Forward(in)
+			if err != nil {
+				t.Fatalf("n=%d sample %d: Forward: %v", n, i, err)
+			}
+			bd, sd := batched[i].Data(), single.Data()
+			if len(bd) != len(sd) {
+				t.Fatalf("n=%d sample %d: output sizes %d vs %d", n, i, len(bd), len(sd))
+			}
+			for j := range bd {
+				if math.Float64bits(bd[j]) != math.Float64bits(sd[j]) {
+					t.Fatalf("n=%d sample %d elem %d: batched %v != single %v (bit mismatch)",
+						n, i, j, bd[j], sd[j])
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBatchMatchesPredict pins the argmax layer on top.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	m := batchFixture()
+	ins := randInputs(9, 42)
+	idxs, err := m.PredictBatch(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range ins {
+		want, _, err := m.Predict(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idxs[i] != want {
+			t.Fatalf("sample %d: PredictBatch=%d Predict=%d", i, idxs[i], want)
+		}
+	}
+}
+
+// TestPredictBatchEmpty: a zero-length batch is a no-op, not a panic.
+func TestPredictBatchEmpty(t *testing.T) {
+	m := batchFixture()
+	idxs, err := m.PredictBatch(nil)
+	if err != nil || idxs != nil {
+		t.Fatalf("empty batch: %v %v", idxs, err)
+	}
+}
+
+// TestForwardBatchMixedShapes: shape-heterogeneous batches fall back to
+// the per-sample loop rather than mis-stacking.
+func TestForwardBatchMixedShapes(t *testing.T) {
+	m := NewModel("flex", []int{4}, nil)
+	m.Add(&ReLU{LayerName: "r"})
+	ins := []*tensor.Tensor{tensor.New(4).Fill(-1), tensor.New(2, 2).Fill(2)}
+	outs, err := m.ForwardBatch(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Data()[0] != 0 || outs[1].Data()[0] != 2 {
+		t.Fatalf("mixed-shape batch mis-applied: %v %v", outs[0].Data(), outs[1].Data())
+	}
+}

@@ -46,6 +46,30 @@ const (
 	MetricFallbackTotal = "strategy.fallback.total"
 )
 
+// Inference-scheduler metrics (internal/schedule).
+const (
+	// MetricSchedSubmitted counts inference requests submitted to the
+	// scheduler (before cache/dedup short-circuits).
+	MetricSchedSubmitted = "sched.submitted"
+	// MetricSchedCacheHits counts submissions answered from the shared
+	// prediction cache without queueing.
+	MetricSchedCacheHits = "sched.cache_hits"
+	// MetricSchedDedupHits counts submissions that single-flighted onto an
+	// identical (artifact, blob) request already in flight.
+	MetricSchedDedupHits = "sched.dedup_hits"
+	// MetricSchedBatches counts coalesced batches executed.
+	MetricSchedBatches = "sched.batches"
+	// MetricSchedBatchSize is the histogram of coalesced batch sizes.
+	MetricSchedBatchSize = "sched.batch_size"
+	// MetricSchedBatchSeconds is the batch execution wall-time histogram.
+	MetricSchedBatchSeconds = "sched.batch_wall_s"
+	// MetricSchedQueueDepth gauges requests waiting in batch queues.
+	MetricSchedQueueDepth = "sched.queue_depth"
+	// MetricSchedRejected counts submissions refused because the scheduler
+	// is draining.
+	MetricSchedRejected = "sched.rejected"
+)
+
 // Serving front-end metrics (internal/server).
 const (
 	// MetricServerRequests counts requests accepted by the HTTP front end

@@ -1,0 +1,89 @@
+package schedule
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/iotdata"
+	"repro/internal/nn"
+	"repro/internal/qerr"
+	"repro/internal/tensor"
+)
+
+// BackendStats is the backend's self-reported cost split for one batch:
+// how long model decode/loading took versus the forward passes themselves.
+// The scheduler divides both across the batch's waiters so the strategies'
+// CostBreakdown buckets stay meaningful under coalescing.
+type BackendStats struct {
+	DecodeSeconds float64
+	InferSeconds  float64
+}
+
+// Backend executes one coalesced batch. Run receives the model artifact
+// shared by the whole batch and the raw input blobs in queue order, and
+// must return one predicted class index per blob, in the same order.
+// Backends must honour ctx (the scheduler's base context — cancelled only
+// on forced drain, never by an individual waiter) and must wrap
+// availability failures in qerr.ErrServingUnavailable so the strategies'
+// fallback ladder sees the same error classes it would without the
+// scheduler. ID namespaces the batch queues: requests coalesce only within
+// one backend.
+type Backend struct {
+	ID  string
+	Run func(ctx context.Context, artifact []byte, blobs [][]byte) ([]int, BackendStats, error)
+}
+
+// NewNativeBackend builds the in-process backend used by the DB-UDF path:
+// artifacts decode through an LRU keyed on the artifact hash (so a hot
+// model decodes once, not once per batch), blobs decode via
+// iotdata.KeyframeTensor, and the whole batch runs through
+// nn.PredictBatch — one stacked MatMul per batch-aware layer,
+// bit-identical to per-sample forwards. modelCacheCap bounds the decoded-
+// model LRU (<= 0 disables it and every batch re-decodes).
+func NewNativeBackend(modelCacheCap int) *Backend {
+	models := cache.New[uint64, *nn.Model](modelCacheCap)
+	return &Backend{
+		ID: "native",
+		Run: func(ctx context.Context, artifact []byte, blobs [][]byte) ([]int, BackendStats, error) {
+			var stats BackendStats
+			if err := qerr.FromContext(ctx.Err()); err != nil {
+				return nil, stats, err
+			}
+			hash := tensor.HashBytes(artifact)
+			m, ok := models.Get(hash)
+			if !ok {
+				start := time.Now()
+				var err error
+				m, err = nn.DecodeBytes(artifact)
+				stats.DecodeSeconds = time.Since(start).Seconds()
+				if err != nil {
+					// A model that fails to decode is a serving-availability
+					// problem: the fallback ladder should degrade the query,
+					// exactly as a per-query decode failure would.
+					return nil, stats, fmt.Errorf("%w: native backend: decode model: %v", qerr.ErrServingUnavailable, err)
+				}
+				models.Put(hash, m)
+			}
+			ins := make([]*tensor.Tensor, len(blobs))
+			for i, b := range blobs {
+				in, err := iotdata.KeyframeTensor(b)
+				if err != nil {
+					// A malformed input blob is a data error, not an
+					// availability one — it must not trip the breaker or the
+					// fallback ladder.
+					return nil, stats, fmt.Errorf("native backend: keyframe %d: %w", i, err)
+				}
+				ins[i] = in
+			}
+			start := time.Now()
+			idxs, err := m.PredictBatch(ins)
+			stats.InferSeconds = time.Since(start).Seconds()
+			if err != nil {
+				return nil, stats, fmt.Errorf("native backend: %w", err)
+			}
+			return idxs, stats, nil
+		},
+	}
+}

@@ -1,0 +1,515 @@
+package schedule
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/faults"
+	"repro/internal/iotdata"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/qerr"
+	"repro/internal/tensor"
+)
+
+// countingBackend predicts blob[0] as the class and records every blob it
+// physically sees, plus a per-call gate for chaos tests.
+type countingBackend struct {
+	mu      sync.Mutex
+	blobs   [][]byte
+	calls   int
+	block   chan struct{} // when non-nil, Run parks here first
+	failErr error         // when non-nil, Run fails with it
+}
+
+func (cb *countingBackend) backend() *Backend {
+	return &Backend{
+		ID: "counting",
+		Run: func(ctx context.Context, artifact []byte, blobs [][]byte) ([]int, BackendStats, error) {
+			cb.mu.Lock()
+			cb.calls++
+			cb.blobs = append(cb.blobs, blobs...)
+			block, failErr := cb.block, cb.failErr
+			cb.mu.Unlock()
+			if block != nil {
+				select {
+				case <-block:
+				case <-ctx.Done():
+					return nil, BackendStats{}, qerr.FromContext(ctx.Err())
+				}
+			}
+			if failErr != nil {
+				return nil, BackendStats{}, failErr
+			}
+			out := make([]int, len(blobs))
+			for i, b := range blobs {
+				out[i] = int(b[0])
+			}
+			return out, BackendStats{InferSeconds: 0.001 * float64(len(blobs))}, nil
+		},
+	}
+}
+
+func (cb *countingBackend) seen() int {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	return len(cb.blobs)
+}
+
+func blobN(n int) []byte { return []byte{byte(n), 0xAB} }
+
+func TestCoalescesConcurrentSubmissions(t *testing.T) {
+	s := New(Config{MaxBatch: 64, Window: 20 * time.Millisecond})
+	defer s.Drain()
+	cb := &countingBackend{}
+	be := cb.backend()
+	art := []byte("artifact-A")
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	res := make([]Result, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res[i], errs[i] = s.Infer(context.Background(), be, 1, art, blobN(i))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submission %d: %v", i, errs[i])
+		}
+		if res[i].Class != i {
+			t.Fatalf("submission %d: class %d", i, res[i].Class)
+		}
+	}
+	st := s.Stats()
+	if st.Batches >= n {
+		t.Fatalf("no coalescing: %d batches for %d submissions", st.Batches, n)
+	}
+	if st.MaxBatch < 2 {
+		t.Fatalf("max batch %d, want >= 2", st.MaxBatch)
+	}
+	if st.Executed != n {
+		t.Fatalf("executed %d, want %d", st.Executed, n)
+	}
+}
+
+func TestMaxBatchFlushesWithoutWindow(t *testing.T) {
+	// With a near-infinite window, hitting MaxBatch must flush immediately.
+	s := New(Config{MaxBatch: 4, Window: time.Hour})
+	defer s.Drain()
+	cb := &countingBackend{}
+	be := cb.backend()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Infer(context.Background(), be, 1, []byte("a"), blobN(i)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("full batch never flushed")
+	}
+	if st := s.Stats(); st.Batches != 1 || st.MaxBatch != 4 {
+		t.Fatalf("stats %+v, want one batch of 4", st)
+	}
+}
+
+func TestSingleFlightDedup(t *testing.T) {
+	s := New(Config{MaxBatch: 64, Window: 20 * time.Millisecond})
+	defer s.Drain()
+	cb := &countingBackend{block: make(chan struct{})}
+	be := cb.backend()
+	art := []byte("artifact-A")
+	blob := blobN(7)
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]Result, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.Infer(context.Background(), be, 1, art, blob)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	// Let every submission park, then release the backend.
+	for s.Stats().DedupHits < n-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(cb.block)
+	wg.Wait()
+	if got := cb.seen(); got != 1 {
+		t.Fatalf("backend saw %d blobs, want 1 (single-flight)", got)
+	}
+	leaders, followers := 0, 0
+	for _, r := range results {
+		if r.Class != 7 {
+			t.Fatalf("wrong class %d", r.Class)
+		}
+		switch r.Source {
+		case SourceBatch:
+			leaders++
+		case SourceDedup:
+			followers++
+			if r.InferSeconds != 0 || r.WallSeconds != 0 {
+				t.Fatal("dedup follower charged compute time")
+			}
+		}
+	}
+	if leaders != 1 || followers != n-1 {
+		t.Fatalf("leaders=%d followers=%d, want 1/%d", leaders, followers, n-1)
+	}
+}
+
+func TestSharedCacheHit(t *testing.T) {
+	lru := cache.New[Key, int](8)
+	s := New(Config{Cache: lru, Window: time.Millisecond})
+	defer s.Drain()
+	cb := &countingBackend{}
+	be := cb.backend()
+	blob := blobN(3)
+	if _, err := s.Infer(context.Background(), be, 1, []byte("a"), blob); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Infer(context.Background(), be, 1, []byte("a"), blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Source != SourceCache || r.Class != 3 {
+		t.Fatalf("second submission: %+v, want cache hit class 3", r)
+	}
+	if cb.seen() != 1 {
+		t.Fatalf("backend saw %d blobs, want 1", cb.seen())
+	}
+	// The cache was populated with the scheduler's Key, so external users
+	// of the same LRU (the strategies' InferCache) see the entry too.
+	if _, ok := lru.Get(Key{Model: 1, Input: tensor.HashBytes(blob)}); !ok {
+		t.Fatal("batch result not visible in the shared cache")
+	}
+}
+
+func TestCancelledWaiterDoesNotPoisonBatch(t *testing.T) {
+	s := New(Config{MaxBatch: 64, Window: 10 * time.Millisecond})
+	defer s.Drain()
+	cb := &countingBackend{block: make(chan struct{})}
+	be := cb.backend()
+	art := []byte("artifact-A")
+
+	cancelCtx, cancel := context.WithCancel(context.Background())
+	victimErr := make(chan error, 1)
+	go func() {
+		_, err := s.Infer(cancelCtx, be, 1, art, blobN(0))
+		victimErr <- err
+	}()
+	const mates = 6
+	var wg sync.WaitGroup
+	mateRes := make([]Result, mates)
+	mateErr := make([]error, mates)
+	for i := 0; i < mates; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mateRes[i], mateErr[i] = s.Infer(context.Background(), be, 1, art, blobN(i+1))
+		}(i)
+	}
+	// Wait until all 7 are parked in one in-flight batch, then cancel the
+	// victim mid-flight.
+	for s.Stats().InflightKeys < mates+1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-victimErr:
+		if !errors.Is(err, qerr.ErrCancelled) {
+			t.Fatalf("victim error %v, want ErrCancelled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not return while its batch was blocked")
+	}
+	// The batch is still blocked; releasing it must complete the mates.
+	close(cb.block)
+	wg.Wait()
+	for i := 0; i < mates; i++ {
+		if mateErr[i] != nil {
+			t.Fatalf("batchmate %d poisoned by cancelled waiter: %v", i, mateErr[i])
+		}
+		if mateRes[i].Class != i+1 {
+			t.Fatalf("batchmate %d: class %d", i, mateRes[i].Class)
+		}
+	}
+	// The victim's own forward pass still ran and populated nothing wrong:
+	// the batch executed under the scheduler's context, all blobs included.
+	if st := s.Stats(); st.Executed != mates+1 {
+		t.Fatalf("executed %d, want %d (cancelled waiter's pass still runs)", st.Executed, mates+1)
+	}
+}
+
+func TestBatchErrorSharedByAllWaiters(t *testing.T) {
+	s := New(Config{Window: 5 * time.Millisecond})
+	defer s.Drain()
+	sentinel := fmt.Errorf("%w: backend melted", qerr.ErrServingUnavailable)
+	cb := &countingBackend{failErr: sentinel}
+	be := cb.backend()
+	const n = 5
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Infer(context.Background(), be, 1, []byte("a"), blobN(i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, qerr.ErrServingUnavailable) {
+			t.Fatalf("waiter %d: %v, want ErrServingUnavailable", i, err)
+		}
+	}
+	// A failed batch must clear its single-flight entries so retries
+	// re-submit instead of parking on a dead flight.
+	if st := s.Stats(); st.InflightKeys != 0 {
+		t.Fatalf("%d in-flight keys leaked after batch failure", st.InflightKeys)
+	}
+}
+
+func TestBackendCountMismatchIsAvailabilityError(t *testing.T) {
+	s := New(Config{Window: time.Millisecond})
+	defer s.Drain()
+	be := &Backend{ID: "short", Run: func(context.Context, []byte, [][]byte) ([]int, BackendStats, error) {
+		return []int{1}, BackendStats{}, nil // always one result, even for n>1
+	}}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Infer(context.Background(), be, 1, []byte("a"), blobN(i))
+		}(i)
+	}
+	wg.Wait()
+	mismatched := 0
+	for _, err := range errs {
+		if err != nil {
+			if !errors.Is(err, qerr.ErrServingUnavailable) {
+				t.Fatalf("count mismatch surfaced as %v", err)
+			}
+			mismatched++
+		}
+	}
+	if mismatched == 0 {
+		t.Fatal("short backend response went unnoticed")
+	}
+}
+
+func TestDrainFlushesPendingAndRejectsNew(t *testing.T) {
+	s := New(Config{MaxBatch: 64, Window: time.Hour}) // nothing flushes by timer
+	cb := &countingBackend{}
+	be := cb.backend()
+	const n = 3
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Infer(context.Background(), be, 1, []byte("a"), blobN(i))
+		}(i)
+	}
+	for s.Stats().QueueDepth < n {
+		time.Sleep(time.Millisecond)
+	}
+	s.Drain() // must flush the parked batch, not strand its waiters
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("pre-drain waiter %d stranded: %v", i, err)
+		}
+	}
+	_, err := s.Infer(context.Background(), be, 1, []byte("a"), blobN(9))
+	if !errors.Is(err, qerr.ErrServingUnavailable) {
+		t.Fatalf("post-drain submission: %v, want ErrServingUnavailable", err)
+	}
+	if st := s.Stats(); !st.Draining || st.Rejected != 1 {
+		t.Fatalf("post-drain stats %+v", st)
+	}
+}
+
+func TestSubmitFaultInjection(t *testing.T) {
+	inj := faults.New(1, faults.Rule{Point: faults.PointSchedSubmit})
+	s := New(Config{Faults: inj, Window: time.Millisecond})
+	defer s.Drain()
+	cb := &countingBackend{}
+	_, err := s.Infer(context.Background(), cb.backend(), 1, []byte("a"), blobN(1))
+	if !errors.Is(err, qerr.ErrServingUnavailable) {
+		t.Fatalf("submit fault: %v", err)
+	}
+	if cb.seen() != 0 {
+		t.Fatal("faulted submission reached the backend")
+	}
+}
+
+func TestBatchFaultInjection(t *testing.T) {
+	inj := faults.New(1, faults.Rule{Point: faults.PointSchedBatch})
+	s := New(Config{Faults: inj, Window: time.Millisecond})
+	defer s.Drain()
+	cb := &countingBackend{}
+	_, err := s.Infer(context.Background(), cb.backend(), 1, []byte("a"), blobN(1))
+	if !errors.Is(err, qerr.ErrServingUnavailable) {
+		t.Fatalf("batch fault: %v", err)
+	}
+	if cb.calls != 0 {
+		t.Fatal("faulted batch still ran the backend")
+	}
+}
+
+func TestMetricsWired(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{Metrics: reg, Window: time.Millisecond})
+	defer s.Drain()
+	cb := &countingBackend{}
+	if _, err := s.Infer(context.Background(), cb.backend(), 1, []byte("a"), blobN(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(obs.MetricSchedSubmitted).Value(); got != 1 {
+		t.Fatalf("%s = %v", obs.MetricSchedSubmitted, got)
+	}
+	if got := reg.Counter(obs.MetricSchedBatches).Value(); got != 1 {
+		t.Fatalf("%s = %v", obs.MetricSchedBatches, got)
+	}
+	if err := reg.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeBackendEndToEnd(t *testing.T) {
+	m := nn.NewModel("t", []int{1, 8, 8}, []string{"a", "b"})
+	m.Add(
+		nn.NewConv2D("c", 1, 2, 3, 1, 1, 3),
+		&nn.Flatten{LayerName: "f"},
+		nn.NewLinear("fc", 2*8*8, 2, 4),
+	)
+	art, err := nn.EncodeBytes(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	blobs := make([][]byte, 6)
+	want := make([]int, 6)
+	for i := range blobs {
+		kf := tensor.New(1, 8, 8)
+		d := kf.Data()
+		for j := range d {
+			d[j] = rng.Float64()
+		}
+		blobs[i] = iotdata.KeyframeBytes(kf)
+		dec, err := iotdata.KeyframeTensor(blobs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i], _, err = m.Predict(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(Config{MaxBatch: 64, Window: 10 * time.Millisecond})
+	defer s.Drain()
+	be := NewNativeBackend(4)
+	var wg sync.WaitGroup
+	got := make([]int, len(blobs))
+	for i, b := range blobs {
+		wg.Add(1)
+		go func(i int, b []byte) {
+			defer wg.Done()
+			r, err := s.Infer(context.Background(), be, tensor.HashBytes(art), art, b)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = r.Class
+		}(i, b)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("blob %d: scheduled class %d, per-sample class %d", i, got[i], want[i])
+		}
+	}
+	// Corrupt artifact → availability error (fallback-ladder class).
+	_, err = s.Infer(context.Background(), be, 99, []byte("not a model"), blobs[0])
+	if !errors.Is(err, qerr.ErrServingUnavailable) {
+		t.Fatalf("corrupt artifact: %v, want ErrServingUnavailable", err)
+	}
+	// Corrupt blob → plain data error, not availability.
+	_, err = s.Infer(context.Background(), be, tensor.HashBytes(art), art, []byte{1, 2, 3})
+	if err == nil || errors.Is(err, qerr.ErrServingUnavailable) {
+		t.Fatalf("corrupt blob: %v, want a non-availability data error", err)
+	}
+}
+
+func TestConcurrentSoak(t *testing.T) {
+	// Hammer one scheduler from many goroutines over a small key space so
+	// every path (batch, dedup, cache) races; -race is the real assertion.
+	lru := cache.New[Key, int](32)
+	s := New(Config{MaxBatch: 8, Window: 500 * time.Microsecond, Cache: lru})
+	defer s.Drain()
+	cb := &countingBackend{}
+	be := cb.backend()
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 50; i++ {
+				n := rng.Intn(10)
+				r, err := s.Infer(context.Background(), be, uint64(1+n%2), []byte{byte(n % 2)}, blobN(n))
+				if err != nil || r.Class != n {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d soak submissions failed or mispredicted", failures.Load())
+	}
+	st := s.Stats()
+	if st.CacheHits+st.DedupHits == 0 {
+		t.Fatal("soak never hit cache or dedup despite tiny key space")
+	}
+}
+
+func TestNilSchedulerSafe(t *testing.T) {
+	var s *Scheduler
+	s.Drain()
+	if st := s.Stats(); st.Submitted != 0 {
+		t.Fatal("nil scheduler stats")
+	}
+	if _, err := s.Infer(context.Background(), &Backend{}, 1, nil, nil); err == nil {
+		t.Fatal("nil scheduler must reject submissions")
+	}
+}

@@ -1,0 +1,67 @@
+package schedule
+
+import (
+	"repro/internal/sqldb"
+)
+
+// SysTableSchema is the sys.scheduler output schema: live counters plus
+// the scheduler's knob settings, one row per registered scheduler.
+func SysTableSchema() []sqldb.OutCol {
+	return []sqldb.OutCol{
+		{Name: "queue_depth", Type: sqldb.TInt},
+		{Name: "inflight_keys", Type: sqldb.TInt},
+		{Name: "submitted", Type: sqldb.TInt},
+		{Name: "cache_hits", Type: sqldb.TInt},
+		{Name: "dedup_hits", Type: sqldb.TInt},
+		{Name: "executed", Type: sqldb.TInt},
+		{Name: "batches", Type: sqldb.TInt},
+		{Name: "avg_batch", Type: sqldb.TFloat},
+		{Name: "max_batch", Type: sqldb.TInt},
+		{Name: "rejected", Type: sqldb.TInt},
+		{Name: "draining", Type: sqldb.TBool},
+		{Name: "max_batch_knob", Type: sqldb.TInt},
+		{Name: "window_us", Type: sqldb.TFloat},
+	}
+}
+
+// RegisterSysTable projects the scheduler into the database's sys.*
+// catalog as the single-row sys.scheduler table. The scan reads live
+// counters at query time, so repeated SELECTs watch the scheduler work.
+// Like every sys.* relation, queries over it bypass the plan cache.
+func RegisterSysTable(db *sqldb.DB, s *Scheduler) {
+	schema := SysTableSchema()
+	db.RegisterSysTable(&sqldb.SysTable{
+		Name:        "sys.scheduler",
+		Description: "cross-query inference scheduler: queue depth, coalesced-batch and single-flight counters, and knob settings",
+		Schema:      schema,
+		Scan: func(*sqldb.DB) (*sqldb.Result, error) {
+			res := &sqldb.Result{Schema: schema}
+			for _, c := range schema {
+				res.Cols = append(res.Cols, sqldb.NewColumn(c.Type))
+			}
+			if s == nil {
+				return res, nil
+			}
+			st := s.Stats()
+			avg := 0.0
+			if st.Batches > 0 {
+				avg = float64(st.Executed) / float64(st.Batches)
+			}
+			vals := []sqldb.Datum{
+				sqldb.Int(int64(st.QueueDepth)), sqldb.Int(int64(st.InflightKeys)),
+				sqldb.Int(st.Submitted), sqldb.Int(st.CacheHits),
+				sqldb.Int(st.DedupHits), sqldb.Int(st.Executed),
+				sqldb.Int(st.Batches), sqldb.Float(avg), sqldb.Int(st.MaxBatch),
+				sqldb.Int(st.Rejected), sqldb.Bool(st.Draining),
+				sqldb.Int(int64(s.cfg.maxBatch())),
+				sqldb.Float(float64(s.cfg.window().Microseconds())),
+			}
+			for i, v := range vals {
+				if err := res.Cols[i].Append(v); err != nil {
+					return nil, err
+				}
+			}
+			return res, nil
+		},
+	})
+}

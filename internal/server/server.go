@@ -11,6 +11,16 @@
 //	                                 bounded queue depth     parallelism overrides
 //	                                        ▼                    ▼
 //	                                  shared sqldb.DB  /  strategies.Context
+//	                                                             │
+//	                                               schedule.Scheduler (optional):
+//	                                               concurrent sessions' inference
+//	                                               coalesces into shared batches
+//
+// When the strategies context has a scheduler enabled (EnableScheduler),
+// concurrent colquery sessions stop paying per-query inference: their
+// forward passes coalesce into shared batches and identical requests
+// single-flight. Drain waits for the scheduler's in-flight batches after
+// the last query exits.
 //
 // Every query runs under a context assembled from three sources — the HTTP
 // request's context (client disconnects cancel mid-query), the server's
@@ -77,11 +87,16 @@ type Server struct {
 	sess *sessions
 	mux  *http.ServeMux
 
-	// colMu serializes collaborative-query strategy executions: DB-UDF and
-	// DB-PyTorch register their nUDFs on the shared DB for the duration of
-	// one execution, so two concurrent colqueries would race on the UDF
-	// registry. Plain SQL (including SQL that calls persistently
-	// registered UDFs) is not serialized.
+	// colMu serializes collaborative-query strategy executions that mutate
+	// shared engine state: DB-UDF registers its nUDFs on the shared DB for
+	// the duration of one execution, so two concurrent DB-UDF colqueries
+	// would race on the UDF registry (and any strategy running with the
+	// fallback ladder may degrade into DB-UDF). DB-PyTorch without
+	// fallback touches no shared registry — its predictions tables get
+	// unique names — so it runs without the lock; that is the path whose
+	// concurrent requests coalesce in the inference scheduler. Plain SQL
+	// (including SQL that calls persistently registered UDFs) is never
+	// serialized.
 	colMu sync.Mutex
 
 	baseCtx    context.Context
@@ -190,8 +205,9 @@ func (s *Server) reapLoop() {
 // Drain gracefully shuts the serving layer down: stop admitting, reject
 // the queue, give in-flight queries DrainGrace to finish, cancel the
 // stragglers through their lifecycle contexts, wait for every handler to
-// exit, then run the drain hooks (slow-log flush). Idempotent; safe to
-// call from a signal handler while requests are in flight.
+// exit, drain the inference scheduler's in-flight batches, then run the
+// drain hooks (slow-log flush). Idempotent; safe to call from a signal
+// handler while requests are in flight.
 func (s *Server) Drain() {
 	s.drainOnce.Do(func() {
 		s.drainMu.Lock()
@@ -213,6 +229,13 @@ func (s *Server) Drain() {
 		s.baseCancel()
 		<-done
 		s.background.Wait()
+		// In-flight queries are gone; drain the inference scheduler so its
+		// coalesced batches finish (or are cut off after its own grace)
+		// before the drain hooks run. Nil-safe when no inference context
+		// or no scheduler is wired.
+		if s.env != nil {
+			s.env.Scheduler.Drain()
+		}
 		for _, fn := range s.onDrain {
 			fn()
 		}
@@ -566,8 +589,14 @@ func (s *Server) handleColQuery(w http.ResponseWriter, r *http.Request) {
 	var bd strategies.CostBreakdown
 	finalStrategy := strat.Name()
 	res, queued, err := s.runQuery(r.Context(), sess, tenant, func(ctx context.Context) (*sqldb.Result, error) {
-		s.colMu.Lock()
-		defer s.colMu.Unlock()
+		// DB-PyTorch without the fallback ladder mutates no shared engine
+		// state, so concurrent requests run unserialized and their
+		// inference submissions coalesce in the scheduler; everything else
+		// may register UDFs and takes colMu.
+		if _, lockFree := strat.(*strategies.DBPyTorch); !lockFree || req.Fallback {
+			s.colMu.Lock()
+			defer s.colMu.Unlock()
+		}
 		var res *sqldb.Result
 		var execErr error
 		if req.Fallback {

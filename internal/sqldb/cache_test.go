@@ -233,6 +233,27 @@ func TestExplainAnnotatesCacheState(t *testing.T) {
 	}
 }
 
+func TestExplainSysTableReportsBypass(t *testing.T) {
+	// sys.* virtual tables have no trackable dependency versions, so their
+	// plans are never cached — EXPLAIN must say so on the first line, and
+	// repeating the query must not turn the bypass into a hit.
+	db := cacheFixture(t)
+	db.EnableCache(64)
+	db.EnableSysCatalog()
+	firstLine := func() string {
+		res, err := db.Exec("EXPLAIN SELECT name FROM sys.metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cols[0].Get(0).String()
+	}
+	for i := 0; i < 2; i++ {
+		if got := firstLine(); got != "cache: bypass" {
+			t.Fatalf("EXPLAIN over sys.metrics, attempt %d: first line %q, want %q", i+1, got, "cache: bypass")
+		}
+	}
+}
+
 func TestExplainWithoutCacheHasNoAnnotation(t *testing.T) {
 	db := cacheFixture(t)
 	res, err := db.Exec("EXPLAIN ANALYZE SELECT count(*) c FROM t")

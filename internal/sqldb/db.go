@@ -255,8 +255,11 @@ func (db *DB) execStmt(ctx context.Context, st Stmt, hints *QueryHints) (*Result
 		commit()
 		if db.CacheEnabled() {
 			// With caching on, the first line reports whether the plan came
-			// from the cache. "bypass" marks plans the cache never serves
-			// (hinted or UNION ALL queries).
+			// from the cache. "bypass" marks plans the cache never serves:
+			// hinted queries, UNION ALL queries, and queries over sys.*
+			// virtual tables (their dependency versions cannot be tracked,
+			// so a cached plan could go stale invisibly — see
+			// collectSelectDeps).
 			state := "miss"
 			switch {
 			case hit:

@@ -90,6 +90,35 @@ func (s *DBPyTorch) Execute(ctx context.Context, env *Context, q *colquery.Query
 		if len(serve) == 0 {
 			continue
 		}
+		// Scheduled serving: submit every miss to the cross-query scheduler
+		// at once. Submissions coalesce into large serving batches (shared
+		// with concurrent queries), identical blobs single-flight, and the
+		// breaker/retry pipe still guards every physical batch — so error
+		// classes, and with them the fallback ladder, are unchanged. Cost
+		// shares come back per submission: only physical forward passes
+		// (SourceBatch) charge inference and cross-system overhead.
+		if env.Scheduler != nil {
+			serveSpan := root.StartChild("serving:" + name)
+			serveSpan.SetAttr("candidates", len(serve))
+			serveSpan.SetAttr("scheduled", true)
+			results, stats, wallShare, executed, err := env.schedServeCandidates(ctx, b, serve)
+			serveSpan.Finish()
+			if err != nil {
+				return nil, bd, fmt.Errorf("strategies: serving %s: %w", name, err)
+			}
+			bd.Inference += env.Profile.ScaleInference(stats.inferSecs) +
+				env.Profile.DLCallOverhead(executed)
+			bd.Loading += wallShare - stats.inferSecs +
+				env.Profile.DLLoadCost(stats.decodeSecs) - stats.decodeSecs
+			for id, classIdx := range results {
+				preds[id][name] = b.predictionDatum(classIdx)
+			}
+			totalBytes += int64(len(b.Artifact))
+			for _, c := range serve {
+				totalBytes += int64(len(c.blob))
+			}
+			continue
+		}
 		serveSpan := root.StartChild("serving:" + name)
 		serveSpan.SetAttr("candidates", len(serve))
 		xferStart := time.Now()

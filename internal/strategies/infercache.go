@@ -19,14 +19,15 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dl2sql"
 	"repro/internal/obs"
+	"repro/internal/schedule"
 )
 
 // InferKey identifies one memoizable inference: the hash of the compiled
-// model artifact and the hash of the raw keyframe blob.
-type InferKey struct {
-	Model uint64
-	Input uint64
-}
+// model artifact and the hash of the raw keyframe blob. It is an alias of
+// the scheduler's single-flight key, so the same LRU serves both layers:
+// EnableScheduler hands env.InferCache to the scheduler as its shared
+// prediction cache and entries written by either are hits for both.
+type InferKey = schedule.Key
 
 // EnableInferCache switches on inference memoization for all four
 // strategies: an LRU of class predictions for DB-UDF / DB-PyTorch

@@ -3,7 +3,7 @@ package strategies
 import (
 	"fmt"
 	"strings"
-	"time"
+	"sync/atomic"
 
 	"repro/internal/colquery"
 	"repro/internal/sqldb"
@@ -175,10 +175,15 @@ func stripFromUDFs(ref *sqldb.TableRef) *sqldb.TableRef {
 // predTableName is the per-execution predictions table.
 const predAlias = "NPRED"
 
+// predTableSeq makes prediction-table names collision-free under
+// concurrency: UnixNano alone can repeat when two sessions' executions
+// land in the same tick (the scheduler makes that overlap routine).
+var predTableSeq atomic.Int64
+
 // buildPredictionsTable materializes predictions for the candidates into a
 // fresh table {videoID, p_<udf>...} and returns its name.
 func buildPredictionsTable(env *Context, q *colquery.Query, preds map[int64]map[string]sqldb.Datum, tag string) (string, error) {
-	name := fmt.Sprintf("npred_%s_%d", tag, time.Now().UnixNano())
+	name := fmt.Sprintf("npred_%s_%d", tag, predTableSeq.Add(1))
 	schema := sqldb.Schema{{Name: "videoID", Type: sqldb.TInt}}
 	for _, u := range q.UDFNames {
 		b := env.Bindings[u]

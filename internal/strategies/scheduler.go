@@ -1,0 +1,151 @@
+package strategies
+
+// Cross-query inference scheduling for the UDF-shaped strategies.
+//
+// With a scheduler enabled, DB-UDF and DB-PyTorch stop running forward
+// passes strategy-locally and submit every (artifact, keyframe) request to
+// the shared schedule.Scheduler instead. Concurrent queries' requests
+// coalesce into large batched MatMuls, identical in-flight requests
+// single-flight onto one computation, and the scheduler's shared cache is
+// the same LRU as Context.InferCache — so memoization keeps working across
+// both layers and both strategies.
+//
+// Two backends are wired: the native one (in-process nn.PredictBatch, used
+// by DB-UDF) and a serving one that routes coalesced batches through the
+// existing DB-PyTorch serving pipe — breaker, retry loop, and fault points
+// included, so the fallback ladder sees exactly the error classes it
+// would without the scheduler.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/qerr"
+	"repro/internal/schedule"
+)
+
+// EnableScheduler wires a cross-query inference scheduler into the
+// strategies layer and returns it (callers hand it to the server and to
+// schedule.RegisterSysTable). Zero-value cfg fields inherit the Context's
+// own wiring: the shared prediction cache defaults to env.InferCache (set
+// Metrics / EnableInferCache first so instruments and memoization are
+// shared), the metrics registry to env.Metrics, and the fault injector to
+// env.Faults. Call with env.Scheduler = nil semantics in mind: strategies
+// only route through the scheduler while the field is non-nil, so tests
+// flip it off by clearing the field.
+func (env *Context) EnableScheduler(cfg schedule.Config) *schedule.Scheduler {
+	if cfg.Cache == nil {
+		cfg.Cache = env.InferCache
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = env.Metrics
+	}
+	if cfg.Faults == nil {
+		cfg.Faults = env.Faults
+	}
+	env.Scheduler = schedule.New(cfg)
+	env.schedNative = schedule.NewNativeBackend(schedModelCacheCap)
+	env.schedServing = &schedule.Backend{ID: "serving", Run: env.runServingBatch}
+	return env.Scheduler
+}
+
+// schedModelCacheCap bounds the native backend's decoded-model LRU: the
+// repository holds a handful of models, so 8 keeps every hot artifact
+// decoded without unbounded growth.
+const schedModelCacheCap = 8
+
+// runServingBatch adapts the DB-PyTorch serving pipe to the scheduler's
+// Backend contract: one coalesced batch becomes one serveWithRetry call
+// (breaker, retry policy, and serving fault points all apply), with the
+// batch positions standing in for video IDs on the wire.
+func (env *Context) runServingBatch(ctx context.Context, artifact []byte, blobs [][]byte) ([]int, schedule.BackendStats, error) {
+	cands := make([]candidate, len(blobs))
+	for i, b := range blobs {
+		cands[i] = candidate{videoID: int64(i), blob: b}
+	}
+	var span *obs.Span
+	if env.Tracer != nil {
+		span = env.Tracer.StartSpan("scheduler:serving-batch")
+		span.SetAttr("batch", len(blobs))
+		defer span.Finish()
+	}
+	results, stats, err := env.serveWithRetry(ctx, artifact, cands, span)
+	if err != nil {
+		return nil, schedule.BackendStats{}, err
+	}
+	out := make([]int, len(blobs))
+	for i := range blobs {
+		idx, ok := results[int64(i)]
+		if !ok {
+			return nil, schedule.BackendStats{}, fmt.Errorf("%w: serving batch lost prediction %d of %d",
+				qerr.ErrServingUnavailable, i, len(blobs))
+		}
+		out[i] = idx
+	}
+	return out, schedule.BackendStats{DecodeSeconds: stats.decodeSecs, InferSeconds: stats.inferSecs}, nil
+}
+
+// schedServeCandidates routes one model's cache-missing candidates
+// through the scheduler's serving backend, one submission per candidate,
+// all in flight at once so they coalesce — with each other and with
+// concurrent queries' submissions — into large serving batches. It
+// returns videoID→class predictions plus this query's cost shares:
+// serving stats (decode/infer share), total batch-wall share, and the
+// number of physical forward passes charged to this query. The first
+// submission error wins (remaining submissions still drain; their batches
+// complete under the scheduler's own context).
+func (env *Context) schedServeCandidates(ctx context.Context, b *UDFBinding, cands []candidate) (map[int64]int, servingStats, float64, int, error) {
+	type schedOut struct {
+		i   int
+		r   schedule.Result
+		err error
+	}
+	ch := make(chan schedOut, len(cands))
+	for i, c := range cands {
+		go func(i int, blob []byte) {
+			r, err := env.schedInfer(ctx, env.schedServing, b, blob)
+			ch <- schedOut{i: i, r: r, err: err}
+		}(i, c.blob)
+	}
+	results := make(map[int64]int, len(cands))
+	var stats servingStats
+	var wallShare float64
+	var executed int
+	var firstErr error
+	for range cands {
+		out := <-ch
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		results[cands[out.i].videoID] = out.r.Class
+		if out.r.Source == schedule.SourceBatch {
+			stats.inferSecs += out.r.InferSeconds
+			stats.decodeSecs += out.r.DecodeSeconds
+			wallShare += out.r.WallSeconds
+			executed++
+		}
+	}
+	if firstErr != nil {
+		return nil, servingStats{}, 0, 0, firstErr
+	}
+	return results, stats, wallShare, executed, nil
+}
+
+// schedInfer submits one inference through the scheduler and charges the
+// per-query accounting: a SourceBatch result was a physical forward pass
+// (this waiter's share of it); dedup followers and cache hits paid no
+// compute and charge nothing.
+func (env *Context) schedInfer(ctx context.Context, be *schedule.Backend, b *UDFBinding, blob []byte) (schedule.Result, error) {
+	r, err := env.Scheduler.Infer(ctx, be, b.artifactHash, b.Artifact, blob)
+	if err != nil {
+		return r, err
+	}
+	if r.Source == schedule.SourceBatch {
+		stratAcctFrom(ctx).noteInfer(1)
+	}
+	return r, nil
+}

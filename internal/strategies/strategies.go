@@ -36,6 +36,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/qerr"
+	"repro/internal/schedule"
 	"repro/internal/sqldb"
 	"repro/internal/tensor"
 )
@@ -136,6 +137,17 @@ type Context struct {
 	// pipe; it persists across Execute calls so repeated failures fail
 	// fast. Nil disables the breaker.
 	Breaker *Breaker
+	// Scheduler, when non-nil, routes DB-UDF and DB-PyTorch forward passes
+	// through the cross-query inference scheduler: requests from
+	// concurrent queries coalesce into batched MatMuls and identical
+	// in-flight requests single-flight onto one computation. Enable with
+	// EnableScheduler; nil keeps the strategy-local inference paths.
+	Scheduler *schedule.Scheduler
+	// schedNative / schedServing are the scheduler backends wired by
+	// EnableScheduler: in-process batched inference for DB-UDF and the
+	// breaker-guarded serving pipe for DB-PyTorch.
+	schedNative  *schedule.Backend
+	schedServing *schedule.Backend
 }
 
 // queryCtx derives the per-query context: the caller's ctx bounded by the

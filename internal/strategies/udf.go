@@ -11,6 +11,7 @@ import (
 	"repro/internal/iotdata"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/schedule"
 	"repro/internal/sqldb"
 	"repro/internal/tensor"
 )
@@ -86,6 +87,26 @@ func (s *DBUDF) Execute(ctx context.Context, env *Context, q *colquery.Query) (*
 			Fn: func(args []sqldb.Datum) (sqldb.Datum, error) {
 				if args[0].T != sqldb.TBlob {
 					return sqldb.Null(), fmt.Errorf("%s expects a keyframe blob", name)
+				}
+				// Scheduled call: the forward pass is submitted to the
+				// cross-query scheduler, where it coalesces with other
+				// queries' requests into one batched MatMul (the scheduler
+				// consults the shared cache and single-flights duplicates
+				// itself). Only physical forward passes — SourceBatch —
+				// charge inference time: this waiter's share of the batch.
+				if env.Scheduler != nil {
+					r, err := env.schedInfer(ctx, env.schedNative, b, args[0].B)
+					if err != nil {
+						return sqldb.Null(), err
+					}
+					if r.Source == schedule.SourceBatch {
+						mu.Lock()
+						inferSecs += r.InferSeconds
+						calls++
+						keyframeBytes += int64(len(args[0].B))
+						mu.Unlock()
+					}
+					return b.predictionDatum(r.Class), nil
 				}
 				// Memoized call: identical (model, keyframe) pairs skip
 				// the forward pass — and its inference-time accounting —
