@@ -55,6 +55,10 @@ func main() {
 		sessionIdle = flag.Duration("session-idle", 15*time.Minute, "evict sessions idle this long (0 = never)")
 		slowLog     = flag.String("slowlog", "", "append slow-query JSON records to this file")
 		slowThresh  = flag.Duration("slow-threshold", 100*time.Millisecond, "slow-query threshold")
+
+		traceMax    = flag.Int("trace-max", 256, "retained traces in the tail-sampled store")
+		traceSlow   = flag.Duration("trace-slow", 250*time.Millisecond, "retain every trace at least this slow (negative = off)")
+		traceSample = flag.Int("trace-sample", 64, "retain 1 in N normal traces (1 = all, negative = none)")
 	)
 	flag.Parse()
 
@@ -89,6 +93,12 @@ func main() {
 	}
 	db.History = obs.NewQueryHistory(512)
 	db.History.SetSlowThreshold(*slowThresh)
+	db.Traces = obs.NewTraceStore(obs.TraceStoreConfig{
+		MaxTraces:     *traceMax,
+		SlowThreshold: *traceSlow,
+		SampleEvery:   *traceSample,
+		Metrics:       db.Metrics,
+	})
 	db.EnableSysCatalog()
 
 	var flushSlow func()
@@ -119,6 +129,7 @@ func main() {
 		}
 		env.Metrics = db.Metrics
 		env.History = db.History
+		env.Traces = db.Traces
 		env.Breaker = &strategies.Breaker{}
 		env.AttachObservability(db)
 		fmt.Printf("bound %d nUDF models\n", len(env.Bindings))

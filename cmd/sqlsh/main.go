@@ -42,7 +42,11 @@
 //
 // In connect mode \timeout and \parallel set the server-side session
 // variables; Ctrl-C cancels the in-flight request (the server observes the
-// disconnect and cancels the query at the next morsel boundary).
+// disconnect and cancels the query at the next morsel boundary). \trace
+// works against the server's tail-sampled trace store: each response's
+// trace ID (when the sampler retained it) is echoed after the query, and
+// \trace off fetches the last retained trace from /v1/traces/{id} as
+// Chrome trace JSON.
 package main
 
 import (
@@ -499,6 +503,11 @@ func fatalf(format string, args ...any) {
 type cshell struct {
 	cli    *server.Client
 	timing bool
+	// traceFile is the destination for the last retained server-side
+	// trace ("" when \trace is off); lastShown dedups the per-query
+	// trace-ID echo.
+	traceFile string
+	lastShown string
 
 	mu     sync.Mutex
 	cancel context.CancelFunc
@@ -649,6 +658,23 @@ func (sh *cshell) meta(cmd string) bool {
 		fmt.Println("  SELECT * FROM sys.sessions;")
 		fmt.Println("  SELECT * FROM sys.admission;")
 		fmt.Println("  SELECT sql, wall_ms FROM sys.queries ORDER BY wall_ms DESC;")
+		fmt.Println("  SELECT * FROM sys.spans WHERE trace_id = '...';")
+		return true
+	case `\trace`:
+		if len(fields) != 2 {
+			fmt.Println("usage: \\trace PATH | \\trace off")
+			return true
+		}
+		if fields[1] == "off" {
+			if sh.traceFile == "" {
+				fmt.Println("tracing is not active")
+				return true
+			}
+			sh.flushTrace(ctx)
+			return true
+		}
+		sh.traceFile = fields[1]
+		fmt.Printf("tracing to %s: retained trace IDs are echoed after each query; \\trace off fetches the last one\n", sh.traceFile)
 		return true
 	}
 	fmt.Printf("meta-command %s is not available in -connect mode\n", fields[0])
@@ -678,4 +704,31 @@ func (sh *cshell) run(sql string) {
 	if sh.timing {
 		fmt.Printf("Time: %s\n", elapsed.Round(time.Microsecond))
 	}
+	if sh.traceFile != "" {
+		if id := sh.cli.LastTraceID(); id != "" && id != sh.lastShown {
+			fmt.Printf("trace: %s\n", id)
+			sh.lastShown = id
+		}
+	}
+}
+
+// flushTrace fetches the last retained server-side trace from
+// /v1/traces/{id} and writes it as Chrome trace_event JSON.
+func (sh *cshell) flushTrace(ctx context.Context) {
+	defer func() { sh.traceFile = "" }()
+	id := sh.cli.LastTraceID()
+	if id == "" {
+		fmt.Println("no retained trace yet (the tail sampler kept none of this session's requests)")
+		return
+	}
+	raw, err := sh.cli.TraceJSON(ctx, id)
+	if err != nil {
+		fmt.Printf("trace fetch failed: %v\n", err)
+		return
+	}
+	if err := os.WriteFile(sh.traceFile, raw, 0o644); err != nil {
+		fmt.Printf("trace write failed: %v\n", err)
+		return
+	}
+	fmt.Printf("wrote trace %s to %s (load in chrome://tracing or ui.perfetto.dev)\n", id, sh.traceFile)
 }

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/colquery"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/strategies"
+)
+
+// TestServerChaosTraceIDPropagation runs the fallback ladder under a dead
+// serving pipe with tail sampling in its strictest mode (hash sampling
+// off): the degraded request's trace must be retained for the fallback,
+// keep one ID across the serving hop, the history record, the span rows,
+// and the post-hoc HTTP export — while clean requests leave nothing.
+func TestServerChaosTraceIDPropagation(t *testing.T) {
+	env, ds, _, cli := serverFixture(t)
+	db := ds.DB
+	db.Metrics = obs.NewRegistry()
+	db.History = obs.NewQueryHistory(64)
+	ts := obs.NewTraceStore(obs.TraceStoreConfig{Seed: 1, SlowThreshold: -1, SampleEvery: -1, Metrics: db.Metrics})
+	db.Traces, env.Traces = ts, ts
+	env.Metrics, env.History = db.Metrics, db.History
+	db.EnableSysCatalog()
+	env.AttachObservability(db)
+	env.Retry = strategies.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, JitterSeed: 3}
+
+	ctx := context.Background()
+	q, err := colquery.GenerateAnalyzed(colquery.Type3, colquery.TemplateParams{Selectivity: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean request, sampling off: the trace is dropped and no ID may leak
+	// over the wire or into history.
+	clean, err := cli.ColQuery(ctx, q.SQL, "DB-UDF", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.TraceID != "" {
+		t.Fatalf("clean request leaked trace ID %q with sampling off", clean.TraceID)
+	}
+	if ts.Len() != 0 {
+		t.Fatalf("store retained %d traces for clean requests", ts.Len())
+	}
+
+	// Dead serving pipe: DB-PyTorch degrades to DB-UDF; the fallback is a
+	// tail criterion, so this trace must survive.
+	env.Faults = faults.New(1, faults.Rule{Point: faults.PointServingError})
+	db.Faults = env.Faults
+	got, err := cli.ColQuery(ctx, q.SQL, "DB-PyTorch", true)
+	env.Faults, db.Faults = nil, nil
+	if err != nil {
+		t.Fatalf("fallback colquery: %v", err)
+	}
+	if len(got.FallbackPath) != 2 {
+		t.Fatalf("FallbackPath = %v, want the two-rung ladder", got.FallbackPath)
+	}
+	if got.TraceID == "" {
+		t.Fatal("degraded request carried no trace ID")
+	}
+	if got.TraceID != cli.LastTraceID() {
+		t.Fatalf("envelope ID %q != header ID %q", got.TraceID, cli.LastTraceID())
+	}
+	st, ok := ts.Get(got.TraceID)
+	if !ok {
+		t.Fatalf("trace %q not retained", got.TraceID)
+	}
+	if st.Reason != "fallback" && st.Reason != "error" {
+		t.Fatalf("retained reason = %q, want fallback (or error from the dead pipe)", st.Reason)
+	}
+	if st.Spans[0].Name != "request" {
+		t.Fatalf("root span = %q, want the serving hop's request span", st.Spans[0].Name)
+	}
+
+	// The same ID answers SQL through the same server: span rows and the
+	// history record agree on it.
+	sp, err := cli.Query(ctx, fmt.Sprintf(
+		`SELECT count(*) c FROM sys.spans WHERE trace_id = '%s'`, got.TraceID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := sp.Cols[0].Get(0).AsInt(); n < 2 {
+		t.Fatalf("sys.spans rows for the trace = %d, want the request root plus strategy spans", n)
+	}
+	qs, err := cli.Query(ctx, fmt.Sprintf(
+		`SELECT count(*) c FROM sys.queries WHERE trace_id = '%s'`, got.TraceID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := qs.Cols[0].Get(0).AsInt(); n < 1 {
+		t.Fatal("no history record carries the degraded request's trace ID")
+	}
+
+	// Post-hoc retrieval over HTTP: the Chrome export names the same ID.
+	raw, err := cli.TraceJSON(ctx, got.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), got.TraceID) {
+		t.Fatal("trace export does not mention its own trace ID")
+	}
+}

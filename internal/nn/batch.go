@@ -19,6 +19,7 @@ package nn
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/qerr"
 	"repro/internal/tensor"
@@ -44,10 +45,18 @@ func (m *Model) ForwardBatch(ins []*tensor.Tensor) (outs []*tensor.Tensor, err e
 		}
 	}()
 	cur := append([]*tensor.Tensor(nil), ins...)
+	// Chained clock readings, as in Forward: one read per layer boundary.
+	var now time.Time
+	if m.Trace != nil {
+		now = time.Now()
+	}
 	for _, l := range m.Layers {
-		sp := m.Trace.StartChild(l.Kind() + ":" + l.Name() + ":batch")
+		sp := m.Trace.StartChildAt(l.Kind()+":"+l.Name()+":batch", now)
 		cur, err = forwardBatchLayer(l, cur)
-		sp.Finish()
+		if sp != nil {
+			now = time.Now()
+			sp.FinishAt(now)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("nn: model %s layer %s: %w", m.ModelName, l.Name(), err)
 		}

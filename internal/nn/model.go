@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/qerr"
@@ -64,10 +65,20 @@ func (m *Model) Forward(in *tensor.Tensor) (out *tensor.Tensor, err error) {
 		}
 	}()
 	cur := in
+	// Layer spans share clock readings: each layer's end read is the next
+	// layer's start, so a traced forward pass pays one read per layer
+	// boundary instead of two per layer.
+	var now time.Time
+	if m.Trace != nil {
+		now = time.Now()
+	}
 	for _, l := range m.Layers {
-		sp := m.Trace.StartChild(l.Kind() + ":" + l.Name())
+		sp := m.Trace.StartChildAt(l.Kind()+":"+l.Name(), now)
 		cur, err = l.Forward(cur)
-		sp.Finish()
+		if sp != nil {
+			now = time.Now()
+			sp.FinishAt(now)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("nn: model %s layer %s: %w", m.ModelName, l.Name(), err)
 		}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkTracePerQueryCost replays the per-statement tracing work of the
+// engine's recordQuery/execPlan path, including the chained-timestamp
+// pattern (operator boundaries lend their clock readings to the spans, so
+// the only fresh read per statement is the wall-clock start the untraced
+// path pays too). The number is the intrinsic per-query cost of always-on
+// tracing with the default 1-in-64 tail retention.
+func BenchmarkTracePerQueryCost(b *testing.B) {
+	ts := NewTraceStore(TraceStoreConfig{Seed: 1})
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		start := time.Now() // paid by the untraced path as well
+		tr := ts.StartTraceAt(ctx, "query", start)
+		root := tr.Root()
+		c1 := ctx
+		c1 = ContextWithTrace(c1, tr)
+		c1 = ContextWithSpan(c1, root)
+		_ = c1
+		root.SetAttr("sql", "SELECT ...")
+		stamp := start
+		for op := 0; op < 6; op++ {
+			sp := root.StartChildAt("op", stamp)
+			sp.SetAttr("rows", 1000)
+			stamp = stamp.Add(time.Microsecond) // stands in for profAdd's read
+			sp.FinishAt(stamp)
+		}
+		ts.Finish(tr)
+	}
+}
+
+func BenchmarkClockRead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = time.Now()
+	}
+}

@@ -101,7 +101,23 @@ func WritePrometheus(w io.Writer, reg *obs.Registry) error {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, formatFloat(s.Sum), pn, s.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", pn, formatFloat(s.Sum)); err != nil {
+			return err
+		}
+		// When the histogram carries a trace-ID exemplar, append it to the
+		// _count line in OpenMetrics exemplar syntax
+		// (`# {trace_id="..."} value timestamp`) — the hook Grafana and
+		// OpenMetrics-aware scrapers use to jump from a latency series to
+		// the trace of its worst outlier. This exporter renders histograms
+		// as summaries, so the counter-like _count line is the one sample
+		// eligible to carry the exemplar (see ARCHITECTURE.md).
+		if s.ExemplarTraceID != "" {
+			if _, err := fmt.Fprintf(w, "%s_count %d # {trace_id=%q} %s %s\n",
+				pn, s.Count, s.ExemplarTraceID, formatFloat(s.ExemplarValue),
+				formatFloat(float64(s.ExemplarTS.UnixMilli())/1000)); err != nil {
+				return err
+			}
+		} else if _, err := fmt.Fprintf(w, "%s_count %d\n", pn, s.Count); err != nil {
 			return err
 		}
 	}

@@ -63,6 +63,11 @@ type QueryRecord struct {
 	// empty for successful statements. Err is the error text.
 	ErrClass string `json:"err_class,omitempty"`
 	Err      string `json:"err,omitempty"`
+	// TraceID links the record to a retained trace in the trace store
+	// (sys.traces / sys.spans / /v1/traces/{id}); empty when the query ran
+	// untraced or the tail sampler dropped its trace before this record
+	// was added.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // defaultSlowCap bounds the secondary slow-query ring.

@@ -121,6 +121,12 @@ type Histogram struct {
 	min     float64
 	max     float64
 	buckets []int64 // len histBuckets+2: [underflow, b1..bN, overflow]
+
+	// Exemplar: the largest observation so far that carried a trace ID,
+	// linking the histogram's tail back to a retrievable trace.
+	exVal  float64
+	exID   string
+	exTime time.Time
 }
 
 // Observe records one sample. Safe on a nil receiver.
@@ -147,6 +153,39 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration in seconds. Safe on a nil receiver.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// ObserveExemplar records a sample carrying a trace ID. The histogram
+// retains the max-valued such observation as its exemplar, so the exported
+// series points at the trace of its worst outlier. An empty traceID is a
+// plain Observe. Safe on a nil receiver.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	if traceID == "" {
+		h.Observe(v)
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if h.buckets == nil {
+		h.buckets = make([]int64, histBuckets+2)
+	}
+	h.buckets[histBucketIndex(v)]++
+	if h.exID == "" || v >= h.exVal {
+		h.exVal = v
+		h.exID = traceID
+		h.exTime = time.Now()
+	}
+	h.mu.Unlock()
+}
+
 // HistSummary is a point-in-time histogram summary. Quantiles are
 // estimated by linear interpolation within the exponential bucket holding
 // the target rank (worst-case relative error one bucket width, ~2.2%);
@@ -160,6 +199,12 @@ type HistSummary struct {
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+
+	// Exemplar fields: the max-valued observation that carried a trace ID
+	// (empty/zero when no observation did).
+	ExemplarValue   float64   `json:"exemplar_value,omitempty"`
+	ExemplarTraceID string    `json:"exemplar_trace_id,omitempty"`
+	ExemplarTS      time.Time `json:"exemplar_ts,omitempty"`
 }
 
 // Summary computes the histogram's summary.
@@ -181,6 +226,10 @@ func (h *Histogram) Summary() HistSummary {
 		P50:   h.quantileLocked(0.50),
 		P95:   h.quantileLocked(0.95),
 		P99:   h.quantileLocked(0.99),
+
+		ExemplarValue:   h.exVal,
+		ExemplarTraceID: h.exID,
+		ExemplarTS:      h.exTime,
 	}
 }
 

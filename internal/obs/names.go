@@ -98,6 +98,49 @@ const (
 	MetricServerQueueSeconds = "server.admission.wait_s"
 )
 
+// Tracing metrics (internal/obs trace store + exemplars).
+const (
+	// MetricTracesStarted counts traces opened (every traced query, kept
+	// or not).
+	MetricTracesStarted = "trace.started"
+	// MetricTracesRetained counts traces the tail sampler kept.
+	MetricTracesRetained = "trace.retained"
+	// MetricTracesDropped counts traces the tail sampler discarded.
+	MetricTracesDropped = "trace.dropped"
+	// MetricTraceSpans is the histogram of span counts per retained trace
+	// (pre-truncation totals).
+	MetricTraceSpans = "trace.spans"
+	// MetricTraceStoreTraces gauges traces currently held in the store.
+	MetricTraceStoreTraces = "trace.store.traces"
+	// MetricTraceExemplars counts histogram observations that carried a
+	// trace-ID exemplar.
+	MetricTraceExemplars = "trace.exemplars"
+)
+
+// TraceRetainedMetric derives the per-reason retention counter:
+// TraceRetainedMetric("slow") = "trace.retained.slow". Reasons: "slow",
+// "error", "fallback", "breaker", "sampled".
+func TraceRetainedMetric(reason string) string {
+	return "trace.retained." + reason
+}
+
+// KnownTraceMetric reports whether a "trace."-prefixed name is one the
+// trace subsystem legitimately emits. Registry.Check fails on any other
+// trace.* registration so exemplar/trace series can't fork silently.
+func KnownTraceMetric(name string) bool {
+	switch name {
+	case MetricTracesStarted, MetricTracesRetained, MetricTracesDropped,
+		MetricTraceSpans, MetricTraceStoreTraces, MetricTraceExemplars:
+		return true
+	}
+	for _, reason := range []string{"slow", "error", "fallback", "breaker", "sampled"} {
+		if name == TraceRetainedMetric(reason) {
+			return true
+		}
+	}
+	return false
+}
+
 // Cache-instrument prefixes: cache.LRU.Instrument appends ".hits",
 // ".misses", ".evictions".
 const (
@@ -186,6 +229,9 @@ func (r *Registry) Check() error {
 	for name, ks := range kinds {
 		if !ValidMetricName(name) {
 			problems = append(problems, fmt.Sprintf("malformed metric name %q", name))
+		}
+		if strings.HasPrefix(name, "trace.") && !KnownTraceMetric(name) {
+			problems = append(problems, fmt.Sprintf("unregistered trace metric %q (add it to names.go)", name))
 		}
 		if len(ks) > 1 {
 			sort.Strings(ks)

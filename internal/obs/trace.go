@@ -28,15 +28,162 @@ type Attr struct {
 
 // Span is one timed region of work. Spans nest: children created with
 // Start(name) are rendered inside their parent by both exporters.
+//
+// The first annotation and the first child live in inline slots: the
+// always-on tracing path creates many spans that carry exactly one attr
+// ("sql", "rows") and at most one child, and the inline slots keep those
+// spans to a single allocation (zero when arena-backed).
+//
+// Ownership contract: a span is mutated (SetAttr, Finish) only by the
+// goroutine that created it. Child creation is the one genuinely
+// concurrent mutation — morsel workers evaluating a traced UDF and the
+// cross-query batch scheduler both open children under a parent they do
+// not own — so linking is serialized (by the trace's arena lock, or by
+// the parent's own mutex for arena-less spans) while everything else is
+// lock-free. Tree walks (Children, Attrs, the exporters) are safe once
+// the walked subtree is quiescent: after the trace finished, or after
+// the statement that owned the spans returned.
 type Span struct {
 	Name  string
 	Start time.Time
 	End   time.Time
 
-	mu       sync.Mutex
-	attrs    []Attr
-	children []*Span
+	mu       sync.Mutex // guards child linking on arena-less spans
+	attr0    Attr
+	nattr    int
+	attrs    []Attr // overflow beyond attr0
+	child0   *Span
+	children []*Span // overflow beyond child0
 	ended    bool
+	arena    *spanArena
+}
+
+// spanChunkLen covers a typical statement's span tree (root + one span
+// per plan operator) in a single chunk.
+const spanChunkLen = 8
+
+// spanChunkPool recycles first chunks between dropped traces: with the
+// default 1-in-64 tail sampling almost every trace is discarded wholesale,
+// and reusing the chunk keeps the per-query tracing cost off the GC.
+var spanChunkPool = sync.Pool{New: func() any { return new([spanChunkLen]Span) }}
+
+// spanArena chunk-allocates the spans of one trace so a typical query's
+// span tree costs at most one bulk allocation instead of one per span.
+// Spans are handed out by pointer into the chunk and never move. The
+// first chunk comes from spanChunkPool and goes back via release();
+// overflow chunks are ordinary garbage.
+type spanArena struct {
+	mu     sync.Mutex
+	chunk  []Span
+	used   int
+	pooled *[spanChunkLen]Span
+	pinned bool
+	// total counts spans handed out; once it reaches limit (0 = unbounded)
+	// alloc returns nil and counts the request in dropped. The trace store
+	// sets limit to its MaxSpansPerTrace, so a query that would produce
+	// thousands of spans (per-call, per-layer inference detail) stops paying
+	// for them at creation time — the flatten step would discard them anyway.
+	total   int
+	limit   int
+	dropped int
+}
+
+func (a *spanArena) alloc(name string, start time.Time) *Span {
+	a.mu.Lock()
+	s := a.allocLocked(name, start)
+	a.mu.Unlock()
+	return s
+}
+
+func (a *spanArena) allocLocked(name string, start time.Time) *Span {
+	if a.limit > 0 && a.total >= a.limit {
+		a.dropped++
+		return nil
+	}
+	a.total++
+	if a.used == len(a.chunk) {
+		if a.chunk == nil {
+			a.pooled = spanChunkPool.Get().(*[spanChunkLen]Span)
+			a.chunk = a.pooled[:]
+		} else {
+			n := 2 * len(a.chunk)
+			if n > 64 {
+				n = 64
+			}
+			a.chunk = make([]Span, n)
+		}
+		a.used = 0
+	}
+	s := &a.chunk[a.used]
+	a.used++
+	s.Name, s.Start, s.arena = name, start, a
+	return s
+}
+
+// newChild allocates a child span and links it into parent under one lock
+// acquisition. Every span of a trace shares the trace's arena, so the
+// arena lock serializes all child linking within the trace — including
+// concurrent creations under the same parent from morsel workers.
+func (a *spanArena) newChild(parent *Span, name string, start time.Time) *Span {
+	a.mu.Lock()
+	c := a.allocLocked(name, start)
+	if c != nil {
+		if parent.child0 == nil && parent.children == nil {
+			parent.child0 = c
+		} else {
+			parent.children = append(parent.children, c)
+		}
+	}
+	a.mu.Unlock()
+	return c
+}
+
+// droppedSpans reports how many span allocations the limit suppressed.
+func (a *spanArena) droppedSpans() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dropped
+}
+
+// pin marks the arena's spans as escaped — adopted into a Tracer whose
+// views outlive the trace — so release() must leave the chunk alone.
+func (a *spanArena) pin() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.pinned = true
+	a.mu.Unlock()
+}
+
+// release recycles the pooled first chunk after the owning trace is
+// decided and its spans are unreachable (dropped, or kept and flattened
+// into immutable SpanRows). Pinned arenas keep their memory.
+func (a *spanArena) release() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	p := a.pooled
+	// A chunk of spanChunkLen is necessarily the pooled one; once the
+	// arena grew past it, the pooled chunk was fully used.
+	used := spanChunkLen
+	if len(a.chunk) == spanChunkLen {
+		used = a.used
+	}
+	pinned := a.pinned
+	a.pooled, a.chunk, a.used = nil, nil, 0
+	a.mu.Unlock()
+	if p == nil || pinned {
+		return
+	}
+	for i := range p[:used] {
+		p[i] = Span{}
+	}
+	spanChunkPool.Put(p)
 }
 
 // Tracer collects root spans. A nil Tracer is a valid disabled tracer.
@@ -90,37 +237,66 @@ func (t *Tracer) Roots() []*Span {
 
 // StartChild opens a child span. Safe (and free) on a nil receiver.
 func (s *Span) StartChild(name string) *Span {
+	return s.StartChildAt(name, time.Now())
+}
+
+// StartChildAt opens a child span with a caller-supplied start time. Hot
+// paths that already read the clock for accounting (the executor's
+// per-operator profile) pass that stamp through instead of paying a
+// second read per span.
+func (s *Span) StartChildAt(name string, start time.Time) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{Name: name, Start: time.Now()}
+	if s.arena != nil {
+		// Returns nil once the trace's span budget is exhausted; the whole
+		// subtree then degrades to nil no-op spans.
+		return s.arena.newChild(s, name, start)
+	}
+	c := &Span{Name: name, Start: start}
 	s.mu.Lock()
-	s.children = append(s.children, c)
+	if s.child0 == nil && s.children == nil {
+		s.child0 = c
+	} else {
+		s.children = append(s.children, c)
+	}
 	s.mu.Unlock()
 	return c
 }
 
-// SetAttr annotates the span. Safe on a nil receiver.
+// SetAttr annotates the span. Safe on a nil receiver. Owner-only (see the
+// Span ownership contract) — it runs lock-free.
 func (s *Span) SetAttr(key string, value any) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
-	s.mu.Unlock()
+	if s.nattr == 0 {
+		s.attr0 = Attr{Key: key, Value: value}
+	} else {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+	s.nattr++
 }
 
 // Finish closes the span; later calls are ignored. Safe on a nil receiver.
+// Owner-only, lock-free.
 func (s *Span) Finish() {
-	if s == nil {
+	if s == nil || s.ended {
 		return
 	}
-	s.mu.Lock()
-	if !s.ended {
-		s.End = time.Now()
-		s.ended = true
+	s.End = time.Now()
+	s.ended = true
+}
+
+// FinishAt closes the span with a caller-supplied end time (the companion
+// of StartChildAt for paths that already hold a fresh clock reading).
+// Later calls are ignored. Safe on a nil receiver. Owner-only, lock-free.
+func (s *Span) FinishAt(end time.Time) {
+	if s == nil || s.ended {
+		return
 	}
-	s.mu.Unlock()
+	s.End = end
+	s.ended = true
 }
 
 // Duration is End-Start for a finished span, time-since-Start otherwise.
@@ -128,32 +304,37 @@ func (s *Span) Duration() time.Duration {
 	if s == nil {
 		return 0
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.ended {
 		return s.End.Sub(s.Start)
 	}
 	return time.Since(s.Start)
 }
 
-// Children returns the span's direct children.
+// Children returns the span's direct children. Safe once the subtree is
+// quiescent (see the Span ownership contract).
 func (s *Span) Children() []*Span {
 	if s == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]*Span(nil), s.children...)
+	if s.child0 == nil {
+		return append([]*Span(nil), s.children...)
+	}
+	out := make([]*Span, 0, 1+len(s.children))
+	out = append(out, s.child0)
+	return append(out, s.children...)
 }
 
-// Attrs returns the span's annotations.
+// Attrs returns the span's annotations. Safe once the span is quiescent.
 func (s *Span) Attrs() []Attr {
 	if s == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]Attr(nil), s.attrs...)
+	if s.nattr == 0 {
+		return nil
+	}
+	out := make([]Attr, 0, s.nattr)
+	out = append(out, s.attr0)
+	return append(out, s.attrs...)
 }
 
 // Tree renders the recorded spans as an indented human-readable tree.

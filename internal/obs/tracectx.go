@@ -1,0 +1,282 @@
+package obs
+
+// Request-scoped tracing: trace identity and context plumbing.
+//
+// A Trace is one query's identity (a seedable hex ID) plus its root span
+// and the tail-sampling flags that accumulate while it runs. The active
+// trace and the active span both ride the context.Context that already
+// threads through sqldb → strategies → schedule, so every layer can attach
+// child spans and mark sampling-relevant events (errors, fallbacks,
+// breaker rejections) without new plumbing. The outermost layer that sees
+// no trace in its context creates one (server request handling, the
+// strategy fallback entry point, or the engine's statement recorder) and
+// is the only layer that finishes it and runs the tail-sampling decision.
+//
+// Everything here follows the package's nil-safety contract: a nil *Trace
+// is a valid disabled trace whose methods no-op, so hot paths pay only a
+// nil check when the trace store is not armed.
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one query's tracing identity: the ID propagated across layers
+// (and across the HTTP hop via the X-Trace-Id header), the root span of
+// its tree, and the flags the tail sampler consults at the end.
+type Trace struct {
+	id    string
+	root  *Span
+	start time.Time
+
+	// arena backs every span of this trace; embedding it makes the trace,
+	// its arena, and (via the first chunk) its typical span tree one
+	// allocation group instead of one per span.
+	arena spanArena
+
+	// flags accumulate sampling-relevant events (see traceFlag*).
+	flags atomic.Uint32
+	// state is the tail-sampling outcome: 0 undecided, 1 dropped, 2 kept.
+	state atomic.Uint32
+}
+
+const (
+	traceFlagError uint32 = 1 << iota
+	traceFlagFallback
+	traceFlagBreaker
+)
+
+const (
+	traceUndecided uint32 = iota
+	traceDropped
+	traceKept
+)
+
+// ID returns the trace's hex identifier ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Root returns the trace's root span.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Start returns the trace's start time.
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// MarkError flags the trace for tail retention: it ended in an error.
+func (t *Trace) MarkError() { t.mark(traceFlagError) }
+
+// MarkFallback flags the trace for tail retention: the graceful-degradation
+// ladder engaged during it.
+func (t *Trace) MarkFallback() { t.mark(traceFlagFallback) }
+
+// MarkBreakerRejected flags the trace for tail retention: the serving
+// circuit breaker failed a call fast during it.
+func (t *Trace) MarkBreakerRejected() { t.mark(traceFlagBreaker) }
+
+func (t *Trace) mark(flag uint32) {
+	if t == nil {
+		return
+	}
+	for {
+		cur := t.flags.Load()
+		if cur&flag != 0 || t.flags.CompareAndSwap(cur, cur|flag) {
+			return
+		}
+	}
+}
+
+func (t *Trace) flag(flag uint32) bool {
+	return t != nil && t.flags.Load()&flag != 0
+}
+
+// Kept reports whether the tail sampler retained the trace (false while
+// undecided).
+func (t *Trace) Kept() bool {
+	return t != nil && t.state.Load() == traceKept
+}
+
+// RecordID is the trace ID to stamp on query-history records: the ID while
+// the sampling decision is pending or once the trace is kept, "" once the
+// trace is decided-dropped (an unsampled trace is not retrievable, so its
+// ID would dangle).
+func (t *Trace) RecordID() string {
+	if t == nil || t.state.Load() == traceDropped {
+		return ""
+	}
+	return t.id
+}
+
+// ---- context plumbing ----
+
+// The active trace and the active span travel under ONE context key as a
+// pair: the per-query hot path attaches both at once for a single
+// context allocation, and every lookup resolves in a single chain walk.
+// Setting just one of the two (a nested span push, a bare trace attach)
+// snapshots the other from the current context so the nearest pair always
+// carries both correctly.
+
+type traceSpanKey struct{}
+type traceIDHintKey struct{}
+
+type traceSpanPair struct {
+	t *Trace
+	s *Span
+}
+
+// ContextWithTrace attaches the active trace to the context.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, traceSpanKey{}, &traceSpanPair{t: t, s: SpanFromContext(ctx)})
+}
+
+// ContextWithTraceSpan attaches the active trace and span in one step —
+// one context allocation instead of two for the per-query path.
+func ContextWithTraceSpan(ctx context.Context, t *Trace, s *Span) context.Context {
+	if t == nil && s == nil {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, traceSpanKey{}, &traceSpanPair{t: t, s: s})
+}
+
+// TraceFromContext recovers the active trace, if any.
+func TraceFromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	if p, _ := ctx.Value(traceSpanKey{}).(*traceSpanPair); p != nil {
+		return p.t
+	}
+	return nil
+}
+
+// TraceIDFromContext is the active trace's ID ("" when untraced) — the
+// value the serving client sends as X-Trace-Id and the scheduler records
+// per batch waiter.
+func TraceIDFromContext(ctx context.Context) string {
+	return TraceFromContext(ctx).ID()
+}
+
+// ContextWithSpan attaches the active span (the parent for child spans
+// started further down the call chain).
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, traceSpanKey{}, &traceSpanPair{t: TraceFromContext(ctx), s: s})
+}
+
+// SpanFromContext recovers the active span, if any.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	if p, _ := ctx.Value(traceSpanKey{}).(*traceSpanPair); p != nil {
+		return p.s
+	}
+	return nil
+}
+
+// ContextWithTraceID plants an externally supplied trace ID (the server
+// reads the request's X-Trace-Id header into this) so the trace created
+// downstream adopts it instead of generating a fresh one. Invalid IDs are
+// ignored at creation time.
+func ContextWithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, traceIDHintKey{}, id)
+}
+
+// TraceIDHint recovers an externally supplied trace ID, if any.
+func TraceIDHint(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceIDHintKey{}).(string)
+	return id
+}
+
+// ValidTraceID reports whether an externally supplied trace ID is safe to
+// adopt: 1–64 bytes of [0-9a-zA-Z_-]. Anything else (empty, oversized,
+// exotic bytes from an untrusted header) is rejected and a fresh ID is
+// generated instead.
+func ValidTraceID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// StartSpan opens a span as a child of the context's active span when one
+// exists, as a root span on the tracer otherwise. When both are live the
+// span is created under the context parent and additionally adopted into
+// the tracer's root list, so tracer-based views (sqlsh \trace, dl2sql
+// -trace, FindSpan in tests) keep seeing it. Returns the context carrying
+// the new span as the active parent; when neither sink is live it returns
+// ctx unchanged and a nil span (the usual zero-cost disabled path).
+func StartSpan(ctx context.Context, tracer *Tracer, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		s := tracer.StartSpan(name)
+		if s == nil {
+			return ctx, nil
+		}
+		return ContextWithSpan(ctx, s), s
+	}
+	s := parent.StartChild(name)
+	tracer.Adopt(s)
+	return ContextWithSpan(ctx, s), s
+}
+
+// Adopt appends an existing span to the tracer's root list so tracer-based
+// exporters render it even though its parent lives in another tree (the
+// request-scoped trace). Safe on nil receiver and nil span.
+func (t *Tracer) Adopt(s *Span) {
+	if t == nil || s == nil {
+		return
+	}
+	// The tracer's views (sqlsh \trace) outlive the trace that owns the
+	// span, so its arena chunk must never be recycled.
+	s.arena.pin()
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+}

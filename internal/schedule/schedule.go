@@ -46,6 +46,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -204,11 +205,16 @@ type queue struct {
 	timer    *time.Timer
 }
 
-// item is one queued submission.
+// item is one queued submission. traceID and span link the batch back to
+// the submitting query's trace: runBatch stamps every item's span with the
+// batch size and the distinct trace IDs of all its waiters, so a retained
+// trace shows exactly which other queries shared its forward pass.
 type item struct {
-	key  Key
-	blob []byte
-	fl   *flight
+	key     Key
+	blob    []byte
+	fl      *flight
+	traceID string
+	span    *obs.Span
 }
 
 // flight is the single-flight rendezvous: followers with the same key and
@@ -301,11 +307,17 @@ func (s *Scheduler) Infer(ctx context.Context, be *Backend, model uint64, artifa
 	}
 	s.submitted.Add(1)
 	s.count(obs.MetricSchedSubmitted)
+	// Child span under the submitting query's active span (nil and free
+	// when the query is untraced). Finished on every return path; batch
+	// items additionally get batch_size/batch_waiters attrs from runBatch.
+	span := obs.SpanFromContext(ctx).StartChild("sched:infer")
+	defer span.Finish()
 	key := Key{Model: model, Input: tensor.HashBytes(blob)}
 	if s.cfg.Cache != nil {
 		if idx, ok := s.cfg.Cache.Get(key); ok {
 			s.cacheHits.Add(1)
 			s.count(obs.MetricSchedCacheHits)
+			span.SetAttr("source", "cache")
 			return Result{Class: idx, Source: SourceCache}, nil
 		}
 	}
@@ -315,6 +327,7 @@ func (s *Scheduler) Infer(ctx context.Context, be *Backend, model uint64, artifa
 		s.mu.Unlock()
 		s.rejected.Add(1)
 		s.count(obs.MetricSchedRejected)
+		span.SetAttr("err", "draining")
 		return Result{}, fmt.Errorf("%w: inference scheduler is draining", qerr.ErrServingUnavailable)
 	}
 	if fl, ok := s.inflight[key]; ok {
@@ -322,6 +335,7 @@ func (s *Scheduler) Infer(ctx context.Context, be *Backend, model uint64, artifa
 		s.mu.Unlock()
 		s.dedupHits.Add(1)
 		s.count(obs.MetricSchedDedupHits)
+		span.SetAttr("source", "dedup")
 		return s.wait(ctx, fl, true)
 	}
 	fl := &flight{done: make(chan struct{})}
@@ -332,7 +346,9 @@ func (s *Scheduler) Infer(ctx context.Context, be *Backend, model uint64, artifa
 		q = &queue{be: be, artifact: artifact}
 		s.queues[qk] = q
 	}
-	q.items = append(q.items, &item{key: key, blob: blob, fl: fl})
+	span.SetAttr("source", "batch")
+	q.items = append(q.items, &item{key: key, blob: blob, fl: fl,
+		traceID: obs.TraceIDFromContext(ctx), span: span})
 	s.noteDepthLocked()
 	var full *queue
 	if len(q.items) >= s.cfg.maxBatch() {
@@ -438,6 +454,27 @@ func (s *Scheduler) runBatch(q *queue) {
 	if s.cfg.Metrics != nil {
 		s.cfg.Metrics.Histogram(obs.MetricSchedBatchSize).Observe(float64(n))
 		s.cfg.Metrics.Histogram(obs.MetricSchedBatchSeconds).Observe(wall)
+	}
+	// Stamp every waiter's span with the batch it rode in: its size and
+	// the distinct trace IDs of all traced waiters, so any one retained
+	// trace names the queries that shared this forward pass.
+	var waiters []string
+	seen := map[string]bool{}
+	for _, it := range q.items {
+		if it.traceID != "" && !seen[it.traceID] {
+			seen[it.traceID] = true
+			waiters = append(waiters, it.traceID)
+		}
+	}
+	waiterList := strings.Join(waiters, ",")
+	for _, it := range q.items {
+		if it.span == nil {
+			continue
+		}
+		it.span.SetAttr("batch_size", n)
+		if waiterList != "" {
+			it.span.SetAttr("batch_waiters", waiterList)
+		}
 	}
 	s.mu.Lock()
 	for i, it := range q.items {

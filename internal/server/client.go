@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/qerr"
 	"repro/internal/sqldb"
 )
@@ -28,6 +30,12 @@ type Client struct {
 
 	session string
 	tenant  string
+
+	// traceMu guards lastTraceID: the X-Trace-Id of the most recent
+	// response that carried one (the server omits the header when the
+	// tail sampler dropped the request's trace).
+	traceMu     sync.Mutex
+	lastTraceID string
 }
 
 // Dial builds a client for a server base URL (e.g. "http://127.0.0.1:7878").
@@ -89,6 +97,13 @@ func (c *Client) post(ctx context.Context, path string, req, into any) error {
 		return err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// Propagate an ambient trace ID across the hop: a caller already
+	// inside a traced operation (ContextWithTrace) stamps its ID on the
+	// request, so the server-side trace adopts it and the two sides of
+	// the hop share one trace ID.
+	if id := obs.TraceIDFromContext(ctx); id != "" {
+		hreq.Header.Set("X-Trace-Id", id)
+	}
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		// Classify transport-level context failures the same way the
@@ -99,6 +114,11 @@ func (c *Client) post(ctx context.Context, path string, req, into any) error {
 		return err
 	}
 	defer resp.Body.Close()
+	if id := resp.Header.Get("X-Trace-Id"); id != "" {
+		c.traceMu.Lock()
+		c.lastTraceID = id
+		c.traceMu.Unlock()
+	}
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
 	if err != nil {
 		return err
@@ -221,6 +241,9 @@ type ColResult struct {
 	LoadingS     float64
 	InferenceS   float64
 	RelationalS  float64
+	// TraceID is set when the server's tail sampler retained the
+	// request's trace ("" otherwise).
+	TraceID string
 }
 
 // ColQuery executes a collaborative (inference) query under a named
@@ -240,7 +263,44 @@ func (c *Client) ColQuery(ctx context.Context, sql, strategy string, fallback bo
 	return &ColResult{
 		Result: res, Strategy: resp.Strategy, FallbackPath: resp.FallbackPath,
 		LoadingS: resp.LoadingS, InferenceS: resp.InferenceS, RelationalS: resp.RelationalS,
+		TraceID: resp.TraceID,
 	}, nil
+}
+
+// LastTraceID returns the trace ID of the most recent call whose response
+// carried one ("" before any traced call). The server only reports IDs of
+// traces its tail sampler retained, so a non-empty value is always
+// fetchable via TraceJSON (until the store's ring evicts it).
+func (c *Client) LastTraceID() string {
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	return c.lastTraceID
+}
+
+// TraceJSON fetches one retained trace as Chrome trace_event JSON from
+// GET /v1/traces/{id}.
+func (c *Client) TraceJSON(ctx context.Context, id string) ([]byte, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/traces/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		if json.Unmarshal(raw, &er) == nil && er.Error.Message != "" {
+			return nil, errFromWire(er.Error)
+		}
+		return nil, fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return raw, nil
 }
 
 // Health probes /healthz, returning the status string.

@@ -176,6 +176,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/stmt/exec", s.handleStmtExec)
 	s.mux.HandleFunc("POST /v1/stmt/close", s.handleStmtClose)
 	s.mux.HandleFunc("POST /v1/colquery", s.handleColQuery)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	if reg := s.metrics(); reg != nil {
 		// The Prometheus text endpoint plus the pprof handlers, mounted on
@@ -294,6 +295,10 @@ type queryResponse struct {
 	Result *wireResult `json:"result,omitempty"`
 	WallMs float64     `json:"wall_ms"`
 	Queued bool        `json:"queued,omitempty"`
+	// TraceID identifies the request's retained trace (empty when the
+	// tail sampler dropped it or tracing is off); also sent as the
+	// X-Trace-Id response header.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 type prepareRequest struct {
@@ -335,6 +340,7 @@ type colQueryResponse struct {
 	InferenceS   float64     `json:"inference_s"`
 	RelationalS  float64     `json:"relational_s"`
 	WallMs       float64     `json:"wall_ms"`
+	TraceID      string      `json:"trace_id,omitempty"`
 }
 
 type wireError struct {
@@ -392,6 +398,31 @@ func writeError(w http.ResponseWriter, err error) {
 		class = "error"
 	}
 	writeJSON(w, statusOf(err), errorResponse{Error: wireError{Class: class, Message: err.Error()}})
+}
+
+// traceContext plants a client-supplied X-Trace-Id as a trace-ID hint on
+// the request context; the trace store adopts valid hints when runQuery
+// starts the request trace, so a trace spans the HTTP hop end to end.
+func traceContext(r *http.Request) context.Context {
+	if id := r.Header.Get("X-Trace-Id"); id != "" {
+		return obs.ContextWithTraceID(r.Context(), id)
+	}
+	return r.Context()
+}
+
+// handleTraceGet serves one retained trace as Chrome trace_event JSON
+// (load it at chrome://tracing or ui.perfetto.dev).
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.db.Traces.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: wireError{
+			Class: "not_found", Message: fmt.Sprintf("no retained trace %q", id),
+		}})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	st.WriteChromeTrace(w)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -508,17 +539,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res, queued, err := s.runQuery(r.Context(), sess, tenant, func(ctx context.Context) (*sqldb.Result, error) {
+	res, queued, traceID, err := s.runQuery(traceContext(r), sess, tenant, func(ctx context.Context) (*sqldb.Result, error) {
 		return s.db.ExecContext(ctx, req.SQL)
 	})
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	if traceID != "" {
+		w.Header().Set("X-Trace-Id", traceID)
+	}
 	writeJSON(w, http.StatusOK, queryResponse{
-		Result: encodeResult(res),
-		WallMs: float64(time.Since(start)) / float64(time.Millisecond),
-		Queued: queued,
+		Result:  encodeResult(res),
+		WallMs:  float64(time.Since(start)) / float64(time.Millisecond),
+		Queued:  queued,
+		TraceID: traceID,
 	})
 }
 
@@ -547,17 +582,21 @@ func (s *Server) handleStmtExec(w http.ResponseWriter, r *http.Request) {
 		args[i] = d
 	}
 	start := time.Now()
-	res, queued, err := s.runQuery(r.Context(), sess, sess.Tenant, func(ctx context.Context) (*sqldb.Result, error) {
+	res, queued, traceID, err := s.runQuery(traceContext(r), sess, sess.Tenant, func(ctx context.Context) (*sqldb.Result, error) {
 		return p.ExecContext(ctx, args...)
 	})
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	if traceID != "" {
+		w.Header().Set("X-Trace-Id", traceID)
+	}
 	writeJSON(w, http.StatusOK, queryResponse{
-		Result: encodeResult(res),
-		WallMs: float64(time.Since(start)) / float64(time.Millisecond),
-		Queued: queued,
+		Result:  encodeResult(res),
+		WallMs:  float64(time.Since(start)) / float64(time.Millisecond),
+		Queued:  queued,
+		TraceID: traceID,
 	})
 }
 
@@ -588,7 +627,7 @@ func (s *Server) handleColQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var bd strategies.CostBreakdown
 	finalStrategy := strat.Name()
-	res, queued, err := s.runQuery(r.Context(), sess, tenant, func(ctx context.Context) (*sqldb.Result, error) {
+	res, queued, traceID, err := s.runQuery(traceContext(r), sess, tenant, func(ctx context.Context) (*sqldb.Result, error) {
 		// DB-PyTorch without the fallback ladder mutates no shared engine
 		// state, so concurrent requests run unserialized and their
 		// inference submissions coalesce in the scheduler; everything else
@@ -613,6 +652,9 @@ func (s *Server) handleColQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if traceID != "" {
+		w.Header().Set("X-Trace-Id", traceID)
+	}
 	writeJSON(w, http.StatusOK, colQueryResponse{
 		Result:       encodeResult(res),
 		Strategy:     finalStrategy,
@@ -621,6 +663,7 @@ func (s *Server) handleColQuery(w http.ResponseWriter, r *http.Request) {
 		InferenceS:   bd.Inference,
 		RelationalS:  bd.Relational,
 		WallMs:       float64(time.Since(start)) / float64(time.Millisecond),
+		TraceID:      traceID,
 	})
 	_ = queued
 }
@@ -652,15 +695,18 @@ func (s *Server) tenantBudget(tenant string) int64 {
 
 // runQuery is the one path every query-shaped request takes: admission,
 // context assembly (drain + disconnect + session vars + tenant budget),
-// execution, and metrics.
+// trace creation, execution, and metrics. The returned traceID is the
+// request's retained trace ID ("" when the tail sampler dropped it or the
+// DB has no trace store); handlers echo it in the response envelope and
+// the X-Trace-Id header.
 func (s *Server) runQuery(reqCtx context.Context, sess *Session, tenant string,
-	exec func(ctx context.Context) (*sqldb.Result, error)) (res *sqldb.Result, queued bool, err error) {
+	exec func(ctx context.Context) (*sqldb.Result, error)) (res *sqldb.Result, queued bool, traceID string, err error) {
 	reg := s.metrics()
 	if err := s.enter(); err != nil {
 		if reg != nil {
 			reg.Counter(obs.MetricServerRejected).Add(1)
 		}
-		return nil, false, err
+		return nil, false, "", err
 	}
 	defer s.inflight.Done()
 
@@ -673,7 +719,7 @@ func (s *Server) runQuery(reqCtx context.Context, sess *Session, tenant string,
 			}
 			reg.Counter(obs.MetricServerErrors).Add(1)
 		}
-		return nil, queued, err
+		return nil, queued, "", err
 	}
 	defer release()
 	if reg != nil {
@@ -713,16 +759,43 @@ func (s *Server) runQuery(reqCtx context.Context, sess *Session, tenant string,
 	}
 	ctx = sqldb.WithMemoryBudget(ctx, budget)
 
+	// The server is the outermost layer: every served request gets its
+	// trace here, and the inner layers (sqldb statement accounting, the
+	// strategy executor) join it through the context instead of creating
+	// their own. A client-supplied X-Trace-Id arrives as a context hint
+	// (traceContext) and is adopted by StartTrace.
+	tr := s.db.Traces.StartTrace(ctx, "request")
+	if tr != nil {
+		if sess != nil {
+			tr.Root().SetAttr("tenant", sess.Tenant)
+		} else {
+			tr.Root().SetAttr("tenant", tenant)
+		}
+		s.db.Tracer.Adopt(tr.Root())
+		ctx = obs.ContextWithTraceSpan(ctx, tr, tr.Root())
+	}
+
 	start := time.Now()
 	res, err = exec(ctx)
+	if tr != nil {
+		if err != nil {
+			tr.Root().SetAttr("err", qerr.Class(err))
+			tr.MarkError()
+		}
+		s.db.Traces.Finish(tr)
+		traceID = tr.RecordID()
+	}
 	if reg != nil {
-		reg.Histogram(obs.MetricServerRequestSeconds).Observe(time.Since(start).Seconds())
+		reg.Histogram(obs.MetricServerRequestSeconds).ObserveExemplar(time.Since(start).Seconds(), traceID)
+		if traceID != "" {
+			reg.Counter(obs.MetricTraceExemplars).Add(1)
+		}
 		if err != nil {
 			reg.Counter(obs.MetricServerErrors).Add(1)
 		}
 		reg.Gauge(obs.MetricServerInflight).Set(float64(s.admInflight()))
 	}
-	return res, queued, err
+	return res, queued, traceID, err
 }
 
 func (s *Server) admInflight() int {

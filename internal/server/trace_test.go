@@ -1,0 +1,177 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sqldb"
+)
+
+// newTracedServer builds a server whose DB has a keep-everything trace
+// store armed before any statement runs, so every query — including the
+// fixture DDL — leaves a retained trace and a trace_id in history.
+func newTracedServer(t *testing.T) (*Client, *obs.TraceStore) {
+	t.Helper()
+	db := sqldb.New()
+	db.Metrics = obs.NewRegistry()
+	db.History = obs.NewQueryHistory(64)
+	ts := obs.NewTraceStore(obs.TraceStoreConfig{Seed: 1, SlowThreshold: -1, SampleEvery: 1, Metrics: db.Metrics})
+	db.Traces = ts
+	db.EnableSysCatalog()
+	mustExec(t, db, `CREATE TABLE kv (k Int64, v String)`)
+	mustExec(t, db, `INSERT INTO kv VALUES (0, 'a'), (1, 'b'), (2, 'c'), (3, 'd')`)
+	srv := New(db, nil, Config{})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	cli := Dial(hs.URL).WithHTTPClient(hs.Client())
+	if err := cli.Connect(context.Background(), "test"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close(context.Background()) })
+	return cli, ts
+}
+
+// TestServerIssuesTraceIDs: a served query's envelope and the X-Trace-Id
+// response header carry the trace ID, and the client remembers it.
+func TestServerIssuesTraceIDs(t *testing.T) {
+	cli, ts := newTracedServer(t)
+	if _, err := cli.Query(context.Background(), `SELECT k FROM kv WHERE k < 3`); err != nil {
+		t.Fatal(err)
+	}
+	id := cli.LastTraceID()
+	if id == "" {
+		t.Fatal("client saw no X-Trace-Id on a traced server")
+	}
+	st, ok := ts.Get(id)
+	if !ok {
+		t.Fatalf("trace %q not retained server-side", id)
+	}
+	if st.Spans[0].Name != "request" {
+		t.Fatalf("root span = %q, want request", st.Spans[0].Name)
+	}
+	// The request root must have the statement span hanging under it —
+	// the served hop and the engine share one tree.
+	var hasSQL bool
+	for _, row := range st.Spans {
+		if row.Name == "sql" && row.ParentID == 1 {
+			hasSQL = true
+		}
+	}
+	if !hasSQL {
+		t.Fatalf("no sql child span under the request root: %+v", st.Spans)
+	}
+}
+
+// TestClientPropagatesTraceID: a client-side trace's ID crosses the HTTP
+// hop via X-Trace-Id and the server adopts it, so both ends of the hop
+// file their spans under one ID.
+func TestClientPropagatesTraceID(t *testing.T) {
+	cli, ts := newTracedServer(t)
+	local := obs.NewTraceStore(obs.TraceStoreConfig{Seed: 99, SlowThreshold: -1, SampleEvery: 1})
+	ltr := local.StartTrace(context.Background(), "client")
+	ctx := obs.ContextWithTrace(context.Background(), ltr)
+	if _, err := cli.Query(ctx, `SELECT v FROM kv WHERE k = 1`); err != nil {
+		t.Fatal(err)
+	}
+	local.Finish(ltr)
+	if got := cli.LastTraceID(); got != ltr.ID() {
+		t.Fatalf("server returned trace %q, want the propagated %q", got, ltr.ID())
+	}
+	if _, ok := ts.Get(ltr.ID()); !ok {
+		t.Fatalf("server did not retain the adopted trace %q", ltr.ID())
+	}
+}
+
+// TestTraceJSONRoundTrip: the retained trace is retrievable post-hoc over
+// HTTP as Chrome trace_event JSON, and unknown IDs are a clean error.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	cli, _ := newTracedServer(t)
+	ctx := context.Background()
+	if _, err := cli.Query(ctx, `SELECT k, v FROM kv`); err != nil {
+		t.Fatal(err)
+	}
+	id := cli.LastTraceID()
+	raw, err := cli.TraceJSON(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace export is not a JSON array: %v", err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("exported %d events, want request root + engine spans", len(events))
+	}
+	args, _ := events[0]["args"].(map[string]any)
+	if args["trace_id"] != id {
+		t.Fatalf("event trace_id = %v, want %s", args["trace_id"], id)
+	}
+	if _, err := cli.TraceJSON(ctx, "no-such-trace"); err == nil {
+		t.Fatal("unknown trace ID must fail")
+	} else if !strings.Contains(err.Error(), "no retained trace") {
+		t.Fatalf("miss should read as not-found, got: %v", err)
+	}
+}
+
+// TestSysTracesQueryableThroughServer: the span tree a served query left
+// behind answers SQL over the same connection — sys.queries joins
+// sys.spans on trace_id with no empty IDs under keep-all sampling.
+func TestSysTracesQueryableThroughServer(t *testing.T) {
+	cli, _ := newTracedServer(t)
+	ctx := context.Background()
+	if _, err := cli.Query(ctx, `SELECT count(*) AS c FROM kv`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cli.Query(ctx, `SELECT count(*) c FROM sys.queries WHERE trace_id = ''`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.Cols[0].Get(0).AsInt(); n != 0 {
+		t.Fatalf("%d served queries lack a trace_id under keep-all sampling", n)
+	}
+	res, err = cli.Query(ctx, `SELECT q.trace_id t, s.name n
+FROM sys.queries q, sys.spans s
+WHERE q.trace_id = s.trace_id AND s.span_id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() < 1 {
+		t.Fatal("join over sys.queries and sys.spans returned no rows")
+	}
+	// Fixture DDL ran embedded (root "query"); the served statements must
+	// show up with the serving hop's "request" root.
+	served := 0
+	for i := 0; i < res.NumRows(); i++ {
+		switch name := res.Cols[1].Get(i).S; name {
+		case "request":
+			served++
+		case "query":
+		default:
+			t.Fatalf("unexpected root span %q", name)
+		}
+	}
+	if served < 1 {
+		t.Fatal("no served query joined to a request root span")
+	}
+}
+
+// TestUntracedServerStaysSilent: without a trace store the envelope has no
+// trace ID, no header is emitted, and /v1/traces/{id} misses cleanly —
+// the nil-store contract holds across the wire.
+func TestUntracedServerStaysSilent(t *testing.T) {
+	_, cli, _ := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := cli.Query(ctx, `SELECT k FROM kv WHERE k = 2`); err != nil {
+		t.Fatal(err)
+	}
+	if id := cli.LastTraceID(); id != "" {
+		t.Fatalf("untraced server returned trace ID %q", id)
+	}
+	if _, err := cli.TraceJSON(ctx, "anything"); err == nil {
+		t.Fatal("trace fetch on an untraced server must fail")
+	}
+}

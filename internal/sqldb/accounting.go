@@ -61,10 +61,18 @@ func acctFrom(ctx context.Context) *queryAcct {
 // session profile exactly like Profile.add always has, and additionally
 // charges the statement's accounting when one is attached. Scan-shaped
 // operators also advance the rows-scanned tally.
-func (ec *execCtx) profAdd(op string, rows int, d time.Duration) {
-	ec.prof.add(op, rows, d)
+//
+// It takes the operator's start time (not a duration) and performs the end
+// read itself, leaving that reading in ec.stamp — the traced executor path
+// closes operator spans from the stamp instead of reading the clock again
+// (see execPlan). All accounting sites run on the statement's own goroutine
+// after any morsel fan-in, so the plain stamp field needs no locking.
+func (ec *execCtx) profAdd(op string, rows int, start time.Time) {
+	end := time.Now()
+	ec.stamp = end
+	ec.prof.add(op, rows, end.Sub(start))
 	if a := ec.acct; a != nil {
-		a.busyNanos.Add(d.Nanoseconds())
+		a.busyNanos.Add(end.Sub(start).Nanoseconds())
 		if op == OpScan {
 			a.rowsScanned.Add(int64(rows))
 		}
@@ -88,12 +96,12 @@ func (ec *execCtx) countUDFs(n int, fn evalFn) evalFn {
 	}
 }
 
-// execStmtRecorded is execStmt plus history recording. With no history
-// armed it is a plain passthrough; with one, the statement runs with an
-// accounting context and leaves one QueryRecord behind — including on
-// error and on recovered panic.
+// execStmtRecorded is execStmt plus history recording. With no history or
+// trace store armed it is a plain passthrough; otherwise the statement
+// runs with an accounting context and leaves one QueryRecord behind —
+// including on error and on recovered panic.
 func (db *DB) execStmtRecorded(ctx context.Context, st Stmt, sql string, hints *QueryHints) (*Result, error) {
-	if db.History == nil {
+	if db.History == nil && db.Traces == nil {
 		return db.execStmt(ctx, st, hints)
 	}
 	return db.recordQuery(ctx, sql, func(ctx context.Context) (*Result, error) {
@@ -103,17 +111,53 @@ func (db *DB) execStmtRecorded(ctx context.Context, st Stmt, sql string, hints *
 
 // recordQuery runs fn with a fresh accounting context and records the
 // outcome into the history ring and the engine metrics. Callers must have
-// checked db.History != nil (execStmtRecorded and the prepared-statement
-// fast path do).
+// checked that db.History or db.Traces is armed (execStmtRecorded and the
+// prepared-statement fast path do).
+//
+// Trace ownership: when the context already carries a trace (a served
+// request or an enclosing strategy execution), this statement contributes
+// a child span and leaves the tail-sampling decision to the creator. When
+// it does not, this is the outermost traced layer — recordQuery creates
+// the trace and decides retention when the statement finishes.
 func (db *DB) recordQuery(ctx context.Context, sql string, fn func(ctx context.Context) (*Result, error)) (res *Result, err error) {
 	hist := db.History
 	acct := &queryAcct{}
+	// The wall-clock start doubles as the trace/root-span start below, so
+	// arming tracing adds no statement-level clock reads over the
+	// history-only baseline.
 	start := time.Now()
+	tr := obs.TraceFromContext(ctx)
+	created := false
+	var span *obs.Span
+	if db.Traces != nil || tr != nil {
+		if tr == nil {
+			tr = db.Traces.StartTraceAt(ctx, "query", start)
+			created = true
+			span = tr.Root()
+			// Adopt the root into the session tracer so tracer-based views
+			// (sqlsh \trace, EXPLAIN-style dumps) keep rendering it.
+			db.Tracer.Adopt(span)
+		} else if parent := obs.SpanFromContext(ctx); parent != nil {
+			span = parent.StartChildAt("sql", start)
+		} else {
+			span = tr.Root().StartChildAt("sql", start)
+		}
+		span.SetAttr("sql", sql)
+		ctx = obs.ContextWithTraceSpan(ctx, tr, span)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, qerr.Recovered("sqldb exec", r)
 		}
 		wall := time.Since(start)
+		if err != nil {
+			span.SetAttr("err", qerr.Class(err))
+			tr.MarkError()
+		}
+		span.FinishAt(start.Add(wall))
+		if created {
+			db.Traces.Finish(tr)
+		}
 		rec := obs.QueryRecord{
 			SQL:         sql,
 			Strategy:    "sql",
@@ -126,6 +170,7 @@ func (db *DB) recordQuery(ctx context.Context, sql string, fn func(ctx context.C
 			ParallelOps: acct.parallelOps.Load(),
 			UDFCalls:    acct.udfCalls.Load(),
 			ErrClass:    qerr.Class(err),
+			TraceID:     tr.RecordID(),
 		}
 		if err != nil {
 			rec.Err = err.Error()
@@ -145,7 +190,10 @@ func (db *DB) recordQuery(ctx context.Context, sql string, fn func(ctx context.C
 			if thr := hist.SlowThreshold(); thr > 0 && wall >= thr {
 				m.Counter(obs.MetricSlowQueries).Add(1)
 			}
-			m.Histogram(obs.MetricQueryWallSeconds).Observe(wall.Seconds())
+			m.Histogram(obs.MetricQueryWallSeconds).ObserveExemplar(wall.Seconds(), rec.TraceID)
+			if rec.TraceID != "" {
+				m.Counter(obs.MetricTraceExemplars).Add(1)
+			}
 		}
 	}()
 	return fn(withAcct(ctx, acct))

@@ -624,7 +624,7 @@ func (db *DB) execAgg(a *LAgg, ec *execCtx) (*Result, error) {
 		out.Cols = append(out.Cols, col)
 		out.Schema = append(out.Schema, OutCol{Name: name, Type: col.Type})
 	}
-	ec.profAdd(OpGroupBy, n, time.Since(start))
+	ec.profAdd(OpGroupBy, n, start)
 	return out, nil
 }
 

@@ -421,7 +421,7 @@ func (p *Prepared) QueryContext(ctx context.Context, args ...Datum) (res *Result
 			commit()
 			return res, nil
 		}
-		if p.db.History != nil {
+		if p.db.History != nil || p.db.Traces != nil {
 			return p.db.recordQuery(ctx, sel.String(), run)
 		}
 		return run(ctx)

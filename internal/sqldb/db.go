@@ -49,6 +49,12 @@ type DB struct {
 	// history keeps execution on the unrecorded fast path.
 	History *obs.QueryHistory
 
+	// Traces, when non-nil, arms request-scoped tracing: every statement
+	// executed through the public entry points gets (or joins) a trace
+	// whose span tree the store tail-samples into sys.traces / sys.spans.
+	// A nil store keeps execution on the untraced fast path.
+	Traces *obs.TraceStore
+
 	// MemoryBudget caps the approximate bytes one query may materialize
 	// across operator outputs; a query exceeding it fails with an error
 	// matching qerr.ErrMemoryBudget instead of OOMing the process. 0 (the
@@ -319,11 +325,16 @@ func (db *DB) runSelect(ctx context.Context, sel *SelectStmt, hints *QueryHints)
 }
 
 // execPlanTraced executes a plan with a fresh execution context and, when
-// tracing is on, a root query span (the exec half of runSelect; Prepared
-// statements call it directly with a parameter-bound plan).
+// tracing is on, a query span carrying the per-operator children (the exec
+// half of runSelect; Prepared statements call it directly with a
+// parameter-bound plan). A request-scoped span already in the context (the
+// statement span recordQuery opened) takes precedence over opening a fresh
+// tracer root, so per-operator spans land inside the query's trace tree.
 func (db *DB) execPlanTraced(ctx context.Context, plan Plan) (*Result, error) {
 	ec := db.newExecCtx(ctx)
-	if db.Tracer.Enabled() {
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		ec.span = sp
+	} else if db.Tracer.Enabled() {
 		root := db.Tracer.StartSpan("query")
 		defer root.Finish()
 		ec.span = root

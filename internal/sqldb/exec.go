@@ -190,6 +190,13 @@ type execCtx struct {
 	// acct is the statement's resource accounting, non-nil only when the
 	// DB has a query history armed (see accounting.go).
 	acct *queryAcct
+
+	// stamp is the most recent clock reading taken at an operator boundary
+	// (profAdd stores its end read here). The traced execPlan path opens and
+	// closes operator spans from the stamp, so always-on tracing adds no
+	// clock reads beyond the ones the baseline accounting already pays.
+	// Written only on the statement's own goroutine.
+	stamp time.Time
 }
 
 // execPlan evaluates a plan tree to a materialized result, recording
@@ -211,13 +218,31 @@ func (db *DB) execPlan(p Plan, ec *execCtx) (*Result, error) {
 		}
 		return res, nil
 	}
-	sp := ec.span.StartChild(planNodeName(p))
-	child := *ec
-	child.span = sp
-	child.node = p
-	start := time.Now()
-	res, err := db.execPlanNode(p, &child)
-	elapsed := time.Since(start)
+	// Span timestamps chain through ec.stamp: every operator's profAdd
+	// accounting already reads the clock at its node boundary, so the traced
+	// path opens and closes spans from those readings instead of paying two
+	// more reads per node. The stamp can trail the true node start by the
+	// parent's inter-child bookkeeping — microseconds, acceptable for
+	// operator spans.
+	spStart := ec.stamp
+	if spStart.IsZero() {
+		spStart = time.Now()
+		ec.stamp = spStart
+	}
+	sp := ec.span.StartChildAt(planNodeName(p), spStart)
+	// Plan children evaluate sequentially (operator-internal parallelism
+	// never re-enters execPlan), so the span/node fields can be swapped in
+	// place instead of heap-copying the execCtx for every node.
+	prevSpan, prevNode := ec.span, ec.node
+	ec.span, ec.node = sp, p
+	// Only the node-stats path pays for its own clock reads; a span-only
+	// run (always-on tracing) reuses the chained stamps.
+	var start time.Time
+	if ec.nodes != nil {
+		start = time.Now()
+	}
+	res, err := db.execPlanNode(p, ec)
+	ec.span, ec.node = prevSpan, prevNode
 	if err == nil {
 		err = ec.charge(res)
 	}
@@ -231,23 +256,52 @@ func (db *DB) execPlan(p Plan, ec *execCtx) (*Result, error) {
 			}
 			ns.Calls++
 			ns.Rows += res.NumRows()
-			ns.Nanos += elapsed.Nanoseconds()
+			ns.Nanos += time.Since(start).Nanoseconds()
 		}
 	}
-	sp.Finish()
+	if !ec.stamp.After(spStart) {
+		// The node had no accounting site (and no child that ran one): one
+		// fresh read closes its span.
+		ec.stamp = time.Now()
+	}
+	sp.FinishAt(ec.stamp)
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
+// scanLabels caches "Scan <table>" / "SysScan <name>" strings: the label
+// is rebuilt for every traced execution of every scan node, and the
+// distinct-table population is small. A plain map beats sync.Map here —
+// the m[a+b] read avoids materializing the key, while sync.Map would box
+// the key string on every lookup.
+var (
+	scanLabelMu sync.RWMutex
+	scanLabels  = map[string]string{}
+)
+
+func scanLabel(prefix, table string) string {
+	scanLabelMu.RLock()
+	l, ok := scanLabels[prefix+table]
+	scanLabelMu.RUnlock()
+	if ok {
+		return l
+	}
+	l = prefix + table
+	scanLabelMu.Lock()
+	scanLabels[l] = l
+	scanLabelMu.Unlock()
+	return l
+}
+
 // planNodeName labels a plan node for trace spans.
 func planNodeName(p Plan) string {
 	switch t := p.(type) {
 	case *LScan:
-		return "Scan " + t.Table
+		return scanLabel("Scan ", t.Table)
 	case *LSysScan:
-		return "SysScan " + t.SysTable.Name
+		return scanLabel("SysScan ", t.SysTable.Name)
 	case *LFilter:
 		return "Filter"
 	case *LJoin:
@@ -326,7 +380,7 @@ func (db *DB) execScan(s *LScan, ec *execCtx) (*Result, error) {
 	// lengths (appends write at indices beyond every snapshot's length;
 	// in-place UPDATEs still require external coordination).
 	res := &Result{Schema: s.schema, Cols: t.SnapshotCols()}
-	ec.profAdd(OpScan, res.NumRows(), time.Since(start))
+	ec.profAdd(OpScan, res.NumRows(), start)
 	if len(s.Filters) > 0 {
 		return db.execFilter(res, s.Filters, ec, OpFilter)
 	}
@@ -393,7 +447,7 @@ func (db *DB) execFilter(in *Result, conds []Expr, ec *execCtx, opName string) (
 	for i, c := range in.Cols {
 		out.Cols[i] = c.Gather(keep)
 	}
-	ec.profAdd(opName, n, time.Since(start))
+	ec.profAdd(opName, n, start)
 	return out, nil
 }
 
@@ -554,7 +608,7 @@ func (db *DB) execProject(p *LProject, ec *execCtx) (*Result, error) {
 		out.Cols = append(out.Cols, col)
 		out.Schema[pi].Type = col.Type
 	}
-	ec.profAdd(OpProject, n, time.Since(start))
+	ec.profAdd(OpProject, n, start)
 	return out, nil
 }
 
@@ -585,7 +639,7 @@ func (db *DB) execDistinct(in *Result, ec *execCtx) (*Result, error) {
 	for i, c := range in.Cols {
 		out.Cols[i] = c.Gather(keep)
 	}
-	ec.profAdd(OpDistinct, n, time.Since(start))
+	ec.profAdd(OpDistinct, n, start)
 	return out, nil
 }
 
@@ -660,7 +714,7 @@ func (db *DB) execSort(in *Result, keys []OrderItem, ec *execCtx) (*Result, erro
 	for i, c := range in.Cols {
 		out.Cols[i] = c.Gather(idx)
 	}
-	ec.profAdd(OpSort, n, time.Since(start))
+	ec.profAdd(OpSort, n, start)
 	return out, nil
 }
 
@@ -687,6 +741,6 @@ func (db *DB) execLimit(in *Result, limit, offset int, ec *execCtx) (*Result, er
 	for i, c := range in.Cols {
 		out.Cols[i] = c.Gather(idx)
 	}
-	ec.profAdd(OpLimit, n, time.Since(start))
+	ec.profAdd(OpLimit, n, start)
 	return out, nil
 }

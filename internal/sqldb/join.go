@@ -231,7 +231,7 @@ func (db *DB) hashJoin(left, right *Result, j *LJoin, ec *execCtx) (*Result, err
 		lIdx, rIdx = pIdx, bIdx
 	}
 	out := gatherJoin(left, right, lIdx, rIdx)
-	ec.profAdd(OpJoin, out.NumRows(), time.Since(start))
+	ec.profAdd(OpJoin, out.NumRows(), start)
 	if len(j.Residual) > 0 {
 		return db.execFilter(out, j.Residual, ec, OpFilter)
 	}
@@ -257,7 +257,7 @@ func (db *DB) leftOuterHashJoin(left, right *Result, j *LJoin, ec *execCtx) (*Re
 		return nil, err // build/probe may be partial after cancellation
 	}
 	out := gatherJoin(left, right, lIdx, rIdx)
-	ec.profAdd(OpJoin, out.NumRows(), time.Since(start))
+	ec.profAdd(OpJoin, out.NumRows(), start)
 	if len(j.Residual) > 0 {
 		return db.execFilter(out, j.Residual, ec, OpFilter)
 	}
@@ -317,7 +317,7 @@ func (db *DB) symmetricHashJoin(left, right *Result, j *LJoin, ec *execCtx) (*Re
 		}
 	}
 	out := gatherJoin(left, right, lIdx, rIdx)
-	ec.profAdd(OpJoin, out.NumRows(), time.Since(start))
+	ec.profAdd(OpJoin, out.NumRows(), start)
 	if len(j.Residual) > 0 {
 		return db.execFilter(out, j.Residual, ec, OpFilter)
 	}
@@ -357,7 +357,7 @@ func (db *DB) nestedLoopJoin(left, right *Result, residual []Expr, ec *execCtx) 
 		return nil, err // the cross-product fill may be partial
 	}
 	out := gatherJoin(left, right, lIdx, rIdx)
-	ec.profAdd(OpJoin, out.NumRows(), time.Since(start))
+	ec.profAdd(OpJoin, out.NumRows(), start)
 	if len(residual) > 0 {
 		return db.execFilter(out, residual, ec, OpFilter)
 	}

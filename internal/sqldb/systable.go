@@ -125,7 +125,7 @@ func (db *DB) execSysScan(s *LSysScan, ec *execCtx) (*Result, error) {
 		return nil, fmt.Errorf("sqldb: scanning %s: %w", s.SysTable.Name, err)
 	}
 	res.Schema = s.schema
-	ec.profAdd(OpScan, res.NumRows(), time.Since(start))
+	ec.profAdd(OpScan, res.NumRows(), start)
 	return res, nil
 }
 
@@ -163,6 +163,8 @@ func (db *DB) EnableSysCatalog() {
 	db.RegisterSysTable(sysCacheTable())
 	db.RegisterSysTable(sysBreakerStub())
 	db.RegisterSysTable(sysRuntimeTable())
+	db.RegisterSysTable(sysTracesTable())
+	db.RegisterSysTable(sysSpansTable())
 }
 
 // ---- sys.metrics ----
@@ -225,6 +227,7 @@ type queryHistRow struct {
 	morsels, parallelOps                int64
 	udfCalls, inferCalls, retries       int64
 	errClass, errText                   string
+	traceID                             string
 }
 
 func historyRows(db *DB, slow bool) []queryHistRow {
@@ -244,7 +247,7 @@ func historyRows(db *DB, slow bool) []queryHistRow {
 			rowsOut: r.RowsOut, rowsScanned: r.RowsScanned, bytesOut: r.BytesOut,
 			morsels: r.Morsels, parallelOps: r.ParallelOps,
 			udfCalls: r.UDFCalls, inferCalls: r.InferCalls, retries: r.Retries,
-			errClass: r.ErrClass, errText: r.Err,
+			errClass: r.ErrClass, errText: r.Err, traceID: r.TraceID,
 		}
 	}
 	return rows
@@ -261,6 +264,7 @@ func sysQueriesTable(name, desc string, rowsOf func(db *DB) []queryHistRow) *Sys
 		{Name: "parallel_ops", Type: TInt}, {Name: "udf_calls", Type: TInt},
 		{Name: "infer_calls", Type: TInt}, {Name: "retries", Type: TInt},
 		{Name: "err_class", Type: TString}, {Name: "err", Type: TString},
+		{Name: "trace_id", Type: TString},
 	}
 	return &SysTable{
 		Name:        name,
@@ -276,7 +280,7 @@ func sysQueriesTable(name, desc string, rowsOf func(db *DB) []queryHistRow) *Sys
 					Int(r.rowsOut), Int(r.rowsScanned), Int(r.bytesOut),
 					Int(r.morsels), Int(r.parallelOps), Int(r.udfCalls),
 					Int(r.inferCalls), Int(r.retries),
-					Str(r.errClass), Str(r.errText))
+					Str(r.errClass), Str(r.errText), Str(r.traceID))
 				if err != nil {
 					return nil, err
 				}

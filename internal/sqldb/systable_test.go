@@ -41,8 +41,8 @@ func TestSysCatalogScansAllTables(t *testing.T) {
 	mustExec(t, db, `SELECT count(*) c FROM emp`)
 
 	tables := db.SysTables()
-	if len(tables) != 6 {
-		t.Fatalf("SysTables() = %d tables, want 6", len(tables))
+	if len(tables) != 8 {
+		t.Fatalf("SysTables() = %d tables, want 8", len(tables))
 	}
 	for _, st := range tables {
 		if st.Description == "" {
@@ -409,7 +409,7 @@ func TestRegisterSysTableReplaces(t *testing.T) {
 	if res.NumRows() != 1 || res.Cols[0].Get(0).S != "point-serving" || res.Cols[2].Get(0).I != 3 {
 		t.Fatalf("replaced sys.breaker scan wrong: %d rows", res.NumRows())
 	}
-	if n := len(db.SysTables()); n != 6 {
+	if n := len(db.SysTables()); n != 8 {
 		t.Fatalf("replacement grew catalog to %d tables", n)
 	}
 }

@@ -226,6 +226,7 @@ func (env *Context) serveWithRetry(ctx context.Context, artifact []byte, cands [
 		if err := env.Breaker.Allow(); err != nil {
 			env.count(obs.MetricServingBreakerRejected)
 			stratAcctFrom(ctx).noteBreakerRejected()
+			obs.TraceFromContext(ctx).MarkBreakerRejected()
 			return nil, nil, err
 		}
 		actx := ctx

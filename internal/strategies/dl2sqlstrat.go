@@ -11,6 +11,7 @@ import (
 	"repro/internal/dl2sql"
 	"repro/internal/faults"
 	"repro/internal/iotdata"
+	"repro/internal/obs"
 	"repro/internal/sqldb"
 	"repro/internal/tensor"
 )
@@ -52,7 +53,7 @@ func (s *DL2SQL) Execute(ctx context.Context, env *Context, q *colquery.Query) (
 	ctx, cancel := env.queryCtx(ctx)
 	defer cancel()
 	db := env.Dataset.DB
-	root := env.Tracer.StartSpan("strategy:" + s.Name())
+	ctx, root := obs.StartSpan(ctx, env.Tracer, "strategy:"+s.Name())
 	defer root.Finish()
 
 	// Build hints (DL2SQL-OP only).

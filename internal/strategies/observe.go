@@ -74,7 +74,7 @@ func (a *stratAcct) noteBreakerRejected() {
 
 // recordExecution appends one strategy-level QueryRecord to env.History.
 func (env *Context) recordExecution(sql, strategy string, bd CostBreakdown, acct *stratAcct,
-	start time.Time, res *sqldb.Result, err error) {
+	start time.Time, res *sqldb.Result, err error, traceID string) {
 	rec := obs.QueryRecord{
 		SQL:        sql,
 		Strategy:   strategy,
@@ -85,6 +85,7 @@ func (env *Context) recordExecution(sql, strategy string, bd CostBreakdown, acct
 		InferCalls: acct.inferCalls.Load(),
 		Retries:    acct.retries.Load(),
 		ErrClass:   qerr.Class(err),
+		TraceID:    traceID,
 	}
 	if err != nil {
 		rec.Err = err.Error()
@@ -101,7 +102,10 @@ func (env *Context) recordExecution(sql, strategy string, bd CostBreakdown, acct
 		if err != nil {
 			env.Metrics.Counter(obs.MetricQueryErrors).Add(1)
 		}
-		env.Metrics.Histogram(obs.MetricQueryWallSeconds).Observe(rec.Wall.Seconds())
+		env.Metrics.Histogram(obs.MetricQueryWallSeconds).ObserveExemplar(rec.Wall.Seconds(), rec.TraceID)
+		if rec.TraceID != "" {
+			env.Metrics.Counter(obs.MetricTraceExemplars).Add(1)
+		}
 	}
 }
 

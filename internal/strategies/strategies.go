@@ -115,6 +115,11 @@ type Context struct {
 	// interleave both layers in sys.queries, or use a separate ring to keep
 	// them apart.
 	History *obs.QueryHistory
+	// Traces, when non-nil, arms request-scoped tracing at the strategy
+	// layer: every ExecuteWithFallback call gets (or joins) a trace whose
+	// span tree the store tail-samples. Share the engine's store
+	// (Dataset.DB.Traces) so strategy and statement spans land in one tree.
+	Traces *obs.TraceStore
 	// InferCache, when non-nil, memoizes (model, keyframe) → class index
 	// for the DB-UDF and DB-PyTorch strategies. Enable with
 	// EnableInferCache; nil disables memoization at zero cost.
@@ -307,17 +312,49 @@ func fallbackFor(s Strategy) Strategy {
 // degradation engaged; each hop is also recorded as a
 // "strategy.fallback.<from>→<to>" metrics counter and a fallback span.
 func ExecuteWithFallback(ctx context.Context, env *Context, s Strategy, q *colquery.Query) (*sqldb.Result, CostBreakdown, error) {
-	if env.History == nil {
+	if env.History == nil && env.Traces == nil && obs.TraceFromContext(ctx) == nil {
 		res, bd, _, err := executeWithFallback(ctx, env, s, q)
 		return res, bd, err
 	}
 	// Recorded execution: thread a strategy-level accounting struct through
 	// the context (the serving retry loop and both native inference paths
 	// charge it) and leave one QueryRecord behind — including on error.
+	//
+	// Trace ownership mirrors the engine recorder: when the context already
+	// carries a trace (a served request), this execution contributes a
+	// child span; when it does not and a store is armed, this is the
+	// outermost traced layer — it creates the trace and decides retention.
 	acct := &stratAcct{}
+	tr := obs.TraceFromContext(ctx)
+	created := false
+	var span *obs.Span
+	if env.Traces != nil || tr != nil {
+		if tr == nil {
+			tr = env.Traces.StartTrace(ctx, "colquery")
+			created = true
+			span = tr.Root()
+			// Adopt the root into the session tracer so tracer-based views
+			// (sqlsh \trace, dl2sql -trace) keep rendering it.
+			env.Tracer.Adopt(span)
+		} else if parent := obs.SpanFromContext(ctx); parent != nil {
+			span = parent.StartChild("colquery")
+		} else {
+			span = tr.Root().StartChild("colquery")
+		}
+		span.SetAttr("sql", q.SQL)
+		ctx = obs.ContextWithTraceSpan(ctx, tr, span)
+	}
 	start := time.Now()
 	res, bd, final, err := executeWithFallback(withStratAcct(ctx, acct), env, s, q)
-	env.recordExecution(q.SQL, final, bd, acct, start, res, err)
+	if err != nil {
+		span.SetAttr("err", qerr.Class(err))
+		tr.MarkError()
+	}
+	span.Finish()
+	if created {
+		env.Traces.Finish(tr)
+	}
+	env.recordExecution(q.SQL, final, bd, acct, start, res, err, tr.RecordID())
 	return res, bd, err
 }
 
@@ -353,7 +390,8 @@ func executeWithFallback(ctx context.Context, env *Context, s Strategy, q *colqu
 			env.Metrics.Counter(obs.FallbackMetric(s.Name(), next.Name())).Add(1)
 			env.Metrics.Counter(obs.MetricFallbackTotal).Add(1)
 		}
-		sp := env.Tracer.StartSpan("fallback:" + s.Name() + "->" + next.Name())
+		obs.TraceFromContext(ctx).MarkFallback()
+		_, sp := obs.StartSpan(ctx, env.Tracer, "fallback:"+s.Name()+"->"+next.Name())
 		sp.SetAttr("cause", err.Error())
 		sp.Finish()
 		s = next

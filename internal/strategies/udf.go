@@ -32,7 +32,7 @@ func (s *DBUDF) Execute(ctx context.Context, env *Context, q *colquery.Query) (*
 	var bd CostBreakdown
 	ctx, cancel := env.queryCtx(ctx)
 	defer cancel()
-	root := env.Tracer.StartSpan("strategy:" + s.Name())
+	ctx, root := obs.StartSpan(ctx, env.Tracer, "strategy:"+s.Name())
 	defer root.Finish()
 
 	// Loading: the database "recompilation" — decode each compiled artifact
@@ -123,14 +123,17 @@ func (s *DBUDF) Execute(ctx context.Context, env *Context, q *colquery.Query) (*
 				if err != nil {
 					return sqldb.Null(), err
 				}
-				callSpan := querySpan.StartChild("inference:" + name)
+				// The inference-time accounting read doubles as the call
+				// span's start/end, so tracing a call adds no clock reads.
+				start := time.Now()
+				callSpan := querySpan.StartChildAt("inference:"+name, start)
 				mc := *m
 				mc.Trace = callSpan
-				start := time.Now()
 				idx, _, err := mc.Predict(in)
-				elapsed := time.Since(start).Seconds()
+				wall := time.Since(start)
+				elapsed := wall.Seconds()
 				stratAcctFrom(ctx).noteInfer(1)
-				callSpan.Finish()
+				callSpan.FinishAt(start.Add(wall))
 				mu.Lock()
 				inferSecs += elapsed
 				calls++
